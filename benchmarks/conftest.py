@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs its experiment once (``pedantic`` with one round — the
+experiments are deterministic compilations, not microbenchmarks), prints the
+paper-vs-measured table to stdout, and records wall time via
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment driver once under the benchmark timer and print
+    its paper-vs-measured table."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        if hasattr(result, "table"):
+            print("\n" + result.table())
+        elif isinstance(result, dict):
+            for value in result.values():
+                if hasattr(value, "table"):
+                    print("\n" + value.table())
+        return result
+
+    return runner

@@ -1,0 +1,21 @@
+"""Fig. 16: Conv-ReLU code generation on the Table 2 architecture."""
+
+from repro.experiments import fig16_codegen, fig16_stats
+
+
+def test_fig16_codegen(run_experiment):
+    result = run_experiment(fig16_stats)
+    stats = result.as_dict()
+    # Finer programming interfaces require more meta-operators.
+    assert stats["CM flow statements"] < stats["XBM flow statements"]
+    assert stats["XBM cim activations"] <= stats["WLM cim activations"]
+
+
+def test_fig16_listings_contain_paper_primitives():
+    listings = fig16_codegen()
+    assert "cim.readcore(type=conv" in listings["CM"]
+    assert "cim.writexb" in listings["XBM"]
+    assert "cim.readxb" in listings["XBM"]
+    assert "cim.writerow" in listings["WLM"]
+    assert "cim.readrow" in listings["WLM"]
+    assert "relu(" in listings["CM"]

@@ -1,0 +1,15 @@
+"""Fig. 20(a): speedup over Jia et al.'s schedule (CM-mode SRAM chip).
+
+Paper: CG pipeline 1.2x, CG pipeline+duplication 3.7x.
+"""
+
+from repro.experiments import fig20a_jia
+
+
+def test_fig20a_jia(run_experiment):
+    result = run_experiment(fig20a_jia)
+    pipe = result.row("CG-grained w/ Pipeline").measured
+    pd = result.row("CG-grained w/ P&D").measured
+    # Shape: both beat the vendor schedule; P&D beats pipeline alone.
+    assert pipe > 1.0
+    assert pd > pipe

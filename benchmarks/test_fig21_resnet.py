@@ -1,0 +1,69 @@
+"""Fig. 21: multi-level scheduling analysis on the ResNet series.
+
+Paper narrative checked in shape:
+(a) pipeline speedup *grows* with depth (2.3x -> 4.7x) while duplication
+    speedup *shrinks* (25.4x -> 3.1x); P&D reaches up to 123x;
+(b) MVM duplication adds speedup on the deeper ResNets;
+(c) VVM remap adds on top of MVM;
+(d) CG raises peak power ~5-16x, the MVM pipeline pulls it back down.
+"""
+
+import pytest
+
+from repro.experiments import fig21
+
+DEPTHS = (18, 34, 50, 101)
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return fig21(DEPTHS)
+
+
+def test_fig21_all_panels(run_experiment, panels):
+    # Timing is dominated by fig21() itself; re-print the cached result.
+    def report():
+        return panels
+
+    run_experiment(report)
+
+
+def test_fig21a_pipeline_grows_with_depth(panels):
+    a = panels["a"].as_dict()
+    assert a["resnet101 CG-Pipeline"] > a["resnet18 CG-Pipeline"]
+
+
+def test_fig21a_duplication_shrinks_with_depth(panels):
+    a = panels["a"].as_dict()
+    assert a["resnet18 CG-Duplication"] > a["resnet101 CG-Duplication"]
+    assert a["resnet18 CG-Duplication"] > 10   # paper: 25.4x
+
+
+def test_fig21a_pd_dominates(panels):
+    a = panels["a"].as_dict()
+    for depth in DEPTHS:
+        assert a[f"resnet{depth} CG-P&D"] >= \
+            max(a[f"resnet{depth} CG-Pipeline"],
+                a[f"resnet{depth} CG-Duplication"]) * 0.99
+
+
+def test_fig21b_mvm_never_hurts(panels):
+    for row in panels["b"].rows:
+        assert row.measured >= 0.999
+
+
+def test_fig21c_vvm_never_hurts(panels):
+    for row in panels["c"].rows:
+        assert row.measured >= 0.999
+
+
+def test_fig21d_power_shape(panels):
+    d = panels["d"].as_dict()
+    for depth in DEPTHS:
+        cg = d[f"resnet{depth} peak power CG"]
+        mvm = d[f"resnet{depth} peak power CG+MVM"]
+        assert cg > 1.0          # concurrency raises peak power
+        assert mvm < cg          # staggering pulls it back
+    # Paper: MVM cuts up to 85% (ResNet101).
+    assert d["resnet101 peak power CG+MVM"] < \
+        0.5 * d["resnet101 peak power CG"]

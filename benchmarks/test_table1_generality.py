@@ -1,0 +1,8 @@
+"""Table 1: generality matrix — every claimed capability executes."""
+
+from repro.experiments import table1
+
+
+def test_table1_generality(run_experiment):
+    result = run_experiment(table1)
+    assert all(row.measured >= 1.0 for row in result.rows)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: compile ResNet-18 onto the ISAAC-like baseline CIM chip.
+
+Demonstrates the three-step public API:
+
+1. pick (or describe) a CIM architecture,
+2. pick (or build) a DNN graph,
+3. compile and read the performance report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CIMMLC, CompilerOptions, isaac_baseline, no_optimization, resnet18
+
+
+def main() -> None:
+    arch = isaac_baseline()
+    graph = resnet18()
+    print(f"architecture: {arch}")
+    print(f"model: {graph.name} ({len(graph.nodes)} nodes, "
+          f"{graph.total_weight_bits() / 8e6:.1f} MB weights)\n")
+
+    # Un-optimized deployment (layer-by-layer, one replica per operator).
+    baseline = no_optimization(graph, arch)
+    print(f"w/o optimization: {baseline.total_cycles:,.0f} cycles")
+
+    # Full multi-level compilation (CG + MVM + VVM for this WLM chip).
+    result = CIMMLC(arch).compile(graph)
+    print(f"CIM-MLC:          {result.total_cycles:,.0f} cycles "
+          f"({baseline.total_cycles / result.total_cycles:.1f}x speedup)")
+    print(f"levels applied:   {'+'.join(result.schedule.levels)}")
+    print(f"peak power:       {result.peak_power:,.1f} "
+          f"(baseline {baseline.peak_power:,.1f})\n")
+
+    # Ablation: what each level contributes.
+    for label, options in [
+        ("CG pipeline only", CompilerOptions(max_level="CG",
+                                             duplicate=False)),
+        ("CG duplication only", CompilerOptions(max_level="CG",
+                                                pipeline=False)),
+        ("CG pipeline+duplication", CompilerOptions(max_level="CG")),
+        ("CG+MVM", CompilerOptions(max_level="MVM")),
+        ("CG+MVM+VVM", CompilerOptions()),
+    ]:
+        run = CIMMLC(arch, options).compile(graph)
+        print(f"  {label:<26} "
+              f"{baseline.total_cycles / run.total_cycles:6.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Architecture sensitivity sweep (Fig. 22) on a custom network.
+
+Uses the public sweep API to explore how core count and parallel-row count
+change the value of each scheduling level — the design-space-exploration
+use case the compiler enables for architects.
+
+Run:  python examples/sweep_architecture.py [--full]
+      (--full uses ViT-Base as in the paper; default uses ViT-Tiny for speed)
+"""
+
+import sys
+
+from repro.experiments import (
+    fig22a_cores,
+    fig22d_parallel_row,
+    sensitivity_base_arch,
+)
+from repro.models import vit_base, vit_tiny
+
+
+def main() -> None:
+    graph = vit_base() if "--full" in sys.argv else vit_tiny()
+    print(f"workload: {graph.name}; "
+          f"base architecture: {sensitivity_base_arch()}\n")
+    print(fig22a_cores(graph=graph).table())
+    print()
+    print(fig22d_parallel_row(graph=graph).table())
+    print("\nReading the sweep: more cores monotonically raise the CG-level "
+          "win (more duplication headroom);\nfewer parallel rows hurt MVM "
+          "scheduling but the VVM remap claws the loss back (paper: ~20% "
+          "at 8 rows).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""CIM-MLC: a multi-level compilation stack for computing-in-memory
+accelerators (reproduction of Qu et al., ASPLOS 2024).
+
+Quickstart
+----------
+>>> from repro import CIMMLC, isaac_baseline, resnet18
+>>> result = CIMMLC(isaac_baseline()).compile(resnet18())
+>>> result.total_cycles > 0
+True
+
+Packages
+--------
+``repro.graph``       ONNX-like computation-graph IR.
+``repro.models``      Benchmark network zoo (VGG / ResNet / ViT / toys).
+``repro.arch``        Hardware abstraction: tiers, modes, NoCs, presets.
+``repro.mops``        Meta-operator sets, flows, BNF codegen, validation.
+``repro.sched``       Multi-level scheduler (CG / MVM / VVM) + baselines.
+``repro.sim``         Functional (value-exact) and performance simulators.
+``repro.experiments`` One driver per paper table/figure.
+"""
+
+from .arch import (
+    CIMArchitecture,
+    CellType,
+    ChipTier,
+    ComputingMode,
+    CoreTier,
+    CrossbarTier,
+    functional_testbed,
+    isaac_baseline,
+    jain2021,
+    jia2021,
+    puma,
+    table2_example,
+)
+from .graph import Graph, GraphBuilder, Node, TensorSpec
+from .models import (
+    conv_relu_example,
+    lenet,
+    mlp,
+    resnet,
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet101,
+    tiny_conv,
+    vgg,
+    vgg7,
+    vgg16,
+    vit,
+    vit_base,
+)
+from .sched import (
+    CIMMLC,
+    CompilationResult,
+    CompilerOptions,
+    Schedule,
+    no_optimization,
+    poly_schedule,
+)
+from .sim import PerformanceReport, PerformanceSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CIMArchitecture",
+    "CIMMLC",
+    "CellType",
+    "ChipTier",
+    "CompilationResult",
+    "CompilerOptions",
+    "ComputingMode",
+    "CoreTier",
+    "CrossbarTier",
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "PerformanceReport",
+    "PerformanceSimulator",
+    "Schedule",
+    "TensorSpec",
+    "conv_relu_example",
+    "functional_testbed",
+    "isaac_baseline",
+    "jain2021",
+    "jia2021",
+    "lenet",
+    "mlp",
+    "no_optimization",
+    "poly_schedule",
+    "puma",
+    "resnet",
+    "resnet101",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "table2_example",
+    "tiny_conv",
+    "vgg",
+    "vgg16",
+    "vgg7",
+    "vit",
+    "vit_base",
+]

@@ -1,0 +1,45 @@
+"""Hardware abstraction (Abs-arch + Abs-com, Section 3.2)."""
+
+from .architecture import CIMArchitecture
+from .modes import ComputingMode
+from .noc import IDEAL_NOC, NocSpec, htree, matrix_noc, mesh, shared_bus
+from .params import CellType, ChipTier, CoreTier, CrossbarTier
+from .presets import (
+    PRESETS,
+    functional_testbed,
+    get_preset,
+    isaac_baseline,
+    jain2021,
+    jia2021,
+    puma,
+    table2_example,
+)
+from .vxb import BitBinding, VXBShape, bind, cores_per_vxb, vxbs_per_core
+
+__all__ = [
+    "BitBinding",
+    "CIMArchitecture",
+    "CellType",
+    "ChipTier",
+    "ComputingMode",
+    "CoreTier",
+    "CrossbarTier",
+    "IDEAL_NOC",
+    "functional_testbed",
+    "NocSpec",
+    "PRESETS",
+    "VXBShape",
+    "bind",
+    "cores_per_vxb",
+    "get_preset",
+    "htree",
+    "isaac_baseline",
+    "jain2021",
+    "jia2021",
+    "matrix_noc",
+    "mesh",
+    "puma",
+    "shared_bus",
+    "table2_example",
+    "vxbs_per_core",
+]

@@ -1,0 +1,46 @@
+"""Computing-mode abstraction (Abs-com, Section 3.2).
+
+The mode records the *minimum scheduling granularity* a CIM chip exposes to
+the compiler.  Architecture tiers and computing modes maintain a one-to-one
+correspondence (Fig. 4(d)-(f)):
+
+* :attr:`ComputingMode.CM` — Core Mode: whole cores execute whole DNN
+  operators; the compiler sees only chip-tier parameters and optimizes at
+  CG (computing-graph) granularity.
+* :attr:`ComputingMode.XBM` — Crossbar Mode: crossbars execute MVMs; chip and
+  core tiers are visible; CG + MVM-grained optimization apply.
+* :attr:`ComputingMode.WLM` — Wordline Mode: partial rows activate
+  independently; all three tiers are visible; CG + MVM + VVM-grained
+  optimization apply.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ComputingMode(enum.Enum):
+    """Programming-interface granularity exposed by a CIM accelerator."""
+
+    CM = "CM"
+    XBM = "XBM"
+    WLM = "WLM"
+
+    @property
+    def visible_tiers(self) -> int:
+        """How many architecture tiers the compiler may inspect (top-down)."""
+        return {ComputingMode.CM: 1, ComputingMode.XBM: 2,
+                ComputingMode.WLM: 3}[self]
+
+    @property
+    def optimization_levels(self) -> tuple:
+        """Scheduling levels applied for this mode (Fig. 3 workflow)."""
+        levels = ("CG", "MVM", "VVM")
+        return levels[: self.visible_tiers]
+
+    def supports(self, level: str) -> bool:
+        """Whether optimization ``level`` ("CG"/"MVM"/"VVM") applies."""
+        return level in self.optimization_levels
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

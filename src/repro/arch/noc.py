@@ -1,0 +1,149 @@
+"""Network-on-chip cost models.
+
+Both the chip tier (``core_noc``/``core_noc_cost``, Fig. 5) and the core tier
+(``xb_noc``/``xb_noc_cost``, Fig. 6) abstract their interconnect as a type
+plus a transfer-cost matrix.  We provide the named topologies the paper
+mentions ('Mesh', 'H-tree', shared-buffer switch) as hop-count generators; a
+raw matrix can also be supplied for measured hardware.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ArchitectureError
+
+#: NoC topology names accepted by :class:`NocSpec`.
+TOPOLOGIES = ("mesh", "h-tree", "shared-bus", "ideal", "matrix")
+
+
+def mesh_hops(n: int, grid: Optional[Tuple[int, int]] = None) -> List[List[int]]:
+    """Manhattan hop counts on a (near-)square 2-D mesh of ``n`` units."""
+    if grid is None:
+        rows = int(math.sqrt(n)) or 1
+        cols = (n + rows - 1) // rows
+    else:
+        rows, cols = grid
+        if rows * cols < n:
+            raise ArchitectureError(f"grid {grid} too small for {n} units")
+    coords = [(i // cols, i % cols) for i in range(n)]
+    return [
+        [abs(ra - rb) + abs(ca - cb) for (rb, cb) in coords]
+        for (ra, ca) in coords
+    ]
+
+
+def htree_hops(n: int) -> List[List[int]]:
+    """Hop counts on an H-tree: distance = 2 * (levels above deepest common
+    ancestor) in a balanced binary tree over unit indices."""
+    def depth_of_lca(a: int, b: int) -> int:
+        # Leaves are at depth ceil(log2 n); walk up until indices merge.
+        hops = 0
+        while a != b:
+            a //= 2
+            b //= 2
+            hops += 1
+        return hops
+
+    return [[2 * depth_of_lca(i, j) if i != j else 0 for j in range(n)]
+            for i in range(n)]
+
+
+def shared_bus_hops(n: int) -> List[List[int]]:
+    """Uniform single-hop cost: every pair communicates via one shared
+    buffer/bus (the Section 3.4 example uses shared-memory communication)."""
+    return [[0 if i == j else 1 for j in range(n)] for i in range(n)]
+
+
+@dataclass(frozen=True)
+class NocSpec:
+    """Interconnect abstraction for one tier.
+
+    Parameters
+    ----------
+    topology:
+        One of :data:`TOPOLOGIES`.  ``"ideal"`` means transfers are free
+        (the paper marks unconstrained parameters with ``\\``).
+    cycles_per_hop:
+        Latency multiplier applied to the hop-count matrix.
+    cost_matrix:
+        Explicit per-pair cost (required iff ``topology == "matrix"``).
+    grid:
+        Optional (rows, cols) layout for mesh hop generation.
+    """
+
+    topology: str = "ideal"
+    cycles_per_hop: float = 1.0
+    cost_matrix: Optional[Tuple[Tuple[float, ...], ...]] = None
+    grid: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ArchitectureError(
+                f"unknown NoC topology {self.topology!r}; choose {TOPOLOGIES}"
+            )
+        if self.topology == "matrix" and self.cost_matrix is None:
+            raise ArchitectureError("topology 'matrix' requires cost_matrix")
+        if self.cycles_per_hop < 0:
+            raise ArchitectureError("cycles_per_hop must be non-negative")
+
+    def hop_matrix(self, n: int) -> List[List[float]]:
+        """Pairwise transfer cost (cycles per unit payload) for ``n`` units."""
+        if self.topology == "ideal":
+            return [[0.0] * n for _ in range(n)]
+        if self.topology == "matrix":
+            matrix = [list(row) for row in self.cost_matrix]  # type: ignore[union-attr]
+            if len(matrix) < n or any(len(row) < n for row in matrix):
+                raise ArchitectureError(
+                    f"cost_matrix smaller than unit count {n}"
+                )
+            return [[matrix[i][j] for j in range(n)] for i in range(n)]
+        if self.topology == "mesh":
+            hops = mesh_hops(n, self.grid)
+        elif self.topology == "h-tree":
+            hops = htree_hops(n)
+        else:  # shared-bus
+            hops = shared_bus_hops(n)
+        return [[h * self.cycles_per_hop for h in row] for row in hops]
+
+    def average_cost(self, n: int) -> float:
+        """Mean pairwise cost between distinct units (0 for n <= 1)."""
+        if n <= 1:
+            return 0.0
+        matrix = self.hop_matrix(n)
+        total = sum(matrix[i][j] for i in range(n) for j in range(n) if i != j)
+        return total / (n * (n - 1))
+
+    def max_cost(self, n: int) -> float:
+        """Worst-case pairwise cost (network diameter in cycles)."""
+        matrix = self.hop_matrix(n)
+        return max((matrix[i][j] for i in range(n) for j in range(n)),
+                   default=0.0)
+
+
+#: Convenience instances.
+IDEAL_NOC = NocSpec("ideal")
+
+
+def mesh(cycles_per_hop: float = 1.0,
+         grid: Optional[Tuple[int, int]] = None) -> NocSpec:
+    """A 2-D mesh NoC."""
+    return NocSpec("mesh", cycles_per_hop, grid=grid)
+
+
+def htree(cycles_per_hop: float = 1.0) -> NocSpec:
+    """An H-tree NoC."""
+    return NocSpec("h-tree", cycles_per_hop)
+
+
+def shared_bus(cycles_per_hop: float = 1.0) -> NocSpec:
+    """A shared-buffer / bus interconnect."""
+    return NocSpec("shared-bus", cycles_per_hop)
+
+
+def matrix_noc(costs: Sequence[Sequence[float]]) -> NocSpec:
+    """A NoC defined by an explicit measured cost matrix."""
+    frozen = tuple(tuple(float(c) for c in row) for row in costs)
+    return NocSpec("matrix", 1.0, cost_matrix=frozen)

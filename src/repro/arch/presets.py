@@ -1,0 +1,187 @@
+"""Architecture presets: every concrete CIM instance used in the paper.
+
+* :func:`isaac_baseline` — the Table 3 evaluation baseline (ISAAC-like).
+* :func:`jia2021`        — Fig. 17, Jia et al. ISSCC'21 SRAM CIM (Core Mode).
+* :func:`puma`           — Fig. 18, PUMA ReRAM accelerator (Crossbar Mode).
+* :func:`jain2021`       — Fig. 19, Jain et al. SRAM macro (Wordline Mode).
+* :func:`table2_example` — the Section 3.4 walkthrough toy (Table 2).
+
+Parameters the paper leaves ideal ("\\") are ``None`` here, meaning the
+corresponding constraint is disregarded by the cost model.
+"""
+
+from __future__ import annotations
+
+from .architecture import CIMArchitecture
+from .modes import ComputingMode
+from .noc import IDEAL_NOC, mesh, shared_bus
+from .params import CellType, ChipTier, CoreTier, CrossbarTier
+
+KB = 8 * 1024  # bits per kilobyte
+
+
+def isaac_baseline(mode: ComputingMode = ComputingMode.WLM) -> CIMArchitecture:
+    """Table 3: 768 cores x 16 crossbars of 128x128 2-bit ReRAM cells,
+    1024-op/cycle ALUs, 384 b/cycle L0, 8192 b/cycle L1, 8 parallel rows,
+    1-bit DAC / 8-bit ADC.  Referenced to ISAAC [39]."""
+    return CIMArchitecture(
+        name="isaac-baseline",
+        chip=ChipTier(
+            core_number=768,
+            alu_ops=1024,
+            core_noc=IDEAL_NOC,
+            l0_bw_bits=384,
+        ),
+        core=CoreTier(
+            xb_number=16,
+            alu_ops=1024,
+            l1_bw_bits=8192,
+        ),
+        xb=CrossbarTier(
+            xb_size=(128, 128),
+            parallel_row=8,
+            dac_bits=1,
+            adc_bits=8,
+            cell_type=CellType.RERAM,
+            cell_bits=2,
+        ),
+        mode=mode,
+    )
+
+
+def jia2021() -> CIMArchitecture:
+    """Fig. 17: Jia et al. [29] — 16 CIMU cores, each one 1152x256 SRAM
+    array with full 1152-row parallel activation, exposed in Core Mode via a
+    disjoint-buffer switch interconnect."""
+    return CIMArchitecture(
+        name="jia2021",
+        chip=ChipTier(
+            core_number=16,
+            core_noc=shared_bus(),  # "Disjoint Buffer Switch"
+        ),
+        core=CoreTier(xb_number=1),
+        xb=CrossbarTier(
+            xb_size=(1152, 256),
+            parallel_row=1152,
+            dac_bits=1,
+            adc_bits=8,
+            cell_type=CellType.SRAM,
+            cell_bits=1,
+        ),
+        mode=ComputingMode.CM,
+    )
+
+
+def puma() -> CIMArchitecture:
+    """Fig. 18: PUMA [4] — 138 cores on a mesh, 96 KB L0 at 384 b/cycle,
+    2 crossbars per core with 1 KB L1, 128x128 2-bit ReRAM crossbars with
+    all 128 rows parallel, exposed in Crossbar Mode.
+
+    The converter precisions follow the paper's Fig. 18 verbatim
+    (ADC 1-bit, DAC 8-bit).
+    """
+    return CIMArchitecture(
+        name="puma",
+        chip=ChipTier(
+            core_number=138,
+            core_noc=mesh(),
+            l0_size_bits=96 * KB,
+            l0_bw_bits=384,
+        ),
+        core=CoreTier(
+            xb_number=2,
+            l1_size_bits=1 * KB,
+        ),
+        xb=CrossbarTier(
+            xb_size=(128, 128),
+            parallel_row=128,
+            dac_bits=8,
+            adc_bits=1,
+            cell_type=CellType.RERAM,
+            cell_bits=2,
+        ),
+        mode=ComputingMode.XBM,
+    )
+
+
+def jain2021() -> CIMArchitecture:
+    """Fig. 19: Jain et al. [27] — a +/-CIM SRAM macro: 4 cores x 2
+    crossbars of 256x64 1-bit SRAM cells where at most 32 rows activate
+    simultaneously (variation control), exposed in Wordline Mode."""
+    return CIMArchitecture(
+        name="jain2021",
+        chip=ChipTier(core_number=4),
+        core=CoreTier(xb_number=2),
+        xb=CrossbarTier(
+            xb_size=(256, 64),
+            parallel_row=32,
+            dac_bits=1,
+            adc_bits=6,
+            cell_type=CellType.SRAM,
+            cell_bits=1,
+        ),
+        mode=ComputingMode.WLM,
+    )
+
+
+def table2_example(mode: ComputingMode = ComputingMode.WLM) -> CIMArchitecture:
+    """Table 2: the Section 3.4 walkthrough — 2 cores x 2 crossbars of
+    32x128 2-bit cells, 16 parallel rows, shared-memory communication,
+    ample buffers, full digital-op support."""
+    return CIMArchitecture(
+        name="table2-example",
+        chip=ChipTier(core_number=2, core_noc=shared_bus()),
+        core=CoreTier(xb_number=2),
+        xb=CrossbarTier(
+            xb_size=(32, 128),
+            parallel_row=16,
+            dac_bits=8,
+            adc_bits=8,
+            cell_type=CellType.RERAM,
+            cell_bits=2,
+        ),
+        mode=mode,
+    )
+
+
+def functional_testbed(mode: ComputingMode = ComputingMode.XBM) -> CIMArchitecture:
+    """A roomy small-scale chip for functional (value-exact) simulation:
+    32 cores x 4 crossbars of 64x64 2-bit SRAM cells, 16 parallel rows.
+    Not from the paper — sized so the functional-verification networks fit
+    in one segment with duplication headroom."""
+    return CIMArchitecture(
+        name="functional-testbed",
+        chip=ChipTier(core_number=32, core_noc=shared_bus()),
+        core=CoreTier(xb_number=4),
+        xb=CrossbarTier(
+            xb_size=(64, 64),
+            parallel_row=16,
+            dac_bits=8,
+            adc_bits=8,
+            cell_type=CellType.SRAM,
+            cell_bits=2,
+        ),
+        mode=mode,
+    )
+
+
+#: All presets by name (handy for CLIs and parametrized tests).
+PRESETS = {
+    "isaac-baseline": isaac_baseline,
+    "jia2021": jia2021,
+    "puma": puma,
+    "jain2021": jain2021,
+    "table2-example": table2_example,
+    "functional-testbed": functional_testbed,
+}
+
+
+def get_preset(name: str) -> CIMArchitecture:
+    """Instantiate a preset by name."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choose one of {sorted(PRESETS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,112 @@
+"""Virtual crossbars (VXB) and the dimension-binding scheme (Fig. 7).
+
+A weight matrix has three dimensions: row R, column C, and data bit-width B.
+A VXB is the group of physical crossbars that collaborate on one MVM.  The
+binding decides where each matrix dimension lands:
+
+* R always binds to crossbar rows (XBR) — inputs enter on wordlines.
+* C always binds to crossbar columns (XBC) — outputs exit on bitlines.
+* B binds either to adjacent columns in the same crossbar
+  (:attr:`BitBinding.XBC`, the common ISAAC/PUMA layout) or to replicated
+  crossbars (:attr:`BitBinding.XB`, one crossbar per bit-slice).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import ArchitectureError
+from .params import CrossbarTier
+
+
+class BitBinding(enum.Enum):
+    """Where the weight bit-width dimension (B) is physically spread."""
+
+    XBC = "XBC"  # bit-slices occupy adjacent columns of the same crossbar
+    XB = "XB"    # each bit-slice occupies its own crossbar
+
+
+@dataclass(frozen=True)
+class VXBShape:
+    """Physical footprint of one virtual crossbar.
+
+    Attributes
+    ----------
+    v_rows / v_cols:
+        Crossbar-grid extent: vertical tiles cover matrix rows, horizontal
+        tiles cover matrix columns (times bit-slices when B binds to XBC).
+    slices_per_xb:
+        Bit-slice replication factor when B binds to XB (1 otherwise).
+    rows_used / cols_used:
+        Cells actually occupied in the *last* (partial) tile; full tiles use
+        the whole crossbar.
+    matrix:
+        The (R, C, bits) weight matrix this VXB realizes.
+    """
+
+    v_rows: int
+    v_cols: int
+    slices_per_xb: int
+    rows_used: int
+    cols_used: int
+    matrix: tuple
+
+    @property
+    def num_crossbars(self) -> int:
+        """Physical crossbars per VXB."""
+        return self.v_rows * self.v_cols * self.slices_per_xb
+
+    def rows_used_in(self, tile_row: int, xb: CrossbarTier) -> int:
+        """Wordlines occupied in vertical tile ``tile_row`` (0-based)."""
+        if not 0 <= tile_row < self.v_rows:
+            raise ArchitectureError(f"tile_row {tile_row} out of range")
+        return xb.rows if tile_row < self.v_rows - 1 else self.rows_used
+
+
+def bind(matrix: tuple, xb: CrossbarTier,
+         bit_binding: BitBinding = BitBinding.XBC) -> VXBShape:
+    """Compute the VXB footprint of a weight matrix on crossbars ``xb``.
+
+    Parameters
+    ----------
+    matrix:
+        ``(rows, cols, weight_bits)`` view of the operator weights.
+    xb:
+        Crossbar-tier parameters.
+    bit_binding:
+        Placement of the bit-width dimension (Fig. 7).
+    """
+    r, c, bits = matrix
+    if r <= 0 or c <= 0:
+        raise ArchitectureError(f"degenerate weight matrix {matrix}")
+    slices = xb.bit_slices(bits)
+    if bit_binding is BitBinding.XBC:
+        phys_cols = c * slices
+        slices_per_xb = 1
+    else:
+        phys_cols = c
+        slices_per_xb = slices
+    v_rows = math.ceil(r / xb.rows)
+    v_cols = math.ceil(phys_cols / xb.cols)
+    rows_used = r - (v_rows - 1) * xb.rows
+    cols_used = phys_cols - (v_cols - 1) * xb.cols
+    return VXBShape(v_rows, v_cols, slices_per_xb, rows_used, cols_used,
+                    (r, c, bits))
+
+
+def vxbs_per_core(shape: VXBShape, xb_number: int) -> int:
+    """How many complete VXBs of ``shape`` fit in one core.
+
+    Zero means the VXB spans multiple cores (its crossbars must be split
+    across cores and partial sums travel over the chip NoC).
+    """
+    if shape.num_crossbars <= 0:
+        raise ArchitectureError("VXB with no crossbars")
+    return xb_number // shape.num_crossbars
+
+
+def cores_per_vxb(shape: VXBShape, xb_number: int) -> int:
+    """Cores needed to host one VXB (1 when it fits in a core)."""
+    return max(1, math.ceil(shape.num_crossbars / xb_number))

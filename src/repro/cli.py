@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile``   Compile a model onto an architecture preset and print the
+              performance report (optionally per-level ablation).
+``describe``  Print the Abs-arch abstraction of a preset (Figs. 17-19 style).
+``codegen``   Emit the meta-operator program for a small model.
+``presets``   List architecture presets.
+``models``    List model-zoo entries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .arch import PRESETS, get_preset
+from .models import (
+    conv_relu_example,
+    lenet,
+    mlp,
+    mobilenet_v1,
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet101,
+    tiny_conv,
+    vgg7,
+    vgg11,
+    vgg13,
+    vgg16,
+    vgg19,
+    vit_base,
+    vit_small,
+    vit_tiny,
+)
+from .sched import CIMMLC, CompilerOptions, no_optimization
+
+MODELS: Dict[str, Callable] = {
+    "resnet18": resnet18, "resnet34": resnet34, "resnet50": resnet50,
+    "resnet101": resnet101,
+    "vgg7": vgg7, "vgg11": vgg11, "vgg13": vgg13, "vgg16": vgg16,
+    "vgg19": vgg19,
+    "vit-tiny": vit_tiny, "vit-small": vit_small, "vit-base": vit_base,
+    "mobilenet": mobilenet_v1,
+    "lenet": lenet, "mlp": mlp, "tiny-conv": tiny_conv,
+    "conv-relu": conv_relu_example,
+}
+
+
+def _model(name: str):
+    try:
+        return MODELS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown model {name!r}; choose one of {sorted(MODELS)}")
+
+
+def cmd_presets(args) -> None:
+    for name in sorted(PRESETS):
+        print(f"{name:<20} {PRESETS[name]()}")
+
+
+def cmd_models(args) -> None:
+    for name in sorted(MODELS):
+        graph = MODELS[name]()
+        print(f"{name:<12} nodes={len(graph.nodes):<4} "
+              f"weights={graph.total_weight_bits() / 8e6:8.1f} MB")
+
+
+def cmd_describe(args) -> None:
+    arch = get_preset(args.arch)
+    print(json.dumps(arch.describe(), indent=1, default=str))
+
+
+def cmd_compile(args) -> None:
+    arch = get_preset(args.arch)
+    graph = _model(args.model)
+    print(f"compiling {graph.name} onto {arch}")
+    baseline = no_optimization(graph, arch)
+    print(f"w/o optimization: {baseline.total_cycles:,.0f} cycles")
+    result = CIMMLC(arch).compile(graph)
+    print(f"CIM-MLC [{'+'.join(result.schedule.levels)}]: "
+          f"{result.total_cycles:,.0f} cycles "
+          f"({baseline.total_cycles / result.total_cycles:.2f}x)")
+    print(f"peak power: {result.peak_power:,.1f} "
+          f"(baseline {baseline.peak_power:,.1f})")
+    if args.ablation:
+        for level in ("CG", "MVM", "VVM"):
+            if not arch.supports(level):
+                continue
+            run = CIMMLC(arch,
+                         CompilerOptions(max_level=level)).compile(graph)
+            print(f"  up to {level:<4}: "
+                  f"{baseline.total_cycles / run.total_cycles:8.2f}x")
+    if args.schedule:
+        print(result.schedule.summary())
+
+
+def cmd_codegen(args) -> None:
+    from .mops import emit
+    from .quant import random_weights
+    from .sched.lowering import lower_to_flow
+
+    arch = get_preset(args.arch)
+    graph = _model(args.model)
+    schedule = CIMMLC(arch).schedule(graph)
+    program = lower_to_flow(
+        schedule, random_weights(graph, seed=0, low=-4, high=4))
+    text = emit(program.flow)
+    lines = text.splitlines()
+    if args.max_lines and len(lines) > args.max_lines:
+        lines = lines[:args.max_lines] + \
+            [f"... ({len(text.splitlines()) - args.max_lines} more lines)"]
+    print("\n".join(lines))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("presets", help="list architecture presets") \
+        .set_defaults(fn=cmd_presets)
+    sub.add_parser("models", help="list model-zoo entries") \
+        .set_defaults(fn=cmd_models)
+
+    p = sub.add_parser("describe", help="print a preset's Abs-arch")
+    p.add_argument("arch", choices=sorted(PRESETS))
+    p.set_defaults(fn=cmd_describe)
+
+    p = sub.add_parser("compile", help="compile a model onto a preset")
+    p.add_argument("--arch", default="isaac-baseline",
+                   choices=sorted(PRESETS))
+    p.add_argument("--model", default="resnet18")
+    p.add_argument("--ablation", action="store_true",
+                   help="also report per-level speedups")
+    p.add_argument("--schedule", action="store_true",
+                   help="print the per-operator schedule")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("codegen",
+                       help="emit a meta-operator program (small models)")
+    p.add_argument("--arch", default="table2-example",
+                   choices=sorted(PRESETS))
+    p.add_argument("--model", default="conv-relu")
+    p.add_argument("--max-lines", type=int, default=40)
+    p.set_defaults(fn=cmd_codegen)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    main()

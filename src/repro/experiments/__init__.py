@@ -1,0 +1,32 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation."""
+
+from .common import ExperimentResult, Row
+from .fig16 import fig16_codegen, fig16_stats
+from .fig20 import fig20a_jia, fig20b_puma, fig20c_jain, fig20d_poly
+from .fig21 import fig21
+from .fig22 import (
+    fig22a_cores,
+    fig22b_xb_number,
+    fig22c_xb_size,
+    fig22d_parallel_row,
+    sensitivity_base_arch,
+)
+from .table1 import table1
+
+__all__ = [
+    "ExperimentResult",
+    "Row",
+    "fig16_codegen",
+    "fig16_stats",
+    "fig20a_jia",
+    "fig20b_puma",
+    "fig20c_jain",
+    "fig20d_poly",
+    "fig21",
+    "fig22a_cores",
+    "fig22b_xb_number",
+    "fig22c_xb_size",
+    "fig22d_parallel_row",
+    "sensitivity_base_arch",
+    "table1",
+]

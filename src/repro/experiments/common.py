@@ -1,0 +1,56 @@
+"""Shared infrastructure for the paper-reproduction experiment drivers.
+
+Each driver returns :class:`ExperimentResult`: named rows of measured values
+together with the paper's reported values where the paper gives them, so the
+benchmark harness can print side-by-side tables and EXPERIMENTS.md can be
+regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Row:
+    """One table/series row: a label plus measured (and paper) values."""
+
+    label: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = "x"
+
+    def formatted(self) -> str:
+        paper = f"{self.paper:g}{self.unit}" if self.paper is not None else "-"
+        return f"{self.label:<38} measured={self.measured:8.2f}{self.unit} paper={paper}"
+
+
+@dataclass
+class ExperimentResult:
+    """A complete experiment: id, description, and its rows."""
+
+    experiment_id: str
+    description: str
+    rows: List[Row] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, label: str, measured: float,
+            paper: Optional[float] = None, unit: str = "x") -> None:
+        self.rows.append(Row(label, measured, paper, unit))
+
+    def row(self, label: str) -> Row:
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise KeyError(f"no row {label!r} in {self.experiment_id}")
+
+    def table(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.description} =="]
+        lines += [r.formatted() for r in self.rows]
+        if self.notes:
+            lines.append(f"   note: {self.notes}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {r.label: r.measured for r in self.rows}

@@ -1,0 +1,105 @@
+"""Fig. 20: CIM-MLC against vendor schedules and the Poly-Schedule compiler.
+
+(a) speedup over Jia et al.'s CM accelerator schedule;
+(b) peak-power reduction over PUMA's whole-VXB activation;
+(c) speedup over Jain et al.'s WLM macro schedule;
+(d) latency against Poly-Schedule on the Table 3 baseline.
+"""
+
+from __future__ import annotations
+
+from ..arch import isaac_baseline, jain2021, jia2021, puma
+from ..graph import Graph
+from ..models import resnet18, vgg7, vgg16
+from ..sched import (
+    CIMMLC,
+    CompilerOptions,
+    no_optimization,
+    poly_schedule,
+    puma_schedule,
+)
+from .common import ExperimentResult
+
+
+def fig20a_jia(graph: Graph = None) -> ExperimentResult:
+    """Speedup over Jia et al. [29] (CM mode): CG pipeline alone vs CG
+    pipeline + duplication (paper: 1.2x and 3.7x)."""
+    graph = graph or vgg16()
+    arch = jia2021()
+    vendor = no_optimization(graph, arch)
+    pipe = CIMMLC(arch, CompilerOptions(
+        max_level="CG", pipeline=True, duplicate=False)).compile(graph)
+    pd = CIMMLC(arch, CompilerOptions(max_level="CG")).compile(graph)
+    result = ExperimentResult(
+        "Fig20a", f"speedup over Jia et al. schedule ({graph.name})")
+    result.add("Jia et al. (vendor)", 1.0, 1.0)
+    result.add("CG-grained w/ Pipeline",
+               vendor.total_cycles / pipe.total_cycles, 1.2)
+    result.add("CG-grained w/ P&D",
+               vendor.total_cycles / pd.total_cycles, 3.7)
+    return result
+
+
+def fig20b_puma(graph: Graph = None) -> ExperimentResult:
+    """Peak-power reduction over PUMA [4] whole-VXB activation on VGG16
+    (paper: 75% lower peak power with CG+MVM)."""
+    graph = graph or vgg16()
+    arch = puma()
+    base = puma_schedule(graph, arch)
+    ours = CIMMLC(arch).compile(graph)
+    result = ExperimentResult(
+        "Fig20b", f"peak power vs PUMA schedule ({graph.name})")
+    result.add("PUMA normalized peak power", 1.0, 1.0, unit="")
+    result.add("CG+MVM normalized peak power",
+               ours.peak_power / base.peak_power, 0.25, unit="")
+    result.add("peak power reduction",
+               100 * (1 - ours.peak_power / base.peak_power), 75.0,
+               unit="%")
+    result.add("peak active crossbars (PUMA)",
+               base.report.power.peak_active_crossbars, unit="")
+    result.add("peak active crossbars (ours)",
+               ours.report.power.peak_active_crossbars, unit="")
+    return result
+
+
+def fig20c_jain(graph: Graph = None) -> ExperimentResult:
+    """Speedup over Jain et al. [27] (WLM mode) on VGG7 (paper: CG 1.2x,
+    CG+MVM 1.2x, CG+MVM+VVM 2.3x)."""
+    graph = graph or vgg7()
+    arch = jain2021()
+    vendor = no_optimization(graph, arch)
+    cg = CIMMLC(arch, CompilerOptions(max_level="CG")).compile(graph)
+    mvm = CIMMLC(arch, CompilerOptions(max_level="MVM")).compile(graph)
+    vvm = CIMMLC(arch).compile(graph)
+    result = ExperimentResult(
+        "Fig20c", f"speedup over Jain et al. schedule ({graph.name})")
+    result.add("Jain et al. (vendor)", 1.0, 1.0)
+    result.add("CG-grained", vendor.total_cycles / cg.total_cycles, 1.2)
+    result.add("CG+MVM-grained", vendor.total_cycles / mvm.total_cycles, 1.2)
+    result.add("CG+MVM+VVM-grained",
+               vendor.total_cycles / vvm.total_cycles, 2.3)
+    return result
+
+
+def fig20d_poly(graph: Graph = None) -> ExperimentResult:
+    """Latency vs Poly-Schedule [22] on the Table 3 baseline (paper: 84%
+    cycle reduction for Poly-Schedule, 95% for CIM-MLC, 3.2x speedup)."""
+    graph = graph or resnet18()
+    arch = isaac_baseline()
+    base = no_optimization(graph, arch)
+    poly = poly_schedule(graph, arch)
+    ours = CIMMLC(arch).compile(graph)
+    result = ExperimentResult(
+        "Fig20d", f"latency vs Poly-Schedule ({graph.name})")
+    result.add("w/o optimization (cycles)", base.total_cycles, unit="")
+    result.add("Poly-Schedule (cycles)", poly.total_cycles, unit="")
+    result.add("CIM-MLC (cycles)", ours.total_cycles, unit="")
+    result.add("Poly-Schedule cycle reduction",
+               100 * (1 - poly.total_cycles / base.total_cycles), 84.0,
+               unit="%")
+    result.add("CIM-MLC cycle reduction",
+               100 * (1 - ours.total_cycles / base.total_cycles), 95.0,
+               unit="%")
+    result.add("CIM-MLC speedup over Poly-Schedule",
+               poly.total_cycles / ours.total_cycles, 3.2)
+    return result

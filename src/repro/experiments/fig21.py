@@ -1,0 +1,76 @@
+"""Fig. 21: multi-level scheduling analysis on the ResNet series.
+
+(a) CG-grained techniques in isolation (pipeline / duplication / both);
+(b) MVM-grained duplication on top of CG-P&D;
+(c) VVM-grained remap on top of (b);
+(d) normalized peak power across levels.
+
+All speedups are normalized exactly as the paper normalizes them:
+(a) to the un-optimized baseline, (b) to CG-P&D, (c) to CG+MVM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..arch import isaac_baseline
+from ..models import resnet
+from ..sched import CIMMLC, CompilationResult, CompilerOptions, no_optimization
+from .common import ExperimentResult
+
+#: Paper-reported reference points (Section 4.3 narrative).
+_PAPER_PIPELINE = {18: 2.3, 101: 4.7}
+_PAPER_DUPLICATION = {18: 25.4, 101: 3.1}
+_PAPER_MVM = {50: 1.8, 101: 1.4}
+_PAPER_VVM = {50: 1.1}
+
+DEPTHS = (18, 34, 50, 101)
+
+
+def _variants(graph, arch) -> Dict[str, CompilationResult]:
+    runs = {
+        "noopt": no_optimization(graph, arch),
+        "pipeline": CIMMLC(arch, CompilerOptions(
+            max_level="CG", pipeline=True, duplicate=False)).compile(graph),
+        "duplication": CIMMLC(arch, CompilerOptions(
+            max_level="CG", pipeline=False, duplicate=True)).compile(graph),
+        "pd": CIMMLC(arch, CompilerOptions(max_level="CG")).compile(graph),
+        "mvm": CIMMLC(arch, CompilerOptions(max_level="MVM")).compile(graph),
+        "vvm": CIMMLC(arch).compile(graph),
+    }
+    return runs
+
+
+def fig21(depths: Sequence[int] = DEPTHS) -> Dict[str, ExperimentResult]:
+    """Run all four panels; returns ``{"a": ..., "b": ..., "c": ..., "d": ...}``."""
+    arch = isaac_baseline()
+    a = ExperimentResult("Fig21a", "CG-grained speedup over no optimization")
+    b = ExperimentResult("Fig21b", "CG+MVM speedup normalized to CG-P&D")
+    c = ExperimentResult("Fig21c", "CG+MVM+VVM speedup normalized to CG+MVM")
+    d = ExperimentResult("Fig21d", "normalized peak power", notes=(
+        "CG raises peak power (more concurrent crossbars); the MVM "
+        "staggered pipeline pulls it back down"))
+    for depth in depths:
+        graph = resnet(depth)
+        runs = _variants(graph, arch)
+        base = runs["noopt"].total_cycles
+        name = f"resnet{depth}"
+        a.add(f"{name} CG-Pipeline", base / runs["pipeline"].total_cycles,
+              _PAPER_PIPELINE.get(depth))
+        a.add(f"{name} CG-Duplication",
+              base / runs["duplication"].total_cycles,
+              _PAPER_DUPLICATION.get(depth))
+        a.add(f"{name} CG-P&D", base / runs["pd"].total_cycles)
+        b.add(f"{name} CG+MVM-Duplication",
+              runs["pd"].total_cycles / runs["mvm"].total_cycles,
+              _PAPER_MVM.get(depth))
+        c.add(f"{name} CG+MVM+VVM-Remap",
+              runs["mvm"].total_cycles / runs["vvm"].total_cycles,
+              _PAPER_VVM.get(depth))
+        noopt_peak = runs["noopt"].peak_power
+        d.add(f"{name} peak power w/o opt", 1.0, 1.0, unit="")
+        d.add(f"{name} peak power CG",
+              runs["pd"].peak_power / noopt_peak, unit="")
+        d.add(f"{name} peak power CG+MVM",
+              runs["mvm"].peak_power / noopt_peak, unit="")
+    return {"a": a, "b": b, "c": c, "d": d}

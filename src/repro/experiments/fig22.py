@@ -1,0 +1,91 @@
+"""Fig. 22: sensitivity of CIM-MLC to CIM architecture parameters (ViT).
+
+The baseline is Table 3 with a 128x256 crossbar (Section 4.4).  Four sweeps:
+(a) core number 256..1024, (b) crossbars per core 8..20, (c) crossbar shape
+64x512..512x64, (d) parallel rows 64..8.  Each point reports the speedup of
+CG / CG+MVM / CG+MVM+VVM over the un-optimized schedule on that same
+architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..arch import CIMArchitecture, isaac_baseline
+from ..graph import Graph
+from ..models import vit_base
+from ..sched import CIMMLC, CompilerOptions, no_optimization
+from .common import ExperimentResult
+
+CORE_SWEEP = (256, 512, 768, 1024)
+XB_SWEEP = (8, 12, 16, 20)
+SIZE_SWEEP = ((64, 512), (128, 256), (256, 128), (512, 64))
+PARALLEL_SWEEP = (64, 32, 16, 8)
+
+
+def sensitivity_base_arch() -> CIMArchitecture:
+    """Table 3 baseline with the Section 4.4 crossbar size (128x256)."""
+    return isaac_baseline().with_xb_size((128, 256))
+
+
+def _speedups(graph: Graph, arch: CIMArchitecture) -> Dict[str, float]:
+    base = no_optimization(graph, arch).total_cycles
+    cg = CIMMLC(arch, CompilerOptions(max_level="CG")).compile(graph)
+    mvm = CIMMLC(arch, CompilerOptions(max_level="MVM")).compile(graph)
+    vvm = CIMMLC(arch).compile(graph)
+    return {
+        "CG": base / cg.total_cycles,
+        "CG+MVM": base / mvm.total_cycles,
+        "CG+MVM+VVM": base / vvm.total_cycles,
+    }
+
+
+def _sweep(experiment_id: str, description: str, graph: Graph,
+           points: Iterable[Tuple[str, CIMArchitecture]]) -> ExperimentResult:
+    result = ExperimentResult(experiment_id, description)
+    for label, arch in points:
+        for level, speedup in _speedups(graph, arch).items():
+            result.add(f"{label} {level}", speedup)
+    return result
+
+
+def fig22a_cores(core_numbers: Sequence[int] = CORE_SWEEP,
+                 graph: Graph = None) -> ExperimentResult:
+    """Core-count sweep (paper: CG speedup grows ~15x -> ~30x)."""
+    graph = graph or vit_base()
+    base = sensitivity_base_arch()
+    return _sweep(
+        "Fig22a", f"core-number sweep ({graph.name})", graph,
+        ((f"cores={n}", base.with_cores(n)) for n in core_numbers))
+
+
+def fig22b_xb_number(xb_numbers: Sequence[int] = XB_SWEEP,
+                     graph: Graph = None) -> ExperimentResult:
+    """Crossbars-per-core sweep (paper: speedup grows with crossbars)."""
+    graph = graph or vit_base()
+    base = sensitivity_base_arch()
+    return _sweep(
+        "Fig22b", f"crossbar-number sweep ({graph.name})", graph,
+        ((f"xbs={n}", base.with_xb_number(n)) for n in xb_numbers))
+
+
+def fig22c_xb_size(sizes: Sequence[Tuple[int, int]] = SIZE_SWEEP,
+                   graph: Graph = None) -> ExperimentResult:
+    """Crossbar-shape sweep at constant cell count (paper: speedup grows
+    until rows exceed the dominant matrix height, then drops)."""
+    graph = graph or vit_base()
+    base = sensitivity_base_arch()
+    return _sweep(
+        "Fig22c", f"crossbar-size sweep ({graph.name})", graph,
+        ((f"{r}x{c}", base.with_xb_size((r, c))) for r, c in sizes))
+
+
+def fig22d_parallel_row(rows: Sequence[int] = PARALLEL_SWEEP,
+                        graph: Graph = None) -> ExperimentResult:
+    """Parallel-row sweep (paper: at 8 parallel rows the VVM remap recovers
+    ~20% over MVM scheduling)."""
+    graph = graph or vit_base()
+    base = sensitivity_base_arch()
+    return _sweep(
+        "Fig22d", f"parallel-row sweep ({graph.name})", graph,
+        ((f"pr={n}", base.with_parallel_row(n)) for n in rows))

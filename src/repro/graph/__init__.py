@@ -1,0 +1,34 @@
+"""ONNX-like computation-graph IR (the compiler's input format)."""
+
+from .builder import GraphBuilder
+from .graph import Graph
+from .node import Node
+from .onnx_io import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .ops import OpSpec, op_spec, register_op, registered_ops
+from .tensor import DEFAULT_BITS, TensorSpec
+from .transforms import (
+    annotate_depth,
+    critical_path,
+    eliminate_dead_nodes,
+    fold_identities,
+)
+
+__all__ = [
+    "DEFAULT_BITS",
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "OpSpec",
+    "TensorSpec",
+    "annotate_depth",
+    "critical_path",
+    "eliminate_dead_nodes",
+    "fold_identities",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "op_spec",
+    "register_op",
+    "registered_ops",
+    "save_graph",
+]

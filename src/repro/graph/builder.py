@@ -1,0 +1,252 @@
+"""Fluent graph construction helper used by the model zoo.
+
+:class:`GraphBuilder` tracks a "current" tensor so sequential networks read
+like the layer lists they come from, while still allowing arbitrary DAGs
+(residual connections, multi-head attention) via explicit tensor names.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import GraphError
+from .graph import Graph
+from .node import Node
+from .tensor import DEFAULT_BITS, TensorSpec
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`Graph`.
+
+    Example
+    -------
+    >>> b = GraphBuilder("tiny")
+    >>> x = b.input("x", (1, 3, 8, 8))
+    >>> y = b.conv(x, out_channels=4, kernel=3, padding=1)
+    >>> y = b.relu(y)
+    >>> g = b.build(outputs=[y])
+    """
+
+    def __init__(self, name: str, bits: int = DEFAULT_BITS) -> None:
+        self.name = name
+        self.bits = bits
+        self._tensors: Dict[str, TensorSpec] = {}
+        self._nodes: List[Node] = []
+        self._inputs: List[str] = []
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._counter)}"
+
+    def input(self, name: str, shape: Sequence[int], bits: Optional[int] = None) -> str:
+        """Declare a graph input tensor; returns its name."""
+        self._tensors[name] = TensorSpec(name, tuple(shape), bits or self.bits)
+        self._inputs.append(name)
+        return name
+
+    def weight(self, name: str, shape: Sequence[int], bits: Optional[int] = None) -> str:
+        """Declare a weight tensor; returns its name."""
+        self._tensors[name] = TensorSpec(
+            name, tuple(shape), bits or self.bits, is_weight=True
+        )
+        return name
+
+    def node(
+        self,
+        op_type: str,
+        inputs: Sequence[str],
+        attrs: Optional[dict] = None,
+        name: Optional[str] = None,
+        n_outputs: int = 1,
+    ) -> Union[str, List[str]]:
+        """Add a generic node; returns its output name(s)."""
+        node_name = name or self._fresh(op_type.lower())
+        outputs = [f"{node_name}_out" if n_outputs == 1 else f"{node_name}_out{i}"
+                   for i in range(n_outputs)]
+        self._nodes.append(
+            Node(node_name, op_type, list(inputs), outputs, dict(attrs or {}))
+        )
+        return outputs[0] if n_outputs == 1 else outputs
+
+    # ------------------------------------------------------------------
+    # Layer helpers
+    # ------------------------------------------------------------------
+
+    def conv(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: IntOrPair,
+        stride: IntOrPair = 1,
+        padding: IntOrPair = 0,
+        groups: int = 1,
+        bias: bool = False,
+        name: Optional[str] = None,
+    ) -> str:
+        """2-D convolution; infers in-channels from the current spec of ``x``."""
+        spec = self._tensors.get(x)
+        if spec is None:
+            raise GraphError(
+                f"conv input {x!r} has unknown shape at build time; "
+                f"declare it or build sequentially"
+            )
+        cin = spec.shape[1]
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        node_name = name or self._fresh("conv")
+        w = self.weight(f"{node_name}_w", (out_channels, cin // groups, kh, kw))
+        inputs = [x, w]
+        if bias:
+            inputs.append(self.weight(f"{node_name}_b", (out_channels,)))
+        out = self.node(
+            "Conv", inputs,
+            {"stride": stride, "padding": padding, "groups": groups},
+            name=node_name,
+        )
+        self._track(out, _conv_shape(spec.shape, out_channels, (kh, kw), stride, padding))
+        return out
+
+    def gemm(self, x: str, out_features: int, bias: bool = False,
+             name: Optional[str] = None) -> str:
+        """Fully-connected layer."""
+        spec = self._tensors.get(x)
+        if spec is None:
+            raise GraphError(f"gemm input {x!r} has unknown shape at build time")
+        in_features = spec.shape[-1]
+        node_name = name or self._fresh("fc")
+        w = self.weight(f"{node_name}_w", (out_features, in_features))
+        inputs = [x, w]
+        if bias:
+            inputs.append(self.weight(f"{node_name}_b", (out_features,)))
+        out = self.node("Gemm", inputs, name=node_name)
+        self._track(out, spec.shape[:-1] + (out_features,))
+        return out
+
+    def relu(self, x: str, name: Optional[str] = None) -> str:
+        out = self.node("Relu", [x], name=name)
+        self._copy_shape(x, out)
+        return out
+
+    def gelu(self, x: str, name: Optional[str] = None) -> str:
+        out = self.node("Gelu", [x], name=name)
+        self._copy_shape(x, out)
+        return out
+
+    def add(self, a: str, b: str, name: Optional[str] = None) -> str:
+        out = self.node("Add", [a, b], name=name)
+        self._copy_shape(a, out)
+        return out
+
+    def maxpool(self, x: str, kernel: IntOrPair, stride: Optional[IntOrPair] = None,
+                padding: IntOrPair = 0, name: Optional[str] = None) -> str:
+        out = self.node(
+            "MaxPool", [x],
+            {"kernel": kernel, "stride": stride if stride is not None else kernel,
+             "padding": padding},
+            name=name,
+        )
+        spec = self._tensors.get(x)
+        if spec is not None:
+            k = (kernel, kernel) if isinstance(kernel, int) else kernel
+            s = stride if stride is not None else kernel
+            self._track(out, _pool_shape(spec.shape, k, s, padding))
+        return out
+
+    def global_avgpool(self, x: str, name: Optional[str] = None) -> str:
+        out = self.node("GlobalAveragePool", [x], name=name)
+        spec = self._tensors.get(x)
+        if spec is not None:
+            self._track(out, (spec.shape[0], spec.shape[1], 1, 1))
+        return out
+
+    def flatten(self, x: str, name: Optional[str] = None) -> str:
+        out = self.node("Flatten", [x], name=name)
+        spec = self._tensors.get(x)
+        if spec is not None:
+            import math
+            self._track(out, (spec.shape[0], math.prod(spec.shape[1:])))
+        return out
+
+    def reshape(self, x: str, shape: Sequence[int], name: Optional[str] = None) -> str:
+        out = self.node("Reshape", [x], {"shape": tuple(shape)}, name=name)
+        self._track(out, tuple(shape))
+        return out
+
+    def transpose(self, x: str, perm: Sequence[int], name: Optional[str] = None) -> str:
+        out = self.node("Transpose", [x], {"perm": tuple(perm)}, name=name)
+        spec = self._tensors.get(x)
+        if spec is not None:
+            self._track(out, tuple(spec.shape[p] for p in perm))
+        return out
+
+    def matmul(self, a: str, b: str, name: Optional[str] = None) -> str:
+        out = self.node("MatMul", [a, b], name=name)
+        sa, sb = self._tensors.get(a), self._tensors.get(b)
+        if sa is not None and sb is not None:
+            self._track(out, sa.shape[:-1] + (sb.shape[-1],))
+        return out
+
+    def softmax(self, x: str, name: Optional[str] = None) -> str:
+        out = self.node("Softmax", [x], name=name)
+        self._copy_shape(x, out)
+        return out
+
+    def layernorm(self, x: str, name: Optional[str] = None) -> str:
+        out = self.node("LayerNorm", [x], name=name)
+        self._copy_shape(x, out)
+        return out
+
+    def batchnorm(self, x: str, name: Optional[str] = None) -> str:
+        out = self.node("BatchNorm", [x], name=name)
+        self._copy_shape(x, out)
+        return out
+
+    def slice(self, x: str, axis: int, start: int, end: int,
+              name: Optional[str] = None) -> str:
+        out = self.node("Slice", [x], {"axis": axis, "start": start, "end": end},
+                        name=name)
+        spec = self._tensors.get(x)
+        if spec is not None:
+            shape = list(spec.shape)
+            shape[axis] = end - start
+            self._track(out, tuple(shape))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _track(self, name: str, shape: Tuple[int, ...]) -> None:
+        """Record a provisional shape so later build-time helpers can read it.
+
+        Final shapes are still produced by :meth:`Graph.infer_shapes`, which
+        cross-checks these annotations.
+        """
+        self._tensors[name] = TensorSpec(name, shape, self.bits)
+
+    def _copy_shape(self, src: str, dst: str) -> None:
+        spec = self._tensors.get(src)
+        if spec is not None:
+            self._track(dst, spec.shape)
+
+    def build(self, outputs: Sequence[str]) -> Graph:
+        """Finalize into a validated, shape-inferred :class:`Graph`."""
+        graph = Graph(self.name, self._inputs, list(outputs),
+                      dict(self._tensors), list(self._nodes))
+        return graph.infer_shapes()
+
+
+def _conv_shape(x_shape, cout, kernel, stride, padding):
+    from .ops import _pair, conv_out_hw
+    s, p = _pair(stride, "stride"), _pair(padding, "padding")
+    oh, ow = conv_out_hw(x_shape[2], x_shape[3], kernel, s, p)
+    return (x_shape[0], cout, oh, ow)
+
+
+def _pool_shape(x_shape, kernel, stride, padding):
+    from .ops import _pair, conv_out_hw
+    s, p = _pair(stride, "stride"), _pair(padding, "padding")
+    oh, ow = conv_out_hw(x_shape[2], x_shape[3], kernel, s, p)
+    return (x_shape[0], x_shape[1], oh, ow)

@@ -1,0 +1,271 @@
+"""Computation graph (ONNX-like) with validation and shape inference.
+
+The :class:`Graph` is the compiler's input format: a DAG of :class:`Node`
+operators connected by named tensors (:class:`TensorSpec`).  Section 3.3.1:
+"the compiler gets the DNN models in ONNX format ... nodes correspond to
+operators, and edges denote the data dependency between each operator."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import GraphError, ShapeError
+from .node import Node
+from .ops import WeightMatrix, op_spec
+from .tensor import TensorSpec
+
+
+class Graph:
+    """A static computation graph.
+
+    Parameters
+    ----------
+    name:
+        Model name (e.g. ``"resnet18"``).
+    inputs / outputs:
+        Names of graph-level input and output tensors.
+    tensors:
+        All known tensor specs keyed by name.  Weights must be present;
+        intermediate activation specs may be added by :meth:`infer_shapes`.
+    nodes:
+        Operator list (any order; :meth:`topological` sorts).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        tensors: Optional[Dict[str, TensorSpec]] = None,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> None:
+        self.name = name
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.tensors: Dict[str, TensorSpec] = dict(tensors or {})
+        self.nodes: List[Node] = list(nodes or [])
+        self._producer: Dict[str, Node] = {}
+        self._consumers: Dict[str, List[Node]] = {}
+        self._topo_cache: Optional[List[Node]] = None
+        self._reindex()
+
+    # ------------------------------------------------------------------
+    # Construction / bookkeeping
+    # ------------------------------------------------------------------
+
+    def add_tensor(self, spec: TensorSpec) -> TensorSpec:
+        """Register a tensor spec (idempotent if identical)."""
+        existing = self.tensors.get(spec.name)
+        if existing is not None and existing != spec:
+            raise GraphError(f"tensor {spec.name!r} registered twice with "
+                             f"conflicting specs")
+        self.tensors[spec.name] = spec
+        return spec
+
+    def add_node(self, node: Node) -> Node:
+        """Append a node and refresh edge indices."""
+        self.nodes.append(node)
+        self._reindex()
+        return node
+
+    def _reindex(self) -> None:
+        self._producer.clear()
+        self._consumers.clear()
+        self._topo_cache = None
+        names = set()
+        for node in self.nodes:
+            if node.name in names:
+                raise GraphError(f"duplicate node name {node.name!r}")
+            names.add(node.name)
+            for out in node.outputs:
+                if out in self._producer:
+                    raise GraphError(f"tensor {out!r} produced by two nodes")
+                self._producer[out] = node
+            for inp in node.inputs:
+                self._consumers.setdefault(inp, []).append(node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise GraphError(f"no node named {name!r}")
+
+    def producer(self, tensor: str) -> Optional[Node]:
+        """The node producing ``tensor`` (None for graph inputs / weights)."""
+        return self._producer.get(tensor)
+
+    def consumers(self, tensor: str) -> List[Node]:
+        """All nodes consuming ``tensor``."""
+        return list(self._consumers.get(tensor, []))
+
+    def predecessors(self, node: Node) -> List[Node]:
+        """Nodes whose outputs feed ``node`` (deduplicated, input order)."""
+        preds: List[Node] = []
+        for inp in node.inputs:
+            p = self._producer.get(inp)
+            if p is not None and p not in preds:
+                preds.append(p)
+        return preds
+
+    def successors(self, node: Node) -> List[Node]:
+        """Nodes consuming any output of ``node`` (deduplicated)."""
+        succs: List[Node] = []
+        for out in node.outputs:
+            for c in self._consumers.get(out, []):
+                if c not in succs:
+                    succs.append(c)
+        return succs
+
+    def input_specs(self, node: Node) -> List[TensorSpec]:
+        """Tensor specs of a node's inputs (shape inference must have run
+        for intermediate tensors to be present)."""
+        specs = []
+        for name in node.inputs:
+            spec = self.tensors.get(name)
+            if spec is None:
+                raise ShapeError(
+                    f"node {node.name!r} input {name!r} has no spec; "
+                    f"run infer_shapes() first"
+                )
+            specs.append(spec)
+        return specs
+
+    def output_spec(self, node: Node, index: int = 0) -> TensorSpec:
+        """Tensor spec of a node's ``index``-th output."""
+        name = node.outputs[index]
+        spec = self.tensors.get(name)
+        if spec is None:
+            raise ShapeError(f"output {name!r} has no spec; run infer_shapes()")
+        return spec
+
+    def weight_inputs(self, node: Node) -> List[TensorSpec]:
+        """Weight tensors consumed by ``node``."""
+        return [s for s in self.input_specs(node) if s.is_weight]
+
+    def weight_matrix(self, node: Node) -> Optional[WeightMatrix]:
+        """The (R, C, bits) crossbar view of ``node``'s weights, if CIM-able."""
+        return op_spec(node.op_type).weight_matrix(node, self.input_specs(node))
+
+    def num_mvms(self, node: Node) -> int:
+        """Number of MVMs one inference of ``node`` decomposes into."""
+        return op_spec(node.op_type).num_mvms(node, self.input_specs(node))
+
+    def macs(self, node: Node) -> int:
+        """MAC count of ``node``."""
+        return op_spec(node.op_type).macs(node, self.input_specs(node))
+
+    def alu_ops(self, node: Node) -> int:
+        """Digital ALU workload of ``node``."""
+        return op_spec(node.op_type).alu_ops(node, self.input_specs(node))
+
+    def is_cim_supported(self, node: Node) -> bool:
+        """True when the node's weights can sit in crossbars."""
+        return op_spec(node.op_type).is_cim_supported
+
+    def cim_nodes(self) -> List[Node]:
+        """All CIM-supported nodes in topological order."""
+        return [n for n in self.topological() if self.is_cim_supported(n)]
+
+    def total_weight_bits(self) -> int:
+        """Total stationary weight footprint of all CIM-supported nodes."""
+        total = 0
+        for node in self.cim_nodes():
+            r, c, b = self.weight_matrix(node)  # type: ignore[misc]
+            total += r * c * b
+        return total
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def topological(self) -> List[Node]:
+        """Kahn topological order; raises :class:`GraphError` on cycles."""
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indeg: Dict[str, int] = {}
+        for node in self.nodes:
+            indeg[node.name] = len(self.predecessors(node))
+        ready = deque(n for n in self.nodes if indeg[n.name] == 0)
+        order: List[Node] = []
+        while ready:
+            node = ready.popleft()
+            order.append(node)
+            for succ in self.successors(node):
+                indeg[succ.name] -= 1
+                if indeg[succ.name] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            stuck = sorted(set(n.name for n in self.nodes) - set(n.name for n in order))
+            raise GraphError(f"graph has a cycle involving {stuck}")
+        self._topo_cache = order
+        return list(order)
+
+    def validate(self) -> None:
+        """Check edge consistency: every consumed tensor is produced by a
+        node, is a graph input, or is a registered weight/initializer."""
+        available = set(self.inputs)
+        available.update(name for name, s in self.tensors.items() if s.is_weight)
+        for node in self.topological():
+            for inp in node.inputs:
+                if inp not in available and self._producer.get(inp) is None:
+                    raise GraphError(
+                        f"node {node.name!r} consumes undefined tensor {inp!r}"
+                    )
+            available.update(node.outputs)
+        for out in self.outputs:
+            if out not in available:
+                raise GraphError(f"graph output {out!r} is never produced")
+
+    def infer_shapes(self) -> "Graph":
+        """Propagate tensor specs through the graph in topological order.
+
+        Returns ``self`` for chaining.  Output specs inherit the bit-width of
+        the first (activation) input.
+        """
+        self.validate()
+        for node in self.topological():
+            inputs = self.input_specs(node)
+            shapes = op_spec(node.op_type).infer_shapes(node, inputs)
+            if len(shapes) != len(node.outputs):
+                raise ShapeError(
+                    f"node {node.name!r} declares {len(node.outputs)} outputs "
+                    f"but inference produced {len(shapes)}"
+                )
+            bits = inputs[0].bits if inputs else 8
+            for name, shape in zip(node.outputs, shapes):
+                inferred = TensorSpec(name, tuple(shape), bits)
+                existing = self.tensors.get(name)
+                if existing is not None and existing.shape != inferred.shape:
+                    raise ShapeError(
+                        f"tensor {name!r} annotated {existing.shape} but "
+                        f"inferred {inferred.shape}"
+                    )
+                if existing is None:
+                    self.tensors[name] = inferred
+        return self
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable per-node summary table."""
+        lines = [f"Graph {self.name}: {len(self.nodes)} nodes"]
+        for node in self.topological():
+            try:
+                out = "x".join(map(str, self.output_spec(node).shape))
+            except ShapeError:
+                out = "?"
+            lines.append(f"  {node.name:<24} {node.op_type:<12} -> {out}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph({self.name!r}, nodes={len(self.nodes)})"

@@ -1,0 +1,73 @@
+"""Graph nodes (operators) for the ONNX-like IR.
+
+A :class:`Node` mirrors an ONNX ``NodeProto``: an operator type, named input
+and output edges, and an attribute dictionary.  Scheduling annotations (the
+paper attaches optimization results "by adding attributes to the nodes in the
+ONNX graph", Section 3.3.1) live in :attr:`Node.annotations` so they never
+collide with operator attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..errors import GraphError
+
+
+@dataclass
+class Node:
+    """One operator instance in a computation graph.
+
+    Parameters
+    ----------
+    name:
+        Unique node identifier.
+    op_type:
+        Operator type name; must exist in :mod:`repro.graph.ops` registry
+        before shape inference or scheduling.
+    inputs:
+        Ordered tensor names consumed by this node.  Convention per op (e.g.
+        ``Conv`` takes ``[activation, weight]`` or ``[activation, weight,
+        bias]``).
+    outputs:
+        Ordered tensor names produced by this node.
+    attrs:
+        Operator attributes (e.g. ``stride``, ``padding``, ``kernel_shape``).
+    annotations:
+        Compiler-written scheduling results (duplication counts, segment ids,
+        VXB shapes...).  Never serialized as part of the model proper.
+    """
+
+    name: str
+    op_type: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("node name must be non-empty")
+        if not self.op_type:
+            raise GraphError(f"node {self.name!r} has empty op_type")
+        if len(set(self.outputs)) != len(self.outputs):
+            raise GraphError(f"node {self.name!r} lists duplicate outputs")
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Read an operator attribute with a default."""
+        return self.attrs.get(key, default)
+
+    def require_attr(self, key: str) -> Any:
+        """Read an operator attribute, raising :class:`GraphError` if absent."""
+        try:
+            return self.attrs[key]
+        except KeyError:
+            raise GraphError(
+                f"node {self.name!r} ({self.op_type}) missing attribute {key!r}"
+            ) from None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ins = ", ".join(self.inputs)
+        outs = ", ".join(self.outputs)
+        return f"{self.name} = {self.op_type}({ins}) -> ({outs})"

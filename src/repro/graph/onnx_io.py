@@ -1,0 +1,100 @@
+"""ONNX-like JSON serialization for graphs.
+
+The real paper consumes ``.onnx`` protobufs; offline we provide a structurally
+identical JSON schema (nodes with op_type/inputs/outputs/attrs, tensor specs
+as initializers/value-infos) so models can be saved, shipped, and reloaded
+without protobuf.  Round-trip is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..errors import GraphError
+from .graph import Graph
+from .node import Node
+from .tensor import TensorSpec
+
+SCHEMA_VERSION = 1
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Serialize a :class:`Graph` to a JSON-compatible dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": graph.name,
+        "inputs": list(graph.inputs),
+        "outputs": list(graph.outputs),
+        "tensors": [
+            {
+                "name": t.name,
+                "shape": list(t.shape),
+                "bits": t.bits,
+                "is_weight": t.is_weight,
+            }
+            for t in graph.tensors.values()
+        ],
+        "nodes": [
+            {
+                "name": n.name,
+                "op_type": n.op_type,
+                "inputs": list(n.inputs),
+                "outputs": list(n.outputs),
+                "attrs": _encode_attrs(n.attrs),
+            }
+            for n in graph.nodes
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Graph:
+    """Deserialize a graph produced by :func:`graph_to_dict`."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise GraphError(f"unsupported graph schema: {data.get('schema')!r}")
+    tensors = {
+        t["name"]: TensorSpec(
+            t["name"], tuple(t["shape"]), t["bits"], t.get("is_weight", False)
+        )
+        for t in data["tensors"]
+    }
+    nodes = [
+        Node(
+            n["name"], n["op_type"], list(n["inputs"]), list(n["outputs"]),
+            _decode_attrs(n.get("attrs", {})),
+        )
+        for n in data["nodes"]
+    ]
+    graph = Graph(data["name"], data["inputs"], data["outputs"], tensors, nodes)
+    return graph.infer_shapes()
+
+
+def save_graph(graph: Graph, path: Union[str, Path]) -> None:
+    """Write a graph to a ``.json`` model file."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=1))
+
+
+def load_graph(path: Union[str, Path]) -> Graph:
+    """Read a graph from a ``.json`` model file."""
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def _encode_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, tuple):
+            out[key] = {"__tuple__": list(value)}
+        else:
+            out[key] = value
+    return out
+
+
+def _decode_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, dict) and "__tuple__" in value:
+            out[key] = tuple(value["__tuple__"])
+        else:
+            out[key] = value
+    return out

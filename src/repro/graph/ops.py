@@ -1,0 +1,442 @@
+"""Operator registry: shape inference plus CIM decomposition statistics.
+
+The multi-level scheduler is driven by a handful of per-operator quantities:
+
+* ``weight_matrix`` — the (rows, cols, bits) matrix view of the operator's
+  stationary weights when mapped onto crossbars (Fig. 7: matrix row R binds to
+  crossbar rows, column C to crossbar columns, bit-width B to adjacent
+  columns or extra crossbars).  ``None`` for CIM-unsupported ops.
+* ``num_mvms`` — how many matrix-vector multiplications one inference of the
+  operator decomposes into (one per convolution sliding window, one per
+  sequence token for a linear layer).
+* ``alu_ops`` — elementwise digital work executed on the tier ALU (ReLU,
+  pooling, shift-and-add, softmax...).
+
+Every operator used by the model zoo registers an :class:`OpSpec` here.  New
+operators can be registered by users via :func:`register_op`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ShapeError, UnknownOpError
+from .node import Node
+from .tensor import TensorSpec
+
+Shape = Tuple[int, ...]
+
+#: (rows, cols, weight_bits) view of an operator's stationary weight matrix.
+WeightMatrix = Tuple[int, int, int]
+
+
+def _pair(value, name: str) -> Tuple[int, int]:
+    """Normalize an int-or-pair attribute to a 2-tuple."""
+    if isinstance(value, int):
+        return (value, value)
+    pair = tuple(value)
+    if len(pair) != 2:
+        raise ShapeError(f"attribute {name!r} must be an int or pair, got {value!r}")
+    return pair  # type: ignore[return-value]
+
+
+def conv_out_hw(
+    h: int, w: int, kernel: Tuple[int, int], stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[int, int]:
+    """Spatial output size of a convolution / pooling window."""
+    oh = (h + 2 * padding[0] - kernel[0]) // stride[0] + 1
+    ow = (w + 2 * padding[1] - kernel[1]) // stride[1] + 1
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(
+            f"window {kernel} stride {stride} pad {padding} empties {h}x{w} input"
+        )
+    return oh, ow
+
+
+class OpSpec:
+    """Behavioural description of one operator type.
+
+    Subclasses override :meth:`infer_shapes` and, when relevant, the CIM
+    statistics.  The default implementation describes a shape-preserving
+    elementwise digital operator.
+    """
+
+    #: Can the operator execute inside CIM crossbars (weights stationary)?
+    is_cim_supported: bool = False
+    #: Does the operator carry trainable weights?
+    has_weights: bool = False
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        if not inputs:
+            raise ShapeError(f"{node.name}: elementwise op needs at least one input")
+        return [inputs[0].shape]
+
+    def weight_matrix(self, node: Node, inputs: Sequence[TensorSpec]) -> Optional[WeightMatrix]:
+        """Crossbar-stationary matrix view, or ``None`` for digital ops."""
+        return None
+
+    def num_mvms(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        """Number of MVMs one inference decomposes into (0 for digital ops)."""
+        return 0
+
+    def macs(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        """Multiply-accumulate count of one inference."""
+        return 0
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        """Elementwise digital operations executed on a tier ALU."""
+        out_shapes = self.infer_shapes(node, inputs)
+        return sum(math.prod(s) for s in out_shapes)
+
+
+_REGISTRY: Dict[str, OpSpec] = {}
+
+
+def register_op(op_type: str, spec: OpSpec) -> OpSpec:
+    """Register ``spec`` under ``op_type`` (overwriting any previous entry)."""
+    _REGISTRY[op_type] = spec
+    return spec
+
+
+def op_spec(op_type: str) -> OpSpec:
+    """Look up the :class:`OpSpec` for ``op_type``."""
+    try:
+        return _REGISTRY[op_type]
+    except KeyError:
+        raise UnknownOpError(
+            f"unknown operator type {op_type!r}; register it with register_op()"
+        ) from None
+
+
+def registered_ops() -> Tuple[str, ...]:
+    """All registered operator type names (sorted)."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# CIM-supported (weight-stationary) operators
+# ---------------------------------------------------------------------------
+
+
+class ConvSpec(OpSpec):
+    """2-D convolution.  Inputs: ``[x, weight]`` or ``[x, weight, bias]``.
+
+    The weight tensor ``(Cout, Cin, KH, KW)`` flattens to an
+    ``(Cin*KH*KW, Cout)`` matrix; each output spatial position is one MVM
+    (one sliding window, Section 3.3.3).
+    """
+
+    is_cim_supported = True
+    has_weights = True
+
+    def _geometry(self, node: Node, inputs: Sequence[TensorSpec]):
+        if len(inputs) < 2:
+            raise ShapeError(f"{node.name}: Conv needs activation and weight inputs")
+        x, w = inputs[0], inputs[1]
+        if x.rank != 4 or w.rank != 4:
+            raise ShapeError(
+                f"{node.name}: Conv expects NCHW activation and OIHW weight, "
+                f"got {x.shape} and {w.shape}"
+            )
+        n, cin, h, wd = x.shape
+        cout, w_cin, kh, kw = w.shape
+        groups = node.attr("groups", 1)
+        if w_cin * groups != cin:
+            raise ShapeError(
+                f"{node.name}: weight channels {w_cin}*groups {groups} != input {cin}"
+            )
+        if cout % groups != 0:
+            raise ShapeError(
+                f"{node.name}: output channels {cout} not divisible by "
+                f"groups {groups}"
+            )
+        stride = _pair(node.attr("stride", 1), "stride")
+        padding = _pair(node.attr("padding", 0), "padding")
+        oh, ow = conv_out_hw(h, wd, (kh, kw), stride, padding)
+        return n, cin, cout, kh, kw, oh, ow, groups
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        n, _, cout, _, _, oh, ow, _ = self._geometry(node, inputs)
+        return [(n, cout, oh, ow)]
+
+    def weight_matrix(self, node: Node, inputs: Sequence[TensorSpec]) -> WeightMatrix:
+        _, cin, cout, kh, kw, _, _, groups = self._geometry(node, inputs)
+        return (cin // groups * kh * kw, cout, inputs[1].bits)
+
+    def num_mvms(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        n, _, _, _, _, oh, ow, groups = self._geometry(node, inputs)
+        return n * oh * ow * groups
+
+    def macs(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        n, cin, cout, kh, kw, oh, ow, groups = self._geometry(node, inputs)
+        return n * oh * ow * cout * (cin // groups) * kh * kw
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        # Bias add plus shift-and-accumulate of partial sums, both digital.
+        n, _, cout, _, _, oh, ow, _ = self._geometry(node, inputs)
+        return n * cout * oh * ow if len(inputs) > 2 else 0
+
+
+class GemmSpec(OpSpec):
+    """Fully-connected layer (``y = x @ W^T + b``).
+
+    Inputs: ``[x, weight]`` or ``[x, weight, bias]`` with ``x`` of shape
+    ``(N, in)`` or ``(N, T, in)`` and weight ``(out, in)``.  Each row of the
+    (flattened) activation is one MVM.
+    """
+
+    is_cim_supported = True
+    has_weights = True
+
+    def _geometry(self, node: Node, inputs: Sequence[TensorSpec]):
+        if len(inputs) < 2:
+            raise ShapeError(f"{node.name}: Gemm needs activation and weight inputs")
+        x, w = inputs[0], inputs[1]
+        if w.rank != 2:
+            raise ShapeError(f"{node.name}: Gemm weight must be 2-D, got {w.shape}")
+        out_f, in_f = w.shape
+        if x.shape[-1] != in_f:
+            raise ShapeError(
+                f"{node.name}: activation feature {x.shape[-1]} != weight in {in_f}"
+            )
+        rows = math.prod(x.shape[:-1])
+        return rows, in_f, out_f
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        _, _, out_f = self._geometry(node, inputs)
+        return [tuple(inputs[0].shape[:-1]) + (out_f,)]
+
+    def weight_matrix(self, node: Node, inputs: Sequence[TensorSpec]) -> WeightMatrix:
+        _, in_f, out_f = self._geometry(node, inputs)
+        return (in_f, out_f, inputs[1].bits)
+
+    def num_mvms(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        rows, _, _ = self._geometry(node, inputs)
+        return rows
+
+    def macs(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        rows, in_f, out_f = self._geometry(node, inputs)
+        return rows * in_f * out_f
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        rows, _, out_f = self._geometry(node, inputs)
+        return rows * out_f if len(inputs) > 2 else 0
+
+
+# ---------------------------------------------------------------------------
+# Digital (ALU) operators
+# ---------------------------------------------------------------------------
+
+
+class EltwiseSpec(OpSpec):
+    """Unary elementwise op (ReLU, GELU, Sigmoid...)."""
+
+
+class BinarySpec(OpSpec):
+    """Binary elementwise op with broadcasting disabled (residual Add/Mul)."""
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        if len(inputs) != 2:
+            raise ShapeError(f"{node.name}: binary op needs exactly two inputs")
+        a, b = inputs
+        if a.shape != b.shape:
+            raise ShapeError(
+                f"{node.name}: operand shapes differ: {a.shape} vs {b.shape}"
+            )
+        return [a.shape]
+
+
+class MatMulSpec(OpSpec):
+    """Dynamic matrix multiply (both operands are activations).
+
+    ReRAM-style CIM cannot hold dynamic operands in crossbars (writes are too
+    expensive, Section 2.1), so attention score/value matmuls execute on the
+    tier ALU.  Shapes: ``(..., M, K) @ (..., K, N)``.
+    """
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        if len(inputs) != 2:
+            raise ShapeError(f"{node.name}: MatMul needs exactly two inputs")
+        a, b = inputs
+        if a.rank < 2 or b.rank < 2 or a.shape[-1] != b.shape[-2]:
+            raise ShapeError(
+                f"{node.name}: incompatible MatMul shapes {a.shape} @ {b.shape}"
+            )
+        if a.shape[:-2] != b.shape[:-2]:
+            raise ShapeError(
+                f"{node.name}: batch dims differ: {a.shape} vs {b.shape}"
+            )
+        return [a.shape[:-1] + (b.shape[-1],)]
+
+    def macs(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        a, b = inputs
+        return math.prod(a.shape) * b.shape[-1]
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        return self.macs(node, inputs)
+
+
+class PoolSpec(OpSpec):
+    """Max/average pooling over NCHW with ``kernel``/``stride``/``padding``."""
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        (x,) = inputs
+        if x.rank != 4:
+            raise ShapeError(f"{node.name}: pooling expects NCHW, got {x.shape}")
+        n, c, h, w = x.shape
+        kernel = _pair(node.require_attr("kernel"), "kernel")
+        stride = _pair(node.attr("stride", kernel), "stride")
+        padding = _pair(node.attr("padding", 0), "padding")
+        oh, ow = conv_out_hw(h, w, kernel, stride, padding)
+        return [(n, c, oh, ow)]
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        kernel = _pair(node.require_attr("kernel"), "kernel")
+        out = self.infer_shapes(node, inputs)[0]
+        return math.prod(out) * kernel[0] * kernel[1]
+
+
+class GlobalPoolSpec(OpSpec):
+    """Global average pooling: NCHW -> (N, C, 1, 1)."""
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        (x,) = inputs
+        if x.rank != 4:
+            raise ShapeError(f"{node.name}: global pool expects NCHW, got {x.shape}")
+        n, c, _, _ = x.shape
+        return [(n, c, 1, 1)]
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        return inputs[0].numel
+
+
+class FlattenSpec(OpSpec):
+    """Flatten all dims after the batch dim.  Pure layout change."""
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        (x,) = inputs
+        return [(x.shape[0], math.prod(x.shape[1:]))]
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        return 0
+
+
+class ReshapeSpec(OpSpec):
+    """Reshape to the ``shape`` attribute (must preserve element count)."""
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        (x,) = inputs
+        shape = tuple(node.require_attr("shape"))
+        if math.prod(shape) != x.numel:
+            raise ShapeError(
+                f"{node.name}: cannot reshape {x.shape} to {shape}"
+            )
+        return [shape]
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        return 0
+
+
+class TransposeSpec(OpSpec):
+    """Permute dimensions according to the ``perm`` attribute."""
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        (x,) = inputs
+        perm = tuple(node.require_attr("perm"))
+        if sorted(perm) != list(range(x.rank)):
+            raise ShapeError(f"{node.name}: bad permutation {perm} for rank {x.rank}")
+        return [tuple(x.shape[p] for p in perm)]
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        return 0
+
+
+class SoftmaxSpec(EltwiseSpec):
+    """Softmax along the last axis; costed as ~4 ALU ops per element."""
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        return 4 * inputs[0].numel
+
+
+class NormSpec(EltwiseSpec):
+    """LayerNorm / folded BatchNorm; costed as ~2 ALU ops per element."""
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        return 2 * inputs[0].numel
+
+
+class ConcatSpec(OpSpec):
+    """Concatenate along the ``axis`` attribute."""
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        if not inputs:
+            raise ShapeError(f"{node.name}: Concat needs inputs")
+        axis = node.attr("axis", 1)
+        base = list(inputs[0].shape)
+        for t in inputs[1:]:
+            if t.rank != len(base):
+                raise ShapeError(f"{node.name}: rank mismatch in Concat")
+            for d in range(t.rank):
+                if d == axis:
+                    continue
+                if t.shape[d] != base[d]:
+                    raise ShapeError(f"{node.name}: dim {d} mismatch in Concat")
+        base[axis] = sum(t.shape[axis] for t in inputs)
+        return [tuple(base)]
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        return 0
+
+
+class SliceSpec(OpSpec):
+    """Static slice: attributes ``axis``, ``start``, ``end``."""
+
+    def infer_shapes(self, node: Node, inputs: Sequence[TensorSpec]) -> List[Shape]:
+        (x,) = inputs
+        axis = node.require_attr("axis")
+        start, end = node.require_attr("start"), node.require_attr("end")
+        if not (0 <= start < end <= x.shape[axis]):
+            raise ShapeError(
+                f"{node.name}: slice [{start}:{end}] out of range for {x.shape}"
+            )
+        shape = list(x.shape)
+        shape[axis] = end - start
+        return [tuple(shape)]
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        return 0
+
+
+class IdentitySpec(OpSpec):
+    """Pass-through (used when folding ops away)."""
+
+    def alu_ops(self, node: Node, inputs: Sequence[TensorSpec]) -> int:
+        return 0
+
+
+def _register_defaults() -> None:
+    register_op("Conv", ConvSpec())
+    register_op("Gemm", GemmSpec())
+    register_op("MatMul", MatMulSpec())
+    register_op("Relu", EltwiseSpec())
+    register_op("Gelu", EltwiseSpec())
+    register_op("Sigmoid", EltwiseSpec())
+    register_op("Add", BinarySpec())
+    register_op("Mul", BinarySpec())
+    register_op("MaxPool", PoolSpec())
+    register_op("AveragePool", PoolSpec())
+    register_op("GlobalAveragePool", GlobalPoolSpec())
+    register_op("Flatten", FlattenSpec())
+    register_op("Reshape", ReshapeSpec())
+    register_op("Transpose", TransposeSpec())
+    register_op("Softmax", SoftmaxSpec())
+    register_op("LayerNorm", NormSpec())
+    register_op("BatchNorm", NormSpec())
+    register_op("Concat", ConcatSpec())
+    register_op("Slice", SliceSpec())
+    register_op("Identity", IdentitySpec())
+
+
+_register_defaults()

@@ -1,0 +1,82 @@
+"""Tensor metadata for the ONNX-like graph IR.
+
+A :class:`TensorSpec` describes a value flowing along a graph edge: its name,
+static shape, and integer bit-width.  CIM compilation is shape-driven — the
+scheduler never touches tensor *values*, only their shapes and precisions —
+so this is deliberately a value-free record.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import ShapeError
+
+#: Default activation / weight precision used throughout the paper (Section 4.1:
+#: "All models' weights and activation values are quantized with 8-bit precision").
+DEFAULT_BITS = 8
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Static description of one tensor (graph edge value).
+
+    Parameters
+    ----------
+    name:
+        Unique identifier inside a :class:`~repro.graph.graph.Graph`.
+    shape:
+        Static shape.  Feature maps use ``(N, C, H, W)``; sequences use
+        ``(N, T, D)``; weights use their natural layout (e.g. conv weights
+        are ``(Cout, Cin, KH, KW)``).
+    bits:
+        Integer precision of each element.
+    is_weight:
+        True when the tensor is a model parameter (resident in crossbars for
+        ReRAM-style CIM) rather than a runtime activation.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    bits: int = DEFAULT_BITS
+    is_weight: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ShapeError("tensor name must be non-empty")
+        if any((not isinstance(d, int)) or d <= 0 for d in self.shape):
+            raise ShapeError(
+                f"tensor {self.name!r} has non-positive dimension: {self.shape}"
+            )
+        if self.bits <= 0:
+            raise ShapeError(f"tensor {self.name!r} has bits={self.bits} <= 0")
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def numel(self) -> int:
+        """Total number of elements."""
+        return math.prod(self.shape)
+
+    @property
+    def size_bits(self) -> int:
+        """Storage footprint in bits."""
+        return self.numel * self.bits
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint in bytes (rounded up)."""
+        return (self.size_bits + 7) // 8
+
+    def with_shape(self, shape: Tuple[int, ...]) -> "TensorSpec":
+        """Return a copy of this spec with a different shape."""
+        return TensorSpec(self.name, tuple(shape), self.bits, self.is_weight)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "W" if self.is_weight else "T"
+        return f"{kind}[{self.name}: {'x'.join(map(str, self.shape))} @{self.bits}b]"

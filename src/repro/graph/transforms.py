@@ -1,0 +1,137 @@
+"""Graph-level transforms used before scheduling.
+
+These are the standard compiler-frontend cleanups the paper assumes of its
+ONNX input: removing dead nodes, folding identities, and annotating each node
+with its topological depth (used by the CG-grained pipeline model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .graph import Graph
+from .node import Node
+
+
+def eliminate_dead_nodes(graph: Graph) -> Graph:
+    """Return a new graph without nodes whose outputs never reach a graph
+    output."""
+    live: Set[str] = set(graph.outputs)
+    keep: List[Node] = []
+    for node in reversed(graph.topological()):
+        if any(out in live for out in node.outputs):
+            keep.append(node)
+            live.update(node.inputs)
+    keep.reverse()
+    pruned = Graph(graph.name, graph.inputs, graph.outputs,
+                   dict(graph.tensors), keep)
+    return pruned.infer_shapes()
+
+
+def fold_identities(graph: Graph) -> Graph:
+    """Remove ``Identity`` nodes by rewiring their consumers."""
+    alias: Dict[str, str] = {}
+    kept: List[Node] = []
+    for node in graph.topological():
+        if node.op_type == "Identity":
+            src = node.inputs[0]
+            alias[node.outputs[0]] = alias.get(src, src)
+            continue
+        rewired = Node(
+            node.name, node.op_type,
+            [alias.get(i, i) for i in node.inputs],
+            list(node.outputs), dict(node.attrs),
+        )
+        kept.append(rewired)
+    outputs = [alias.get(o, o) for o in graph.outputs]
+    folded = Graph(graph.name, graph.inputs, outputs, dict(graph.tensors), kept)
+    return folded.infer_shapes()
+
+
+def annotate_depth(graph: Graph) -> Dict[str, int]:
+    """Write each node's longest-path depth into ``annotations['depth']``
+    and return the mapping.  Depth 0 = reads only graph inputs/weights."""
+    depth: Dict[str, int] = {}
+    for node in graph.topological():
+        preds = graph.predecessors(node)
+        d = 0 if not preds else 1 + max(depth[p.name] for p in preds)
+        depth[node.name] = d
+        node.annotations["depth"] = d
+    return depth
+
+
+def expand_grouped_convs(graph: Graph, weights=None):
+    """Rewrite grouped convolutions into per-group Slice -> Conv -> Concat.
+
+    Returns ``(new_graph, new_weights)``.  When ``weights`` (a name ->
+    ndarray dict) is given, grouped weight tensors are split accordingly so
+    the rewritten graph computes the identical function — this lets the
+    dense meta-operator lowering and functional simulator handle depthwise
+    networks (MobileNet) without a grouped-crossbar special case.
+    """
+    from .tensor import TensorSpec
+
+    new_nodes: List[Node] = []
+    tensors = dict(graph.tensors)
+    new_weights = dict(weights) if weights is not None else None
+    for node in graph.topological():
+        groups = node.attr("groups", 1)
+        if node.op_type != "Conv" or groups == 1:
+            new_nodes.append(node)
+            continue
+        x_name, w_name = node.inputs[0], node.inputs[1]
+        x_spec = graph.tensors[x_name]
+        w_spec = graph.tensors[w_name]
+        cout, cin_g, kh, kw = w_spec.shape
+        cin = x_spec.shape[1]
+        cout_g = cout // groups
+        group_outputs: List[str] = []
+        for g in range(groups):
+            slice_name = f"{node.name}_g{g}_slice"
+            slice_out = f"{slice_name}_out"
+            new_nodes.append(Node(
+                slice_name, "Slice", [x_name], [slice_out],
+                {"axis": 1, "start": g * (cin // groups),
+                 "end": (g + 1) * (cin // groups)},
+            ))
+            wg_name = f"{w_name}_g{g}"
+            tensors[wg_name] = TensorSpec(
+                wg_name, (cout_g, cin_g, kh, kw), w_spec.bits,
+                is_weight=True)
+            if new_weights is not None and w_name in new_weights:
+                full = new_weights[w_name]
+                new_weights[wg_name] = full[g * cout_g:(g + 1) * cout_g]
+            conv_name = f"{node.name}_g{g}"
+            conv_out = f"{conv_name}_out"
+            attrs = {k: v for k, v in node.attrs.items() if k != "groups"}
+            attrs["groups"] = 1
+            new_nodes.append(Node(
+                conv_name, "Conv", [slice_out, wg_name], [conv_out], attrs))
+            group_outputs.append(conv_out)
+        new_nodes.append(Node(
+            f"{node.name}_concat", "Concat", group_outputs,
+            list(node.outputs), {"axis": 1},
+        ))
+        if new_weights is not None:
+            new_weights.pop(w_name, None)
+        tensors.pop(w_name, None)
+    expanded = Graph(graph.name, graph.inputs, graph.outputs, tensors,
+                     new_nodes)
+    expanded.infer_shapes()
+    return expanded, new_weights
+
+
+def critical_path(graph: Graph) -> List[Node]:
+    """Nodes on one longest dependency chain (by node count)."""
+    depth = annotate_depth(graph)
+    if not graph.nodes:
+        return []
+    tail = max(graph.topological(), key=lambda n: depth[n.name])
+    path = [tail]
+    while True:
+        preds = graph.predecessors(path[-1])
+        if not preds:
+            break
+        path.append(max(preds, key=lambda n: depth[n.name]))
+    path.reverse()
+    return path

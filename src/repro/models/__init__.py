@@ -1,0 +1,33 @@
+"""Model zoo: the paper's benchmark networks as graph-IR builders."""
+
+from .mobilenet import mobilenet_tiny, mobilenet_v1
+from .resnet import resnet, resnet18, resnet34, resnet50, resnet101, resnet152
+from .small import conv_relu_example, lenet, mlp, residual_toy, tiny_conv
+from .vgg import vgg, vgg7, vgg11, vgg13, vgg16, vgg19
+from .vit import vit, vit_base, vit_small, vit_tiny
+
+__all__ = [
+    "conv_relu_example",
+    "lenet",
+    "mlp",
+    "mobilenet_tiny",
+    "mobilenet_v1",
+    "residual_toy",
+    "resnet",
+    "resnet101",
+    "resnet152",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "tiny_conv",
+    "vgg",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+    "vgg7",
+    "vit",
+    "vit_base",
+    "vit_small",
+    "vit_tiny",
+]

@@ -1,0 +1,67 @@
+"""MobileNetV1 (Howard et al.) as a graph-IR builder.
+
+Depthwise-separable convolutions exercise the compiler paths that dense
+networks miss: grouped convolutions map to many *tiny* weight matrices
+(one 9-row matrix per channel for a 3x3 depthwise layer), which stresses
+crossbar under-utilization — exactly the regime where the MVM-grained
+duplication refinement (Eq. 1) recovers stranded capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..graph import Graph, GraphBuilder
+
+#: (output channels, stride) per depthwise-separable block.
+_BLOCKS = [
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+    (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+    (1024, 2), (1024, 1),
+]
+
+
+def _separable(b: GraphBuilder, x: str, out_channels: int, stride: int,
+               prefix: str) -> str:
+    in_channels = b._tensors[x].shape[1]
+    x = b.conv(x, in_channels, kernel=3, stride=stride, padding=1,
+               groups=in_channels, name=f"{prefix}_dw")
+    x = b.batchnorm(x, name=f"{prefix}_dw_bn")
+    x = b.relu(x, name=f"{prefix}_dw_relu")
+    x = b.conv(x, out_channels, kernel=1, name=f"{prefix}_pw")
+    x = b.batchnorm(x, name=f"{prefix}_pw_bn")
+    return b.relu(x, name=f"{prefix}_pw_relu")
+
+
+def mobilenet_v1(width: float = 1.0,
+                 input_shape: Tuple[int, int, int, int] = (1, 3, 224, 224),
+                 num_classes: int = 1000, bits: int = 8) -> Graph:
+    """MobileNetV1 with an optional width multiplier."""
+    def scaled(c: int) -> int:
+        return max(8, int(c * width))
+
+    b = GraphBuilder(f"mobilenet_v1_{width:g}", bits=bits)
+    x = b.input("input", input_shape)
+    x = b.conv(x, scaled(32), kernel=3, stride=2, padding=1, name="conv1")
+    x = b.batchnorm(x, name="bn1")
+    x = b.relu(x, name="relu1")
+    for i, (channels, stride) in enumerate(_BLOCKS):
+        x = _separable(b, x, scaled(channels), stride, prefix=f"block{i}")
+    x = b.global_avgpool(x, name="avgpool")
+    x = b.flatten(x)
+    x = b.gemm(x, num_classes, name="fc")
+    return b.build(outputs=[x])
+
+
+def mobilenet_tiny(bits: int = 8) -> Graph:
+    """A 3-block CIFAR-scale MobileNet for functional-simulation tests."""
+    b = GraphBuilder("mobilenet_tiny", bits=bits)
+    x = b.input("input", (1, 3, 16, 16))
+    x = b.conv(x, 8, kernel=3, stride=1, padding=1, name="conv1")
+    x = b.relu(x, name="relu1")
+    for i, (channels, stride) in enumerate([(16, 2), (24, 1)]):
+        x = _separable(b, x, channels, stride, prefix=f"block{i}")
+    x = b.global_avgpool(x, name="avgpool")
+    x = b.flatten(x)
+    x = b.gemm(x, 10, name="fc")
+    return b.build(outputs=[x])

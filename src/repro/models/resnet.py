@@ -1,0 +1,120 @@
+"""ResNet family (He et al.) as graph-IR builders.
+
+The ResNet series is the Section 4.3 performance-analysis workload
+(Fig. 21): ResNet-18/34 use basic blocks, ResNet-50/101/152 bottlenecks.
+BatchNorm is kept as an explicit ALU op (it is CIM-unsupported and therefore
+exercises the digital-compute path in the scheduler).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..graph import Graph, GraphBuilder
+
+#: (block kind, layer counts) per depth.
+_CONFIGS = {
+    18: ("basic", (2, 2, 2, 2)),
+    34: ("basic", (3, 4, 6, 3)),
+    50: ("bottleneck", (3, 4, 6, 3)),
+    101: ("bottleneck", (3, 4, 23, 3)),
+    152: ("bottleneck", (3, 8, 36, 3)),
+}
+
+_STAGE_CHANNELS = (64, 128, 256, 512)
+
+
+def _basic_block(b: GraphBuilder, x: str, channels: int, stride: int,
+                 prefix: str) -> str:
+    identity = x
+    y = b.conv(x, channels, kernel=3, stride=stride, padding=1,
+               name=f"{prefix}_conv1")
+    y = b.batchnorm(y, name=f"{prefix}_bn1")
+    y = b.relu(y, name=f"{prefix}_relu1")
+    y = b.conv(y, channels, kernel=3, padding=1, name=f"{prefix}_conv2")
+    y = b.batchnorm(y, name=f"{prefix}_bn2")
+    if stride != 1 or _channels_of(b, identity) != channels:
+        identity = b.conv(identity, channels, kernel=1, stride=stride,
+                          name=f"{prefix}_down")
+        identity = b.batchnorm(identity, name=f"{prefix}_down_bn")
+    y = b.add(y, identity, name=f"{prefix}_add")
+    return b.relu(y, name=f"{prefix}_relu2")
+
+
+def _bottleneck_block(b: GraphBuilder, x: str, channels: int, stride: int,
+                      prefix: str) -> str:
+    identity = x
+    expansion = 4
+    y = b.conv(x, channels, kernel=1, name=f"{prefix}_conv1")
+    y = b.batchnorm(y, name=f"{prefix}_bn1")
+    y = b.relu(y, name=f"{prefix}_relu1")
+    y = b.conv(y, channels, kernel=3, stride=stride, padding=1,
+               name=f"{prefix}_conv2")
+    y = b.batchnorm(y, name=f"{prefix}_bn2")
+    y = b.relu(y, name=f"{prefix}_relu2")
+    y = b.conv(y, channels * expansion, kernel=1, name=f"{prefix}_conv3")
+    y = b.batchnorm(y, name=f"{prefix}_bn3")
+    if stride != 1 or _channels_of(b, identity) != channels * expansion:
+        identity = b.conv(identity, channels * expansion, kernel=1,
+                          stride=stride, name=f"{prefix}_down")
+        identity = b.batchnorm(identity, name=f"{prefix}_down_bn")
+    y = b.add(y, identity, name=f"{prefix}_add")
+    return b.relu(y, name=f"{prefix}_relu3")
+
+
+def _channels_of(b: GraphBuilder, tensor: str) -> int:
+    return b._tensors[tensor].shape[1]
+
+
+def resnet(depth: int,
+           input_shape: Tuple[int, int, int, int] = (1, 3, 224, 224),
+           num_classes: int = 1000, bits: int = 8) -> Graph:
+    """Build ``resnet{depth}`` at ImageNet scale (depth in 18/34/50/101/152)."""
+    if depth not in _CONFIGS:
+        raise ValueError(
+            f"unsupported ResNet depth {depth}; choose {sorted(_CONFIGS)}"
+        )
+    kind, counts = _CONFIGS[depth]
+    block = _basic_block if kind == "basic" else _bottleneck_block
+    expansion = 1 if kind == "basic" else 4
+
+    b = GraphBuilder(f"resnet{depth}", bits=bits)
+    x = b.input("input", input_shape)
+    x = b.conv(x, 64, kernel=7, stride=2, padding=3, name="conv1")
+    x = b.batchnorm(x, name="bn1")
+    x = b.relu(x, name="relu1")
+    x = b.maxpool(x, kernel=3, stride=2, padding=1, name="maxpool")
+    for stage, (channels, count) in enumerate(zip(_STAGE_CHANNELS, counts),
+                                              start=1):
+        for i in range(count):
+            stride = 2 if (stage > 1 and i == 0) else 1
+            x = block(b, x, channels, stride, prefix=f"layer{stage}_{i}")
+    x = b.global_avgpool(x, name="avgpool")
+    x = b.flatten(x)
+    x = b.gemm(x, num_classes, name="fc")
+    return b.build(outputs=[x])
+
+
+def resnet18(**kwargs) -> Graph:
+    """ResNet-18 at ImageNet scale."""
+    return resnet(18, **kwargs)
+
+
+def resnet34(**kwargs) -> Graph:
+    """ResNet-34 at ImageNet scale."""
+    return resnet(34, **kwargs)
+
+
+def resnet50(**kwargs) -> Graph:
+    """ResNet-50 at ImageNet scale."""
+    return resnet(50, **kwargs)
+
+
+def resnet101(**kwargs) -> Graph:
+    """ResNet-101 at ImageNet scale."""
+    return resnet(101, **kwargs)
+
+
+def resnet152(**kwargs) -> Graph:
+    """ResNet-152 at ImageNet scale."""
+    return resnet(152, **kwargs)

@@ -1,0 +1,80 @@
+"""Small networks for functional simulation and unit tests.
+
+The functional simulator executes every meta-operator with real integer
+arithmetic, so its test workloads must be small enough to enumerate windows.
+``conv_relu_example`` reproduces the exact Section 3.4 running example.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..graph import Graph, GraphBuilder
+
+
+def conv_relu_example(bits: int = 8) -> Graph:
+    """The paper's Section 3.4 walkthrough: Conv(3->32, 3x3, stride 1,
+    padding 1) on a (1, 3, 32, 32) input followed by ReLU."""
+    b = GraphBuilder("conv_relu_example", bits=bits)
+    x = b.input("input", (1, 3, 32, 32))
+    x = b.conv(x, out_channels=32, kernel=3, stride=1, padding=1, name="conv")
+    x = b.relu(x, name="relu")
+    return b.build(outputs=[x])
+
+
+def tiny_conv(in_shape: Tuple[int, int, int, int] = (1, 2, 6, 6),
+              channels: Sequence[int] = (4, 4), num_classes: int = 3,
+              bits: int = 8) -> Graph:
+    """A 2-conv + FC network small enough for exhaustive functional checks."""
+    b = GraphBuilder("tiny_conv", bits=bits)
+    x = b.input("input", in_shape)
+    for i, ch in enumerate(channels, start=1):
+        x = b.conv(x, ch, kernel=3, padding=1, name=f"conv{i}")
+        x = b.relu(x, name=f"relu{i}")
+    x = b.maxpool(x, kernel=2, stride=2, name="pool")
+    x = b.flatten(x)
+    x = b.gemm(x, num_classes, name="fc")
+    return b.build(outputs=[x])
+
+
+def mlp(in_features: int = 16, hidden: Sequence[int] = (32, 32),
+        num_classes: int = 4, bits: int = 8) -> Graph:
+    """A plain MLP (Gemm/ReLU chain)."""
+    b = GraphBuilder("mlp", bits=bits)
+    x = b.input("input", (1, in_features))
+    for i, width in enumerate(hidden, start=1):
+        x = b.gemm(x, width, name=f"fc{i}")
+        x = b.relu(x, name=f"relu{i}")
+    x = b.gemm(x, num_classes, name="head")
+    return b.build(outputs=[x])
+
+
+def lenet(bits: int = 8) -> Graph:
+    """LeNet-5-like network on 28x28 single-channel inputs."""
+    b = GraphBuilder("lenet", bits=bits)
+    x = b.input("input", (1, 1, 28, 28))
+    x = b.conv(x, 6, kernel=5, padding=2, name="conv1")
+    x = b.relu(x, name="relu1")
+    x = b.maxpool(x, kernel=2, stride=2, name="pool1")
+    x = b.conv(x, 16, kernel=5, name="conv2")
+    x = b.relu(x, name="relu2")
+    x = b.maxpool(x, kernel=2, stride=2, name="pool2")
+    x = b.flatten(x)
+    x = b.gemm(x, 120, name="fc1")
+    x = b.relu(x, name="relu3")
+    x = b.gemm(x, 84, name="fc2")
+    x = b.relu(x, name="relu4")
+    x = b.gemm(x, 10, name="fc3")
+    return b.build(outputs=[x])
+
+
+def residual_toy(bits: int = 8) -> Graph:
+    """A minimal residual block for testing DAG (non-chain) scheduling."""
+    b = GraphBuilder("residual_toy", bits=bits)
+    x = b.input("input", (1, 4, 8, 8))
+    y = b.conv(x, 4, kernel=3, padding=1, name="conv1")
+    y = b.relu(y, name="relu1")
+    y = b.conv(y, 4, kernel=3, padding=1, name="conv2")
+    y = b.add(y, x, name="residual_add")
+    y = b.relu(y, name="relu2")
+    return b.build(outputs=[y])

@@ -1,0 +1,87 @@
+"""VGG family (Simonyan & Zisserman) as graph-IR builders.
+
+``vgg16`` is the PUMA comparison workload (Fig. 20(b)); ``vgg7`` is the
+benchmark used against Jain et al.'s CIM macro (Fig. 20(c)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from ..graph import Graph, GraphBuilder
+
+#: Layer configs: ints are conv output channels, "M" is a 2x2 maxpool.
+_CONFIGS = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M",
+              512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512,
+              "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M", 512, 512,
+              512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+def _build_vgg(
+    name: str,
+    config: Sequence[Union[int, str]],
+    classifier: Sequence[int],
+    input_shape: Tuple[int, int, int, int],
+    num_classes: int,
+    bits: int,
+) -> Graph:
+    b = GraphBuilder(name, bits=bits)
+    x = b.input("input", input_shape)
+    conv_idx = 0
+    for item in config:
+        if item == "M":
+            x = b.maxpool(x, kernel=2, stride=2)
+        else:
+            conv_idx += 1
+            x = b.conv(x, out_channels=int(item), kernel=3, padding=1,
+                       name=f"conv{conv_idx}")
+            x = b.relu(x, name=f"relu{conv_idx}")
+    x = b.flatten(x)
+    for i, width in enumerate(classifier, start=1):
+        x = b.gemm(x, width, name=f"fc{i}")
+        x = b.relu(x, name=f"fc{i}_relu")
+    x = b.gemm(x, num_classes, name="classifier")
+    return b.build(outputs=[x])
+
+
+def vgg(depth: int, input_shape: Tuple[int, int, int, int] = (1, 3, 224, 224),
+        num_classes: int = 1000, bits: int = 8) -> Graph:
+    """Build ``vgg{depth}`` at ImageNet scale (depth in 11/13/16/19)."""
+    key = f"vgg{depth}"
+    if key not in _CONFIGS:
+        raise ValueError(f"unsupported VGG depth {depth}; choose 11/13/16/19")
+    return _build_vgg(key, _CONFIGS[key], [4096, 4096], input_shape,
+                      num_classes, bits)
+
+
+def vgg11(**kwargs) -> Graph:
+    """VGG-11 at ImageNet scale."""
+    return vgg(11, **kwargs)
+
+
+def vgg13(**kwargs) -> Graph:
+    """VGG-13 at ImageNet scale."""
+    return vgg(13, **kwargs)
+
+
+def vgg16(**kwargs) -> Graph:
+    """VGG-16 at ImageNet scale (PUMA comparison workload, Fig. 20(b))."""
+    return vgg(16, **kwargs)
+
+
+def vgg19(**kwargs) -> Graph:
+    """VGG-19 at ImageNet scale."""
+    return vgg(19, **kwargs)
+
+
+def vgg7(input_shape: Tuple[int, int, int, int] = (1, 3, 32, 32),
+         num_classes: int = 10, bits: int = 8) -> Graph:
+    """VGG-7: the 6-conv + 1-FC CIFAR-scale network used to evaluate Jain et
+    al.'s WLM CIM macro (Fig. 20(c))."""
+    config: List[Union[int, str]] = [128, 128, "M", 256, 256, "M", 512, 512, "M"]
+    return _build_vgg("vgg7", config, [1024], input_shape, num_classes, bits)

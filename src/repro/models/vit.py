@@ -1,0 +1,122 @@
+"""Vision Transformer (Dosovitskiy et al.) as a graph-IR builder.
+
+ViT is the Section 4.4 sensitivity-study workload (Fig. 22).  Linear
+projections (QKV, attention output, MLP) are CIM-supported Gemm nodes with
+static weights; attention score/value matmuls have dynamic operands and are
+MatMul nodes executed on tier ALUs (ReRAM cannot rewrite crossbars per token,
+Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..graph import Graph, GraphBuilder
+
+_VARIANTS = {
+    # name: (depth, hidden dim, mlp dim, heads)
+    "tiny": (12, 192, 768, 3),
+    "small": (12, 384, 1536, 6),
+    "base": (12, 768, 3072, 12),
+    "large": (24, 1024, 4096, 16),
+}
+
+
+def _attention(b: GraphBuilder, x: str, dim: int, heads: int, tokens: int,
+               prefix: str) -> str:
+    head_dim = dim // heads
+    qkv = b.gemm(x, 3 * dim, name=f"{prefix}_qkv")
+    q = b.slice(qkv, axis=2, start=0, end=dim, name=f"{prefix}_q")
+    k = b.slice(qkv, axis=2, start=dim, end=2 * dim, name=f"{prefix}_k")
+    v = b.slice(qkv, axis=2, start=2 * dim, end=3 * dim, name=f"{prefix}_v")
+    # (1, T, D) -> (heads, T, head_dim)
+    q = b.reshape(q, (heads, tokens, head_dim), name=f"{prefix}_q_heads")
+    k = b.reshape(k, (heads, tokens, head_dim), name=f"{prefix}_k_heads")
+    v = b.reshape(v, (heads, tokens, head_dim), name=f"{prefix}_v_heads")
+    kt = b.transpose(k, (0, 2, 1), name=f"{prefix}_kT")
+    scores = b.matmul(q, kt, name=f"{prefix}_scores")
+    probs = b.softmax(scores, name=f"{prefix}_softmax")
+    ctx = b.matmul(probs, v, name=f"{prefix}_ctx")
+    ctx = b.reshape(ctx, (1, tokens, dim), name=f"{prefix}_merge")
+    return b.gemm(ctx, dim, name=f"{prefix}_proj")
+
+
+def _mlp(b: GraphBuilder, x: str, dim: int, mlp_dim: int, prefix: str) -> str:
+    y = b.gemm(x, mlp_dim, name=f"{prefix}_fc1")
+    y = b.gelu(y, name=f"{prefix}_gelu")
+    return b.gemm(y, dim, name=f"{prefix}_fc2")
+
+
+def vit(variant: str = "base",
+        image_size: int = 224, patch_size: int = 16,
+        num_classes: int = 1000, bits: int = 8) -> Graph:
+    """Build a ViT variant ("tiny"/"small"/"base"/"large") at ImageNet scale.
+
+    The patch embedding is a ``patch_size``-strided convolution; a class
+    token is modeled by one extra sequence position.
+    """
+    if variant not in _VARIANTS:
+        raise ValueError(f"unknown ViT variant {variant!r}; "
+                         f"choose {sorted(_VARIANTS)}")
+    depth, dim, mlp_dim, heads = _VARIANTS[variant]
+    grid = image_size // patch_size
+    tokens = grid * grid + 1  # +1 class token
+
+    b = GraphBuilder(f"vit_{variant}", bits=bits)
+    x = b.input("input", (1, 3, image_size, image_size))
+    x = b.conv(x, dim, kernel=patch_size, stride=patch_size,
+               name="patch_embed")
+    x = b.reshape(x, (1, grid * grid, dim), name="to_tokens")
+    # Class token concat is modeled as a reshape to tokens+1 positions: the
+    # compiler only consumes shapes, so we materialize the padded sequence.
+    x = b.node("PadToken", [x], {"tokens": tokens}, name="cls_token")
+    b._track(x, (1, tokens, dim))
+    for layer in range(depth):
+        prefix = f"block{layer}"
+        ln1 = b.layernorm(x, name=f"{prefix}_ln1")
+        attn = _attention(b, ln1, dim, heads, tokens, prefix=f"{prefix}_attn")
+        x = b.add(x, attn, name=f"{prefix}_add1")
+        ln2 = b.layernorm(x, name=f"{prefix}_ln2")
+        mlp = _mlp(b, ln2, dim, mlp_dim, prefix=f"{prefix}_mlp")
+        x = b.add(x, mlp, name=f"{prefix}_add2")
+    x = b.layernorm(x, name="ln_final")
+    x = b.slice(x, axis=1, start=0, end=1, name="cls_select")
+    x = b.reshape(x, (1, dim), name="cls_flat")
+    x = b.gemm(x, num_classes, name="head")
+    return b.build(outputs=[x])
+
+
+def vit_base(**kwargs) -> Graph:
+    """ViT-Base/16 (the Fig. 22 sensitivity workload)."""
+    return vit("base", **kwargs)
+
+
+def vit_small(**kwargs) -> Graph:
+    """ViT-Small/16."""
+    return vit("small", **kwargs)
+
+
+def vit_tiny(**kwargs) -> Graph:
+    """ViT-Tiny/16."""
+    return vit("tiny", **kwargs)
+
+
+def _register_pad_token() -> None:
+    """Register the PadToken helper op (sequence pad for the class token)."""
+    from ..graph.node import Node
+    from ..graph.ops import OpSpec, register_op
+    from ..graph.tensor import TensorSpec
+
+    class PadTokenSpec(OpSpec):
+        def infer_shapes(self, node: Node, inputs):
+            (x,) = inputs
+            tokens = node.require_attr("tokens")
+            return [(x.shape[0], tokens, x.shape[2])]
+
+        def alu_ops(self, node: Node, inputs) -> int:
+            return 0
+
+    register_op("PadToken", PadTokenSpec())
+
+
+_register_pad_token()

@@ -1,0 +1,38 @@
+"""Meta-operator sets, flows, BNF codegen, and validation (Section 3.3)."""
+
+from .codegen import emit, parse_flow
+from .flow import MetaOperatorFlow
+from .ops import (
+    CustomOp,
+    DigitalOp,
+    MetaOp,
+    Mov,
+    ParallelBlock,
+    ReadCore,
+    ReadRow,
+    ReadXb,
+    WriteRow,
+    WriteXb,
+    parallel,
+    params_tuple,
+)
+from .validate import FlowValidator
+
+__all__ = [
+    "CustomOp",
+    "DigitalOp",
+    "FlowValidator",
+    "MetaOp",
+    "MetaOperatorFlow",
+    "Mov",
+    "ParallelBlock",
+    "ReadCore",
+    "ReadRow",
+    "ReadXb",
+    "WriteRow",
+    "WriteXb",
+    "emit",
+    "parallel",
+    "params_tuple",
+    "parse_flow",
+]

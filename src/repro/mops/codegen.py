@@ -1,0 +1,250 @@
+"""Textual code generation and parsing for meta-operator flows.
+
+Renders flows in the paper's BNF syntax (Fig. 10 and the Fig. 16 examples)::
+
+    parallel {
+      cim.readcore(type=conv, coreaddr=0, src=0, dst=3072)
+      cim.readcore(type=conv, coreaddr=1, src=1440, dst=19456)
+    }
+    relu(src=3072, dst=35840, len=32768)
+    cim.writerow(rowaddr=xb0_row0~15, value=A)
+    cim.readrow(rowaddr=xb0_row0, len=16)
+
+The emitted text parses back exactly (:func:`parse_flow` is the inverse of
+:func:`emit`), which the test suite verifies property-style.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+from ..errors import CodegenError
+from .flow import MetaOperatorFlow
+from .ops import (
+    CustomOp,
+    DigitalOp,
+    MetaOp,
+    Mov,
+    ParallelBlock,
+    ReadCore,
+    ReadRow,
+    ReadXb,
+    WriteRow,
+    WriteXb,
+)
+
+_INDENT = "  "
+
+
+def emit(flow: MetaOperatorFlow) -> str:
+    """Render a flow as meta-operator assembly text."""
+    lines: List[str] = []
+    for stmt in flow.statements:
+        if isinstance(stmt, ParallelBlock):
+            lines.append("parallel {")
+            for op in stmt.body:
+                lines.append(_INDENT + _emit_leaf(op))
+            lines.append("}")
+        else:
+            lines.append(_emit_leaf(stmt))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float, str)):
+        return str(value)
+    if isinstance(value, (tuple, list)):
+        return "[" + " ".join(_fmt_value(v) for v in value) + "]"
+    raise CodegenError(f"cannot render parameter value {value!r}")
+
+
+def _fmt_params(params: Tuple[Tuple[str, Any], ...]) -> str:
+    return "{" + " ".join(f"{k}:{_fmt_value(v)}" for k, v in params) + "}"
+
+
+def _emit_leaf(op: MetaOp) -> str:
+    if isinstance(op, ReadCore):
+        parts = [f"type={op.op_type}"]
+        if op.params:
+            parts.append(f"params={_fmt_params(op.params)}")
+        parts += [f"coreaddr={op.coreaddr}", f"src={op.src}", f"dst={op.dst}"]
+        return f"cim.readcore({', '.join(parts)})"
+    if isinstance(op, ReadXb):
+        return f"cim.readxb(xbaddr={op.xbaddr}, len={op.length})"
+    if isinstance(op, WriteXb):
+        return f"cim.writexb(xbaddr={op.xbaddr}, mat={op.mat})"
+    if isinstance(op, ReadRow):
+        return (f"cim.readrow(rowaddr=xb{op.xbaddr}_row{op.row}, "
+                f"len={op.length})")
+    if isinstance(op, WriteRow):
+        hi = op.row + op.length - 1
+        return (f"cim.writerow(rowaddr=xb{op.xbaddr}_row{op.row}~{hi}, "
+                f"value={op.value})")
+    if isinstance(op, Mov):
+        return (f"mov(src={op.src_space}:{op.src}, dst={op.dst_space}:{op.dst}, "
+                f"len={op.length})")
+    if isinstance(op, DigitalOp):
+        srcs = ", ".join(f"src{i + 1}={s}" for i, s in enumerate(op.srcs)) \
+            if len(op.srcs) > 1 else f"src={op.srcs[0]}"
+        extra = f", params={_fmt_params(op.params)}" if op.params else ""
+        return f"{op.fn}({srcs}, dst={op.dst}, len={op.length}{extra})"
+    if isinstance(op, CustomOp):
+        args = ", ".join(f"{k}={_fmt_value(v)}" for k, v in op.args)
+        return f"custom.{op.fn}({args})"
+    raise CodegenError(f"cannot emit statement {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Parsing (inverse of emit)
+# ---------------------------------------------------------------------------
+
+_CALL_RE = re.compile(r"^\s*([A-Za-z_][\w.]*)\((.*)\)\s*$")
+_ROWADDR_RE = re.compile(r"^xb(\d+)_row(\d+)(?:~(\d+))?$")
+
+
+def parse_flow(text: str, name: str = "parsed") -> MetaOperatorFlow:
+    """Parse meta-operator assembly text back into a flow.
+
+    Constant payloads are *not* reconstructed (the text stores symbols only);
+    re-attach them via :attr:`MetaOperatorFlow.constants` when executing a
+    parsed flow.
+    """
+    flow = MetaOperatorFlow(name)
+    in_parallel = False
+    body: List[MetaOp] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("//") or line.startswith("#"):
+            continue
+        if line == "parallel {":
+            if in_parallel:
+                raise CodegenError(f"line {lineno}: nested parallel")
+            in_parallel, body = True, []
+            continue
+        if line == "}":
+            if not in_parallel:
+                raise CodegenError(f"line {lineno}: unmatched '}}'")
+            flow.append(ParallelBlock(tuple(body)))
+            in_parallel, body = False, []
+            continue
+        op = _parse_leaf(line, lineno)
+        if in_parallel:
+            body.append(op)
+        else:
+            flow.append(op)
+    if in_parallel:
+        raise CodegenError("unterminated parallel block")
+    return flow
+
+
+def _split_args(arg_text: str) -> Dict[str, str]:
+    args: Dict[str, str] = {}
+    depth = 0
+    current = ""
+    pieces: List[str] = []
+    for ch in arg_text:
+        if ch == "," and depth == 0:
+            pieces.append(current)
+            current = ""
+            continue
+        if ch in "{[":
+            depth += 1
+        elif ch in "}]":
+            depth -= 1
+        current += ch
+    if current.strip():
+        pieces.append(current)
+    for piece in pieces:
+        if "=" not in piece:
+            raise CodegenError(f"malformed argument {piece!r}")
+        key, value = piece.split("=", 1)
+        args[key.strip()] = value.strip()
+    return args
+
+
+def _parse_params(text: str) -> Tuple[Tuple[str, Any], ...]:
+    inner = text.strip()
+    if not (inner.startswith("{") and inner.endswith("}")):
+        raise CodegenError(f"malformed params {text!r}")
+    inner = inner[1:-1].strip()
+    if not inner:
+        return ()
+    out: List[Tuple[str, Any]] = []
+    for item in inner.split(" "):
+        if ":" not in item:
+            raise CodegenError(f"malformed params entry {item!r}")
+        key, value = item.split(":", 1)
+        out.append((key, _parse_scalar(value)))
+    return tuple(out)
+
+
+def _parse_scalar(text: str) -> Any:
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _parse_leaf(line: str, lineno: int) -> MetaOp:
+    match = _CALL_RE.match(line)
+    if not match:
+        raise CodegenError(f"line {lineno}: cannot parse {line!r}")
+    fn, arg_text = match.group(1), match.group(2)
+    args = _split_args(arg_text)
+
+    if fn == "cim.readcore":
+        params = _parse_params(args["params"]) if "params" in args else ()
+        return ReadCore(args["type"], int(args["coreaddr"]),
+                        int(args["src"]), int(args["dst"]), params)
+    if fn == "cim.readxb":
+        return ReadXb(int(args["xbaddr"]), int(args["len"]))
+    if fn == "cim.writexb":
+        return WriteXb(int(args["xbaddr"]), args["mat"])
+    if fn == "cim.readrow":
+        xb, row, _ = _parse_rowaddr(args["rowaddr"], lineno)
+        return ReadRow(xb, row, int(args["len"]))
+    if fn == "cim.writerow":
+        xb, row, hi = _parse_rowaddr(args["rowaddr"], lineno)
+        if hi is None:
+            hi = row
+        return WriteRow(xb, row, hi - row + 1, args["value"])
+    if fn == "mov":
+        src_space, src = args["src"].split(":")
+        dst_space, dst = args["dst"].split(":")
+        return Mov(int(src), int(dst), int(args["len"]), src_space, dst_space)
+    if fn.startswith("custom."):
+        items = tuple((k, _parse_scalar(v)) for k, v in args.items())
+        return CustomOp(fn[len("custom."):], items)
+    # anything else is a DCOM function
+    srcs = []
+    if "src" in args:
+        srcs.append(int(args["src"]))
+    else:
+        i = 1
+        while f"src{i}" in args:
+            srcs.append(int(args[f"src{i}"]))
+            i += 1
+    if not srcs:
+        raise CodegenError(f"line {lineno}: DCOM op without sources: {line!r}")
+    params = _parse_params(args["params"]) if "params" in args else ()
+    return DigitalOp(fn, tuple(srcs), int(args["dst"]), int(args["len"]),
+                     params)
+
+
+def _parse_rowaddr(text: str, lineno: int) -> Tuple[int, int, Any]:
+    match = _ROWADDR_RE.match(text)
+    if not match:
+        raise CodegenError(f"line {lineno}: bad rowaddr {text!r}")
+    hi = int(match.group(3)) if match.group(3) is not None else None
+    return int(match.group(1)), int(match.group(2)), hi

@@ -1,0 +1,139 @@
+"""Meta-operator flow: the compiler's output program.
+
+A :class:`MetaOperatorFlow` is an ordered list of statements (meta-operators
+or ``parallel`` blocks) plus a constant pool holding the matrix payloads
+referenced symbolically by ``cim.writexb`` / ``cim.writerow``.  The
+functional simulator executes flows; the codegen module renders them in the
+paper's BNF syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CodegenError
+from .ops import (
+    DigitalOp,
+    MetaOp,
+    Mov,
+    ParallelBlock,
+    ReadCore,
+    ReadRow,
+    ReadXb,
+    WriteRow,
+    WriteXb,
+)
+
+
+class MetaOperatorFlow:
+    """An executable sequence of meta-operators.
+
+    Parameters
+    ----------
+    name:
+        Flow label (usually ``"<model>@<arch>"``).
+    statements:
+        Top-level statements in program order.
+    constants:
+        Symbol -> ndarray pool for write payloads.
+    """
+
+    def __init__(self, name: str,
+                 statements: Optional[Sequence[MetaOp]] = None,
+                 constants: Optional[Dict[str, np.ndarray]] = None) -> None:
+        self.name = name
+        self.statements: List[MetaOp] = list(statements or [])
+        self.constants: Dict[str, np.ndarray] = dict(constants or {})
+
+    # ------------------------------------------------------------------
+
+    def append(self, stmt: MetaOp) -> None:
+        """Append one statement."""
+        self.statements.append(stmt)
+
+    def extend(self, stmts: Sequence[MetaOp]) -> None:
+        """Append several statements."""
+        self.statements.extend(stmts)
+
+    def add_constant(self, symbol: str, value: np.ndarray) -> str:
+        """Register a write payload; returns the symbol for convenience."""
+        if symbol in self.constants:
+            raise CodegenError(f"constant {symbol!r} registered twice")
+        self.constants[symbol] = np.asarray(value)
+        return symbol
+
+    def constant(self, symbol: str) -> np.ndarray:
+        """Fetch a payload by symbol."""
+        try:
+            return self.constants[symbol]
+        except KeyError:
+            raise CodegenError(f"undefined constant {symbol!r}") from None
+
+    # ------------------------------------------------------------------
+    # Iteration & statistics
+    # ------------------------------------------------------------------
+
+    def leaves(self) -> Iterator[MetaOp]:
+        """All leaf meta-operators in execution order (parallel bodies are
+        yielded in listed order)."""
+        for stmt in self.statements:
+            if isinstance(stmt, ParallelBlock):
+                yield from stmt.body
+            else:
+                yield stmt
+
+    def count(self, op_class: type) -> int:
+        """Number of leaf operators of a given class."""
+        return sum(1 for op in self.leaves() if isinstance(op, op_class))
+
+    def stats(self) -> Dict[str, int]:
+        """Mnemonic -> count summary (plus totals)."""
+        counts: Dict[str, int] = {}
+        for op in self.leaves():
+            key = op.fn if isinstance(op, DigitalOp) else op.mnemonic
+            counts[key] = counts.get(key, 0) + 1
+        counts["total"] = sum(
+            v for k, v in counts.items() if k != "total"
+        )
+        counts["steps"] = len(self.statements)
+        return counts
+
+    def max_parallel_width(self) -> int:
+        """Largest number of concurrently-issued leaf operators.
+
+        This is the quantity the MVM-grained pipeline minimizes: the peak
+        count of simultaneously-activated crossbars (Section 3.3.3).
+        """
+        width = 0
+        for stmt in self.statements:
+            if isinstance(stmt, ParallelBlock):
+                width = max(width, len(stmt.body))
+            else:
+                width = max(width, 1)
+        return width
+
+    def peak_active_crossbars(self) -> int:
+        """Peak number of crossbars activated in one step."""
+        peak = 0
+        for stmt in self.statements:
+            body = stmt.body if isinstance(stmt, ParallelBlock) else (stmt,)
+            active = 0
+            for op in body:
+                if isinstance(op, ReadXb):
+                    active += op.length
+                elif isinstance(op, (ReadRow, WriteRow, WriteXb)):
+                    active += 1
+            peak = max(peak, active)
+        return peak
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self) -> Iterator[MetaOp]:
+        return iter(self.statements)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MetaOperatorFlow({self.name!r}, steps={len(self.statements)}, "
+                f"constants={len(self.constants)})")

@@ -1,0 +1,217 @@
+"""Meta-operator set (Section 3.2/3.3, Figs. 10/11/13/15).
+
+Meta-operators are the compiler's output vocabulary — the "hardware
+activation" primitives of a CIM chip:
+
+* MOP_CM   — :class:`ReadCore` (``cim.readcore``): a core executes one whole
+  DNN operator.
+* MOP_XBM  — :class:`ReadXb` / :class:`WriteXb` (``cim.readxb`` /
+  ``cim.writexb``): crossbars perform/load one MVM tile.
+* MOP_WLM  — :class:`ReadRow` / :class:`WriteRow` (``cim.readrow`` /
+  ``cim.writerow``): partial-row activation and row writes.
+* DCOM     — :class:`DigitalOp`: ALU computation (``relu``, ``add``, ...).
+* DMOV     — :class:`Mov`: buffer-to-buffer data movement.
+* :class:`ParallelBlock` — the ``parallel { ... }`` construct of Fig. 10.
+
+Users may define custom hardware operators with :class:`CustomOp` ("users
+have the flexibility to extend meta operators, aligning them with the
+hardware-supported functions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CodegenError
+
+
+class MetaOp:
+    """Base class for all meta-operators (leaf statements of a flow)."""
+
+    #: Mnemonic used by the textual syntax (overridden per class).
+    mnemonic: str = "?"
+
+    @property
+    def is_cim(self) -> bool:
+        """True for MOP_* crossbar/core activations (vs. DCOM / DMOV)."""
+        return isinstance(self, (ReadCore, ReadXb, WriteXb, ReadRow, WriteRow,
+                                 CustomOp))
+
+
+@dataclass(frozen=True)
+class ReadCore(MetaOp):
+    """``cim.readcore(type, params, coreaddr, src, dst)`` (Fig. 11): data
+    from buffer ``src`` undergoes operation ``op_type`` (e.g. convolution)
+    on core ``coreaddr``; the result lands in buffer ``dst``."""
+
+    op_type: str
+    coreaddr: int
+    src: int
+    dst: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    mnemonic = "cim.readcore"
+
+    def __post_init__(self) -> None:
+        if self.coreaddr < 0 or self.src < 0 or self.dst < 0:
+            raise CodegenError(f"negative address in {self!r}")
+
+
+@dataclass(frozen=True)
+class ReadXb(MetaOp):
+    """``cim.readxb(xbaddr, len)`` (Fig. 13): the ``length`` crossbars from
+    ``xbaddr`` multiply the staged input by their resident weights."""
+
+    xbaddr: int
+    length: int = 1
+
+    mnemonic = "cim.readxb"
+
+    def __post_init__(self) -> None:
+        if self.xbaddr < 0 or self.length < 1:
+            raise CodegenError(f"bad crossbar range in {self!r}")
+
+
+@dataclass(frozen=True)
+class WriteXb(MetaOp):
+    """``cim.writexb(xbaddr, mat)`` (Fig. 13): write matrix ``mat`` (a
+    symbolic name; payloads live in the flow's constant pool) into crossbar
+    ``xbaddr``."""
+
+    xbaddr: int
+    mat: str
+
+    mnemonic = "cim.writexb"
+
+    def __post_init__(self) -> None:
+        if self.xbaddr < 0:
+            raise CodegenError(f"negative crossbar address in {self!r}")
+        if not self.mat:
+            raise CodegenError("writexb needs a matrix symbol")
+
+
+@dataclass(frozen=True)
+class ReadRow(MetaOp):
+    """``cim.readrow(rowaddr, len)`` (Fig. 15): activate ``length`` wordlines
+    of crossbar ``xbaddr`` starting at ``row``; the partial MVM of those rows
+    accumulates on the bitlines."""
+
+    xbaddr: int
+    row: int
+    length: int = 1
+
+    mnemonic = "cim.readrow"
+
+    def __post_init__(self) -> None:
+        if self.xbaddr < 0 or self.row < 0 or self.length < 1:
+            raise CodegenError(f"bad row range in {self!r}")
+
+
+@dataclass(frozen=True)
+class WriteRow(MetaOp):
+    """``cim.writerow(rowaddr, value)`` (Fig. 15): write ``value`` (symbolic
+    constant-pool name) into ``length`` rows of ``xbaddr`` from ``row``."""
+
+    xbaddr: int
+    row: int
+    length: int
+    value: str
+
+    mnemonic = "cim.writerow"
+
+    def __post_init__(self) -> None:
+        if self.xbaddr < 0 or self.row < 0 or self.length < 1:
+            raise CodegenError(f"bad row range in {self!r}")
+        if not self.value:
+            raise CodegenError("writerow needs a value symbol")
+
+
+@dataclass(frozen=True)
+class Mov(MetaOp):
+    """``mov(src, dst, len)`` (DMOV, Fig. 10): move ``length`` elements
+    between buffer addresses.  ``src_space``/``dst_space`` name the buffer
+    tier ("L0" global, "L1" core-local)."""
+
+    src: int
+    dst: int
+    length: int
+    src_space: str = "L0"
+    dst_space: str = "L1"
+
+    mnemonic = "mov"
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0 or self.length < 1:
+            raise CodegenError(f"bad mov range in {self!r}")
+        for space in (self.src_space, self.dst_space):
+            if space not in ("L0", "L1"):
+                raise CodegenError(f"unknown buffer space {space!r}")
+
+
+@dataclass(frozen=True)
+class DigitalOp(MetaOp):
+    """DCOM (Fig. 10): ``relu(src, dst, len)``, ``add(src1, src2, dst,
+    len)``, and friends — ALU computation on buffered data."""
+
+    fn: str
+    srcs: Tuple[int, ...]
+    dst: int
+    length: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    mnemonic = "dcom"
+
+    def __post_init__(self) -> None:
+        if not self.fn:
+            raise CodegenError("digital op needs a function name")
+        if not self.srcs or self.dst < 0 or self.length < 1:
+            raise CodegenError(f"bad operands in {self!r}")
+
+
+@dataclass(frozen=True)
+class CustomOp(MetaOp):
+    """A user-defined hardware operator (extensible meta-operator set)."""
+
+    fn: str
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+    mnemonic = "custom"
+
+    def __post_init__(self) -> None:
+        if not self.fn:
+            raise CodegenError("custom op needs a name")
+
+
+@dataclass(frozen=True)
+class ParallelBlock(MetaOp):
+    """``parallel { <operators>* }`` (Fig. 10): the body statements execute
+    concurrently; the block completes when all members complete."""
+
+    body: Tuple[MetaOp, ...]
+
+    mnemonic = "parallel"
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise CodegenError("empty parallel block")
+        if any(isinstance(op, ParallelBlock) for op in self.body):
+            raise CodegenError("parallel blocks do not nest")
+
+
+Statement = MetaOp
+
+
+def parallel(ops: Sequence[MetaOp]) -> MetaOp:
+    """Wrap ``ops`` in a :class:`ParallelBlock` (pass-through for one op)."""
+    ops = tuple(ops)
+    if len(ops) == 1:
+        return ops[0]
+    return ParallelBlock(ops)
+
+
+def params_tuple(params: Optional[Dict[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize a params dict to the hashable tuple form used by mops."""
+    if not params:
+        return ()
+    return tuple(sorted(params.items()))

@@ -1,0 +1,161 @@
+"""Static validation of meta-operator flows against an architecture.
+
+The validator enforces the contract between compiler output and hardware:
+addresses in range for the target tiers, mode-appropriate meta-operators
+(a CM chip cannot execute ``cim.readxb``), crossbars written before read,
+WLM row ranges within ``parallel_row`` per activation, and no crossbar
+activated twice inside one ``parallel`` step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..arch import CIMArchitecture, ComputingMode
+from ..errors import CodegenError
+from .flow import MetaOperatorFlow
+from .ops import (
+    CustomOp,
+    DigitalOp,
+    MetaOp,
+    Mov,
+    ParallelBlock,
+    ReadCore,
+    ReadRow,
+    ReadXb,
+    WriteRow,
+    WriteXb,
+)
+
+
+class FlowValidator:
+    """Validate one flow for one architecture.
+
+    ``validate`` raises :class:`CodegenError` on the first violation and
+    returns a statistics dict on success.
+    """
+
+    def __init__(self, arch: CIMArchitecture) -> None:
+        self.arch = arch
+
+    # ------------------------------------------------------------------
+
+    def validate(self, flow: MetaOperatorFlow) -> dict:
+        written: Set[int] = set()           # crossbars holding weights
+        written_rows: Set[tuple] = set()    # (xb, row) pairs holding weights
+        reads = writes = 0
+        for step, stmt in enumerate(flow.statements):
+            body = stmt.body if isinstance(stmt, ParallelBlock) else (stmt,)
+            activated: Set[int] = set()
+            for op in body:
+                self._check_mode(op, step)
+                self._check_ranges(op, step)
+                if isinstance(op, WriteXb):
+                    self._check_payload(flow, op.mat, step)
+                    written.add(op.xbaddr)
+                    writes += 1
+                elif isinstance(op, WriteRow):
+                    self._check_payload(flow, op.value, step)
+                    for r in range(op.row, op.row + op.length):
+                        written_rows.add((op.xbaddr, r))
+                    written.add(op.xbaddr)
+                    writes += 1
+                elif isinstance(op, ReadXb):
+                    for xb in range(op.xbaddr, op.xbaddr + op.length):
+                        if xb not in written:
+                            raise CodegenError(
+                                f"step {step}: cim.readxb on crossbar {xb} "
+                                f"before any cim.writexb"
+                            )
+                        self._claim(activated, xb, step)
+                    reads += 1
+                elif isinstance(op, ReadRow):
+                    for r in range(op.row, op.row + op.length):
+                        if (op.xbaddr, r) not in written_rows \
+                                and op.xbaddr not in written:
+                            raise CodegenError(
+                                f"step {step}: cim.readrow on xb{op.xbaddr} "
+                                f"row {r} before it is written"
+                            )
+                    self._claim(activated, op.xbaddr, step)
+                    reads += 1
+                elif isinstance(op, ReadCore):
+                    reads += 1
+        return {"steps": len(flow.statements), "cim_reads": reads,
+                "cim_writes": writes}
+
+    # ------------------------------------------------------------------
+
+    def _claim(self, activated: Set[int], xb: int, step: int) -> None:
+        if xb in activated:
+            raise CodegenError(
+                f"step {step}: crossbar {xb} activated twice in one "
+                f"parallel step"
+            )
+        activated.add(xb)
+
+    def _check_mode(self, op: MetaOp, step: int) -> None:
+        mode = self.arch.mode
+        if isinstance(op, ReadCore) and mode is not ComputingMode.CM:
+            # readcore is the CM primitive; finer-grained chips expose
+            # crossbars/rows instead, and the compiler should use those.
+            raise CodegenError(
+                f"step {step}: cim.readcore is a CM meta-operator but "
+                f"architecture {self.arch.name} is {mode}"
+            )
+        if isinstance(op, (ReadXb, WriteXb)) and mode is ComputingMode.CM:
+            raise CodegenError(
+                f"step {step}: {op.mnemonic} requires XBM/WLM but "
+                f"architecture {self.arch.name} is CM"
+            )
+        if isinstance(op, (ReadRow, WriteRow)) and mode is not ComputingMode.WLM:
+            raise CodegenError(
+                f"step {step}: {op.mnemonic} requires WLM but "
+                f"architecture {self.arch.name} is {mode}"
+            )
+
+    def _check_ranges(self, op: MetaOp, step: int) -> None:
+        total_xbs = self.arch.total_crossbars
+        if isinstance(op, ReadCore):
+            if op.coreaddr >= self.arch.chip.core_number:
+                raise CodegenError(
+                    f"step {step}: coreaddr {op.coreaddr} out of range "
+                    f"(chip has {self.arch.chip.core_number} cores)"
+                )
+        elif isinstance(op, ReadXb):
+            if op.xbaddr + op.length > total_xbs:
+                raise CodegenError(
+                    f"step {step}: crossbar range "
+                    f"[{op.xbaddr}, {op.xbaddr + op.length}) exceeds "
+                    f"{total_xbs} crossbars"
+                )
+        elif isinstance(op, WriteXb):
+            if op.xbaddr >= total_xbs:
+                raise CodegenError(
+                    f"step {step}: xbaddr {op.xbaddr} out of range"
+                )
+        elif isinstance(op, (ReadRow, WriteRow)):
+            if op.xbaddr >= total_xbs:
+                raise CodegenError(
+                    f"step {step}: xbaddr {op.xbaddr} out of range"
+                )
+            if op.row + op.length > self.arch.xb.rows:
+                raise CodegenError(
+                    f"step {step}: rows [{op.row}, {op.row + op.length}) "
+                    f"exceed crossbar height {self.arch.xb.rows}"
+                )
+            if isinstance(op, ReadRow) and \
+                    op.length > self.arch.xb.effective_parallel_row:
+                raise CodegenError(
+                    f"step {step}: cim.readrow activates {op.length} rows "
+                    f"but parallel_row is "
+                    f"{self.arch.xb.effective_parallel_row}"
+                )
+
+    def _check_payload(self, flow: MetaOperatorFlow, symbol: str,
+                       step: int) -> None:
+        if symbol not in flow.constants:
+            raise CodegenError(
+                f"step {step}: write references undefined constant "
+                f"{symbol!r}"
+            )

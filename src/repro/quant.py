@@ -1,0 +1,112 @@
+"""Quantization and crossbar weight encoding.
+
+The paper quantizes all weights/activations to 8-bit (Section 4.1) and maps
+each weight across ``ceil(w_bits / cell_bits)`` adjacent cells (dimension B
+bound to XBC, Fig. 7).  Signed weights use offset-binary encoding: the cell
+array stores ``w + 2^(bits-1)`` decomposed into unsigned base-``2^cell_bits``
+digits, and the digital shift-and-add subtracts ``2^(bits-1) * sum(inputs)``
+— the standard ISAAC-style correction, performed here by the ``shiftadd``
+DCOM meta-operator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .errors import SimulationError
+from .graph import Graph
+
+
+def quantize(x: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Symmetric per-tensor quantization of floats to signed integers."""
+    if bits <= 1:
+        raise SimulationError(f"cannot quantize to {bits} bits")
+    qmax = 2 ** (bits - 1) - 1
+    scale = np.max(np.abs(x))
+    if scale == 0:
+        return np.zeros_like(x, dtype=np.int64)
+    return np.clip(np.round(x / scale * qmax), -qmax - 1, qmax).astype(np.int64)
+
+
+def random_weights(graph: Graph, seed: int = 0,
+                   low: Optional[int] = None,
+                   high: Optional[int] = None) -> Dict[str, np.ndarray]:
+    """Deterministic random integer weights for every weight tensor.
+
+    Ranges default to the full signed range of each tensor's bit-width.
+    Used by the functional-verification tests (the paper verifies its
+    functional simulator against a reference framework; we verify against
+    the numpy reference executor with identical weights).
+    """
+    rng = np.random.default_rng(seed)
+    weights: Dict[str, np.ndarray] = {}
+    for name, spec in graph.tensors.items():
+        if not spec.is_weight:
+            continue
+        lo = -(2 ** (spec.bits - 1)) if low is None else low
+        hi = 2 ** (spec.bits - 1) - 1 if high is None else high
+        weights[name] = rng.integers(lo, hi + 1, size=spec.shape,
+                                     dtype=np.int64)
+    return weights
+
+
+def random_input(graph: Graph, seed: int = 1) -> Dict[str, np.ndarray]:
+    """Deterministic random integer activations for the graph inputs."""
+    rng = np.random.default_rng(seed)
+    inputs: Dict[str, np.ndarray] = {}
+    for name in graph.inputs:
+        spec = graph.tensors[name]
+        lo = -(2 ** (spec.bits - 1))
+        hi = 2 ** (spec.bits - 1) - 1
+        inputs[name] = rng.integers(lo, hi + 1, size=spec.shape,
+                                    dtype=np.int64)
+    return inputs
+
+
+def encode_matrix(matrix: np.ndarray, bits: int,
+                  cell_bits: int) -> np.ndarray:
+    """Offset-binary cell encoding of a signed (R, C) weight matrix.
+
+    Returns an unsigned (R, C * slices) array of base-``2^cell_bits`` digits,
+    least-significant slice first: column block ``c*slices + j`` holds digit
+    ``j`` of ``matrix[:, c] + 2^(bits-1)``.
+    """
+    if matrix.ndim != 2:
+        raise SimulationError(f"weight matrix must be 2-D, got {matrix.shape}")
+    offset = 2 ** (bits - 1)
+    shifted = matrix.astype(np.int64) + offset
+    if shifted.min() < 0 or shifted.max() >= 2 ** bits:
+        raise SimulationError(
+            f"weights outside [{-offset}, {offset - 1}] for {bits}-bit encoding"
+        )
+    slices = -(-bits // cell_bits)
+    base = 2 ** cell_bits
+    r, c = shifted.shape
+    cells = np.zeros((r, c * slices), dtype=np.int64)
+    rem = shifted.copy()
+    for j in range(slices):
+        cells[:, j::slices] = rem % base
+        rem //= base
+    return cells
+
+
+def decode_columns(raw: np.ndarray, slices: int, cell_bits: int,
+                   offset_correction: int = 0) -> np.ndarray:
+    """Digital shift-and-add: combine raw per-slice column sums.
+
+    ``raw`` has length ``C * slices`` (slice-major per output column as laid
+    out by :func:`encode_matrix`); the result has length ``C``.
+    ``offset_correction`` (``2^(bits-1) * sum(inputs)``) undoes the
+    offset-binary encoding.
+    """
+    if raw.size % slices != 0:
+        raise SimulationError(
+            f"raw length {raw.size} not divisible by slices {slices}"
+        )
+    cols = raw.size // slices
+    out = np.zeros(cols, dtype=np.int64)
+    for j in range(slices):
+        out += raw[j::slices].astype(np.int64) << (cell_bits * j)
+    return out - offset_correction

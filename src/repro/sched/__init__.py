@@ -1,0 +1,58 @@
+"""Multi-level scheduling: the paper's core contribution (Section 3.3)."""
+
+from .baselines import (
+    no_optimization,
+    poly_schedule,
+    puma_schedule,
+    vendor_schedule,
+)
+from .cg import (
+    duplicate_min_bottleneck,
+    duplicate_min_total,
+    pipelined_latency,
+    schedule_cg,
+    segment_graph,
+    sequential_latency,
+)
+from .compiler import CIMMLC, CompilationResult, CompilerOptions, capability_matrix
+from .costs import CostModel, OpProfile, chip_fits, reconfiguration_cycles
+from .mvm import refine_duplication, schedule_mvm
+from .placement import (
+    annotate_placement,
+    place_greedy,
+    place_linear,
+    placement_cost,
+)
+from .schedule import OpDecision, Schedule
+from .vvm import schedule_vvm, wave_reduction_for
+
+__all__ = [
+    "CIMMLC",
+    "CompilationResult",
+    "CompilerOptions",
+    "CostModel",
+    "OpDecision",
+    "OpProfile",
+    "Schedule",
+    "annotate_placement",
+    "capability_matrix",
+    "chip_fits",
+    "place_greedy",
+    "place_linear",
+    "placement_cost",
+    "duplicate_min_bottleneck",
+    "duplicate_min_total",
+    "no_optimization",
+    "pipelined_latency",
+    "poly_schedule",
+    "puma_schedule",
+    "reconfiguration_cycles",
+    "refine_duplication",
+    "schedule_cg",
+    "schedule_mvm",
+    "schedule_vvm",
+    "segment_graph",
+    "sequential_latency",
+    "vendor_schedule",
+    "wave_reduction_for",
+]

@@ -1,0 +1,104 @@
+"""Baseline schedulers the paper compares against (Section 4.2).
+
+* :func:`no_optimization` — sequential layer-by-layer execution, one replica
+  per operator, whole-VXB activation.  This is also the behaviour of each
+  accelerator's own hand mapping as described in the paper: Jia et al. [29]
+  and Jain et al. [27] deploy networks layer-by-layer at their native
+  granularity without cross-layer pipelining or duplication.
+* :func:`vendor_schedule` — alias of :func:`no_optimization` with the
+  vendor's name attached (used in the Fig. 20 comparisons).
+* :func:`puma_schedule` — PUMA's compiler supports graph-level optimization
+  (inter-layer pipeline + duplication) but activates every crossbar of a
+  VXB simultaneously ("we usually wait until all crossbars receive their
+  inputs before computing in the traditional scheduling").  Equivalent to
+  CIM-MLC truncated at CG with no MVM staggering.
+* :func:`poly_schedule` — Poly-Schedule [22]: greedy (latency-proportional)
+  operator duplication plus a batch pipeline.  The batch pipeline raises
+  throughput across images but not single-image latency, and there is no
+  intra-image MVM/VVM-level scheduling — precisely the gap CIM-MLC exploits
+  (Fig. 20(d)).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from ..arch import CIMArchitecture
+from ..graph import Graph
+from .cg import segment_graph
+from .compiler import CIMMLC, CompilationResult, CompilerOptions
+from .costs import CostModel
+from .schedule import OpDecision, Schedule
+
+
+def no_optimization(graph: Graph, arch: CIMArchitecture) -> CompilationResult:
+    """Sequential, duplication-free execution (the Fig. 20(d) "w/o
+    optimization" bar)."""
+    options = CompilerOptions(max_level="CG", pipeline=False, duplicate=False,
+                              mvm_stagger=False, mvm_refine=False)
+    return CIMMLC(arch, options).compile(graph)
+
+
+def vendor_schedule(graph: Graph, arch: CIMArchitecture) -> CompilationResult:
+    """The accelerator's own hand mapping (layer-by-layer, Section 4.2)."""
+    return no_optimization(graph, arch)
+
+
+def puma_schedule(graph: Graph, arch: CIMArchitecture) -> CompilationResult:
+    """PUMA-style compilation: graph-level pipeline + duplication, whole-VXB
+    activation (no staggering), no crossbar-granularity refinement."""
+    options = CompilerOptions(max_level="CG", pipeline=True, duplicate=True,
+                              mvm_stagger=False, mvm_refine=False)
+    return CIMMLC(arch, options).compile(graph)
+
+
+def poly_schedule(graph: Graph, arch: CIMArchitecture) -> CompilationResult:
+    """Poly-Schedule-style compilation [22].
+
+    Duplication is allocated greedily, proportional to each operator's share
+    of total latency (rounded down — the rounding slack CIM-MLC's DP
+    recovers), and the only pipeline is across batch inputs, which leaves
+    single-image latency sequential.
+    """
+    cost_model = CostModel(arch)
+    profiles = cost_model.profiles(graph)
+    segments = segment_graph(graph, profiles, arch, pipelined=False,
+                             duplicate=False)
+    decisions: Dict[str, OpDecision] = {}
+    budget = arch.chip.core_number
+    for seg_idx, seg in enumerate(segments):
+        cim = [profiles[n] for n in seg if profiles[n].is_cim]
+        total_latency = sum(p.latency(1) for p in cim) or 1.0
+        dups: Dict[str, int] = {}
+        used = 0
+        for p in cim:
+            share = p.latency(1) / total_latency
+            target_cores = math.floor(budget * share)
+            dup = max(1, target_cores // p.cores_per_replica)
+            dup = min(dup, p.max_useful_dup)
+            dups[p.name] = dup
+            used += dup * p.cores_per_replica
+        # Greedy overflow repair: shrink the biggest consumers first.
+        while used > budget:
+            victim = max(
+                (p for p in cim if dups[p.name] > 1),
+                key=lambda p: dups[p.name] * p.cores_per_replica,
+                default=None,
+            )
+            if victim is None:
+                break
+            dups[victim.name] -= 1
+            used -= victim.cores_per_replica
+        for name in seg:
+            decisions[name] = OpDecision(
+                profiles[name], segment=seg_idx,
+                dup_cg=dups.get(name, 1),
+            )
+    schedule = Schedule(graph, arch, decisions, segments,
+                        pipelined=False, levels=("poly-greedy",))
+    schedule.validate_resources()
+    from ..sim.performance import PerformanceSimulator
+
+    report = PerformanceSimulator(arch).run(schedule)
+    return CompilationResult(schedule=schedule, report=report)

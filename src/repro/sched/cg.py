@@ -1,0 +1,403 @@
+"""CG-grained optimization (Section 3.3.2, Fig. 9).
+
+Three cooperating pieces:
+
+* **Operator duplication** under the ``core_number`` budget.  Two objective
+  variants are provided: :func:`duplicate_min_total` minimizes the *sum* of
+  operator latencies (the right objective without a pipeline) via an
+  exchange-optimal greedy on the convex latency curve, and
+  :func:`duplicate_min_bottleneck` minimizes the *maximum* stage latency
+  (the pipelined objective) via binary search over the bottleneck — both
+  reproduce the paper's dynamic-programming search results exactly on small
+  instances (verified against brute force in the test suite).
+* **Pipeline balancing**: duplication numbers are trimmed so NoC/L0
+  bandwidth and ALU throughput of adjacent digital ops are not oversubscribed
+  (the paper's "dynamic balancing pipelined duplication").
+* **Resource-adaptive compute-graph segmentation** when the model exceeds
+  chip capacity: maximal subgraphs are grown in topological order and then
+  refined by popping trailing nodes while the pipelined latency of the
+  remaining subgraph keeps improving (Fig. 9(b)).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch import CIMArchitecture
+from ..errors import CapacityError, ScheduleError
+from ..graph import Graph
+from .costs import CostModel, OpProfile
+from .schedule import OpDecision, Schedule
+
+
+# ---------------------------------------------------------------------------
+# Duplication search
+# ---------------------------------------------------------------------------
+
+
+#: Budgets up to this size use the exact dynamic program (the paper's
+#: "dynamic programming" search); larger budgets use the jump greedy, which
+#: is optimal on the convex hull of useful duplication points.
+_EXACT_DP_BUDGET = 64
+
+
+def _useful_dups(p: OpProfile, budget: int) -> List[int]:
+    """Duplication values where the latency actually changes.
+
+    ``ceil(num_mvms / d)`` takes O(sqrt(num_mvms)) distinct values; only the
+    smallest ``d`` achieving each value matters.
+    """
+    cap = min(p.max_useful_dup, budget // p.cores_per_replica)
+    options = {1}
+    windows = p.num_mvms
+    k = math.ceil(windows / 1)
+    while k > 1:
+        k -= 1
+        d = math.ceil(windows / k)
+        if d > cap:
+            continue
+        options.add(d)
+    options.add(max(1, cap))
+    return sorted(options)
+
+
+def _min_total_exact(cim: List[OpProfile], budget: int) -> Dict[str, int]:
+    """Exact knapsack-style DP over (operator, cores-spent)."""
+    inf = float("inf")
+    dp = [0.0] + [inf] * budget
+    choice: List[Dict[str, int]] = [dict() for _ in range(budget + 1)]
+    for p in cim:
+        ndp = [inf] * (budget + 1)
+        nchoice: List[Dict[str, int]] = [dict() for _ in range(budget + 1)]
+        for d in _useful_dups(p, budget):
+            cost = d * p.cores_per_replica
+            lat = p.latency(d)
+            for b in range(cost, budget + 1):
+                if dp[b - cost] + lat < ndp[b]:
+                    ndp[b] = dp[b - cost] + lat
+                    nchoice[b] = dict(choice[b - cost], **{p.name: d})
+        dp, choice = ndp, nchoice
+    best_b = min(range(budget + 1), key=lambda b: dp[b])
+    if dp[best_b] == inf:
+        raise CapacityError(f"operators do not fit in {budget} cores")
+    return {p.name: choice[best_b].get(p.name, 1) for p in cim}
+
+
+def duplicate_min_total(profiles: Sequence[OpProfile], budget: int) -> Dict[str, int]:
+    """Duplication counts minimizing total (un-pipelined) latency.
+
+    Small instances solve exactly by dynamic programming; large instances
+    use a marginal-gain greedy over *useful* duplication jumps (the latency
+    curve restricted to those points is convex in spent cores, where greedy
+    is optimal up to the final partial jump).
+    """
+    dups = {p.name: 1 for p in profiles}
+    cim = [p for p in profiles if p.is_cim]
+    need = sum(p.cores_per_replica for p in cim)
+    if need > budget:
+        raise CapacityError(
+            f"operators need {need} cores, chip has {budget}"
+        )
+    if not cim:
+        return dups
+    if budget <= _EXACT_DP_BUDGET:
+        dups.update(_min_total_exact(cim, budget))
+        return dups
+
+    remaining = budget - need
+    by_name = {p.name: p for p in cim}
+
+    def next_jump(p: OpProfile, d: int) -> Optional[int]:
+        """Smallest d' > d with strictly lower latency, or None."""
+        if d >= p.max_useful_dup:
+            return None
+        windows = math.ceil(p.num_mvms / d)
+        if windows <= 1:
+            return None
+        d2 = min(max(math.ceil(p.num_mvms / (windows - 1)), d + 1),
+                 p.max_useful_dup)
+        if p.latency(d2) >= p.latency(d) - 1e-12:
+            return None  # movement/ALU bound: no jump will ever gain
+        return d2
+
+    heap: List[Tuple[float, str, int, int, int]] = []
+
+    def push(p: OpProfile) -> None:
+        d = dups[p.name]
+        d2 = next_jump(p, d)
+        if d2 is None:
+            return
+        cost = (d2 - d) * p.cores_per_replica
+        gain = (p.latency(d) - p.latency(d2)) / cost
+        heapq.heappush(heap, (-gain, p.name, d, d2, cost))
+
+    for p in cim:
+        push(p)
+    while heap:
+        _, name, d_from, d_to, cost = heapq.heappop(heap)
+        p = by_name[name]
+        if dups[name] != d_from:
+            continue  # stale entry
+        if cost > remaining:
+            # Take the largest affordable partial jump, if it helps, and
+            # keep the operator in play (smaller later jumps may still fit).
+            d_mid = d_from + remaining // p.cores_per_replica
+            if d_mid > d_from and p.latency(d_mid) < p.latency(d_from):
+                remaining -= (d_mid - d_from) * p.cores_per_replica
+                dups[name] = d_mid
+                push(p)
+            continue
+        dups[name] = d_to
+        remaining -= cost
+        push(p)
+    return dups
+
+
+def duplicate_min_bottleneck(profiles: Sequence[OpProfile],
+                             budget: int) -> Dict[str, int]:
+    """Duplication counts minimizing the pipelined bottleneck stage latency.
+
+    Binary search over the target bottleneck ``T``: the cheapest feasible
+    duplication for a target is ``d_i = ceil(compute_i / T)``, so feasibility
+    is monotone in ``T``.
+    """
+    dups = {p.name: 1 for p in profiles}
+    cim = [p for p in profiles if p.is_cim and p.num_mvms > 0]
+    if not cim:
+        return dups
+    base_cores = sum(p.cores_per_replica for p in cim)
+    if base_cores > budget:
+        raise CapacityError(
+            f"operators need {base_cores} cores, chip has {budget}"
+        )
+
+    def dup_for_target(p: OpProfile, target: float) -> int:
+        # Smallest d with latency(d) <= target.  Movement and digital
+        # post-processing set a duplication-independent floor.
+        mvm = p.mvm_cycles_base
+        floor = max(p.mov_cycles, mvm) + p.alu_cycles
+        if target < floor:  # unreachable even at maximum duplication
+            return p.max_useful_dup + budget + 1  # infeasible marker
+        compute_budget = target - p.alu_cycles
+        windows_per_replica = int(compute_budget // mvm)
+        return min(p.max_useful_dup,
+                   math.ceil(p.num_mvms / max(1, windows_per_replica)))
+
+    def cost(target: float) -> int:
+        return sum(p.cores_per_replica * dup_for_target(p, target) for p in cim)
+
+    lo = max(p.mvm_cycles_base for p in cim)              # best possible
+    hi = max(p.latency(1) for p in cim)                   # no duplication
+    if cost(hi) > budget:
+        raise CapacityError("even duplication 1 exceeds the core budget")
+    # Binary search on achievable bottleneck (continuous, then round).
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if cost(mid) <= budget:
+            hi = mid
+        else:
+            lo = mid
+    for p in cim:
+        dups[p.name] = max(1, dup_for_target(p, hi))
+    # Spend leftover cores on the current bottleneck greedily.
+    used = sum(p.cores_per_replica * dups[p.name] for p in cim)
+    remaining = budget - used
+    while remaining > 0:
+        bottleneck = max(cim, key=lambda p: p.latency(dups[p.name]))
+        if (dups[bottleneck.name] >= bottleneck.max_useful_dup
+                or bottleneck.cores_per_replica > remaining
+                or bottleneck.latency(dups[bottleneck.name] + 1)
+                >= bottleneck.latency(dups[bottleneck.name])):
+            break
+        dups[bottleneck.name] += 1
+        remaining -= bottleneck.cores_per_replica
+    return dups
+
+
+def balance_for_bandwidth(graph: Graph, profiles: Dict[str, OpProfile],
+                          dups: Dict[str, int],
+                          arch: CIMArchitecture) -> Dict[str, int]:
+    """Trim duplication so data transfer and digital throughput keep up.
+
+    A duplicated operator produces outputs ``dup`` times faster; if the
+    chip-tier buffer bandwidth or the ALU of an adjacent CIM-unsupported
+    node (e.g. ReLU) cannot absorb that rate, extra replicas only stall the
+    pipeline (Section 3.3.2: "update the duplication number to keep the data
+    transfer amount within the NOC and buffer capability ... under the
+    constraint of ALU").
+    """
+    trimmed = dict(dups)
+    chip = arch.chip
+    for node in graph.topological():
+        if node.name not in trimmed:
+            continue
+        p = profiles[node.name]
+        if not p.is_cim or trimmed[node.name] <= 1:
+            continue
+        limits: List[float] = []
+        # Buffer/NoC limit: output bits per cycle at full duplication must
+        # fit in L0 bandwidth.
+        if chip.l0_bw_bits is not None and p.num_mvms > 0:
+            compute = p.num_mvms * p.mvm_cycles_base
+            # bits produced per cycle at dup d: out_bits / (compute / d)
+            max_dup_bw = chip.l0_bw_bits * compute / max(1.0, p.out_bits)
+            limits.append(max_dup_bw)
+        # ALU limit from CIM-unsupported successors (aggregate rate: the
+        # chip ALU in CM, one ALU per core otherwise — see CostModel).
+        if arch.mode.visible_tiers == 1:
+            rate = chip.alu_ops
+        else:
+            per_core = arch.core.alu_ops or chip.alu_ops
+            rate = None if per_core is None else \
+                per_core * chip.core_number
+        if rate is not None:
+            for succ in graph.successors(node):
+                sp = profiles[succ.name]
+                if sp.is_cim or sp.alu_cycles <= 0:
+                    continue
+                compute = p.num_mvms * p.mvm_cycles_base
+                max_dup_alu = compute / max(1e-9, sp.alu_cycles)
+                limits.append(max_dup_alu)
+        if limits:
+            cap = max(1, math.floor(min(limits)))
+            trimmed[node.name] = min(trimmed[node.name], cap)
+    return trimmed
+
+
+# ---------------------------------------------------------------------------
+# Segmentation
+# ---------------------------------------------------------------------------
+
+
+def pipelined_latency(decisions: Sequence[OpDecision]) -> float:
+    """Latency of one pipelined segment: bottleneck plus fills."""
+    if not decisions:
+        return 0.0
+    lats = [d.latency() for d in decisions]
+    bottleneck = max(lats)
+    fills = sum(d.fill() for d in decisions) - \
+        decisions[lats.index(bottleneck)].fill()
+    return bottleneck + max(0.0, fills)
+
+
+def sequential_latency(decisions: Sequence[OpDecision]) -> float:
+    """Latency of one segment without the inter-operator pipeline."""
+    return sum(d.latency() for d in decisions)
+
+
+def segment_graph(graph: Graph, profiles: Dict[str, OpProfile],
+                  arch: CIMArchitecture,
+                  pipelined: bool = True,
+                  duplicate: bool = True) -> List[List[str]]:
+    """Resource-adaptive compute-graph segmentation (Fig. 9(b)).
+
+    Greedily grows maximal topological prefixes that fit chip capacity, then
+    refines each candidate by popping trailing nodes while the (pipelined)
+    latency of the remaining subgraph keeps decreasing.
+    """
+    order = [n.name for n in graph.topological()]
+    budget = arch.chip.core_number
+    segments: List[List[str]] = []
+    start = 0
+    while start < len(order):
+        # Grow the maximal prefix that fits at duplication 1.
+        used = 0
+        end = start
+        while end < len(order):
+            p = profiles[order[end]]
+            need = p.cores_per_replica if p.is_cim else 0
+            if p.is_cim and need > budget:
+                raise CapacityError(
+                    f"operator {p.name!r} alone needs {need} cores; "
+                    f"chip has {budget}"
+                )
+            if used + need > budget:
+                break
+            used += need
+            end += 1
+        if end == start:  # first node of the segment must always be taken
+            end = start + 1
+        segment = order[start:end]
+        best_segment = list(segment)
+        if end < len(order) and duplicate:
+            # Capacity-truncated prefix: pop trailing nodes while the
+            # latency *per unit of work* of the remaining subgraph keeps
+            # improving (popping frees cores for duplicating the rest; the
+            # popped work moves to the next segment).
+            best_density = _segment_density(
+                segment, profiles, arch, pipelined)
+            while len(segment) > 1:
+                candidate = segment[:-1]
+                if not any(profiles[n].is_cim for n in candidate):
+                    break  # never shrink to a CIM-free segment
+                density = _segment_density(
+                    candidate, profiles, arch, pipelined)
+                if density < best_density:
+                    best_density = density
+                    best_segment = list(candidate)
+                    segment = candidate
+                else:
+                    break
+        segments.append(best_segment)
+        start += len(best_segment)
+    return segments
+
+
+def _segment_density(names: Sequence[str], profiles: Dict[str, OpProfile],
+                     arch: CIMArchitecture, pipelined: bool) -> float:
+    """Optimized segment latency per unit of un-duplicated work."""
+    latency = _segment_latency(names, profiles, arch, pipelined,
+                               duplicate=True)
+    work = sum(profiles[n].latency(1) for n in names)
+    return latency / max(1.0, work)
+
+
+def _segment_latency(names: Sequence[str], profiles: Dict[str, OpProfile],
+                     arch: CIMArchitecture, pipelined: bool,
+                     duplicate: bool) -> float:
+    seg_profiles = [profiles[n] for n in names]
+    if duplicate:
+        search = duplicate_min_bottleneck if pipelined else duplicate_min_total
+        dups = search(seg_profiles, arch.chip.core_number)
+    else:
+        dups = {p.name: 1 for p in seg_profiles}
+    decisions = [OpDecision(profiles[n], dup_cg=dups[n]) for n in names]
+    if pipelined:
+        return pipelined_latency(decisions)
+    return sequential_latency(decisions)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def schedule_cg(graph: Graph, arch: CIMArchitecture,
+                pipelined: bool = True, duplicate: bool = True,
+                cost_model: Optional[CostModel] = None) -> Schedule:
+    """Run CG-grained optimization and return a CG-level :class:`Schedule`."""
+    cm = cost_model or CostModel(arch)
+    profiles = cm.profiles(graph)
+    segments = segment_graph(graph, profiles, arch, pipelined, duplicate)
+    decisions: Dict[str, OpDecision] = {}
+    for seg_idx, seg in enumerate(segments):
+        seg_profiles = [profiles[n] for n in seg]
+        if duplicate:
+            search = duplicate_min_bottleneck if pipelined \
+                else duplicate_min_total
+            dups = search(seg_profiles, arch.chip.core_number)
+            dups = balance_for_bandwidth(graph, profiles, dups, arch)
+        else:
+            dups = {n: 1 for n in seg}
+        for name in seg:
+            decisions[name] = OpDecision(
+                profiles[name], segment=seg_idx, dup_cg=dups[name])
+            node = graph.node(name)
+            node.annotations["duplication"] = dups[name]
+            node.annotations["segment"] = seg_idx
+    schedule = Schedule(graph, arch, decisions, segments,
+                        pipelined=pipelined, levels=("CG",))
+    schedule.validate_resources()
+    return schedule

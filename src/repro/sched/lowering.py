@@ -1,0 +1,510 @@
+"""Lowering: schedules -> executable meta-operator flows (Fig. 16).
+
+This is the compiler backend.  Given a :class:`Schedule` and concrete
+integer weights it emits the meta-operator program for the architecture's
+computing mode:
+
+* **CM**  — one ``cim.readcore`` per operator replica (replicas partition
+  the output feature map, Section 3.4 "CG-Grained"), DCOM ops for digital
+  nodes.
+* **XBM** — ``cim.writexb`` initialization of every crossbar tile, then per
+  sliding window: ``mov`` staging, ``parallel { cim.readxb ... }``,
+  ``shiftadd`` slice combination, vertical-tile accumulation, result
+  write-back.
+* **WLM** — like XBM but rows load with ``cim.writerow`` and activate with
+  ``cim.readrow`` in ``parallel_row``-sized waves; when the schedule's VVM
+  remap applies, row chunks spread across spare crossbars and fire
+  concurrently (Fig. 14(c)).
+
+The output :class:`FlowProgram` executes on
+:class:`repro.sim.functional.CIMMachine` and must reproduce the reference
+executor bit-exactly — that property is the functional-verification test.
+
+Flows enumerate every sliding window, so lowering targets the small
+networks used for functional verification (the performance simulator
+handles ImageNet-scale models analytically).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch import CIMArchitecture, ComputingMode
+from ..errors import AllocationError, CodegenError
+from ..graph import Graph, Node
+from ..graph.ops import _pair
+from ..mops import (
+    DigitalOp,
+    MetaOperatorFlow,
+    Mov,
+    ReadCore,
+    ReadRow,
+    ReadXb,
+    WriteRow,
+    WriteXb,
+    parallel,
+)
+from ..quant import encode_matrix
+from ..sim.functional import CoreImage, FlowProgram
+from ..sim.memory import BumpAllocator, MachineMemory
+from .schedule import Schedule
+
+#: Digital graph ops lowered to a single DCOM function.
+_SIMPLE_DCOM = {"Relu": "relu", "Add": "add"}
+
+
+class Lowering:
+    """Lowers one schedule to a :class:`FlowProgram`."""
+
+    def __init__(self, schedule: Schedule,
+                 weights: Dict[str, np.ndarray],
+                 l0_size: int = 1 << 24) -> None:
+        self.schedule = schedule
+        self.graph: Graph = schedule.graph
+        self.arch: CIMArchitecture = schedule.arch
+        self.weights = weights
+        self.mem = MachineMemory(self.arch, l0_size=1)  # layout math only
+        self.alloc = BumpAllocator(l0_size)
+        self.flow = MetaOperatorFlow(
+            f"{self.graph.name}@{self.arch.name}")
+        self.offsets: Dict[str, int] = {}
+        self.core_images: Dict[int, CoreImage] = {}
+        self._next_xb = 0
+        self._next_core = 0
+        self._const_id = 0
+
+    # ------------------------------------------------------------------
+
+    def lower(self) -> FlowProgram:
+        """Produce the complete program."""
+        if len(self.schedule.segments) != 1:
+            raise CodegenError(
+                "lowering supports single-segment schedules (small "
+                "functional-verification networks)"
+            )
+        for name in self.graph.inputs:
+            self._place(name)
+        mode = self.arch.mode
+        if mode is not ComputingMode.CM:
+            # Reserve the minimal (dup=1, full-height tiles) crossbar need
+            # of every CIM op so early ops cannot starve later ones of
+            # storage when granting duplication or remap chunking.
+            self._reserved = 0
+            self._min_tiles = {}
+            for node in self.graph.topological():
+                if self.graph.is_cim_supported(node):
+                    matrix = self.graph.weight_matrix(node)
+                    slices = self.arch.xb.bit_slices(matrix[2])
+                    tiles = (len(_tile_bounds(matrix[0], self.arch.xb.rows))
+                             * len(_tile_bounds(matrix[1] * slices,
+                                                self.arch.xb.cols)))
+                    self._min_tiles[node.name] = tiles
+                    self._reserved += tiles
+            if self._reserved > self.arch.total_crossbars:
+                raise AllocationError(
+                    f"graph needs {self._reserved} crossbars at minimum; "
+                    f"chip has {self.arch.total_crossbars}"
+                )
+        for node in self.graph.topological():
+            if self.graph.is_cim_supported(node):
+                if mode is ComputingMode.CM:
+                    self._lower_cim_cm(node)
+                else:
+                    self._lower_cim_xb(node, wlm=(mode is ComputingMode.WLM))
+            else:
+                self._lower_digital(node)
+        return FlowProgram(
+            flow=self.flow,
+            tensor_offsets=dict(self.offsets),
+            core_images=dict(self.core_images),
+            meta={"mode": self.arch.mode.value},
+        )
+
+    # ------------------------------------------------------------------
+    # Placement helpers
+    # ------------------------------------------------------------------
+
+    def _place(self, tensor: str) -> int:
+        if tensor not in self.offsets:
+            spec = self.graph.tensors[tensor]
+            self.offsets[tensor] = self.alloc.alloc(spec.numel, tensor)
+        return self.offsets[tensor]
+
+    def _scratch(self, length: int, label: str) -> int:
+        return self.alloc.alloc(length, label)
+
+    def _const(self, value: np.ndarray, label: str) -> str:
+        symbol = f"{label}_{self._const_id}"
+        self._const_id += 1
+        self.flow.add_constant(symbol, np.asarray(value, dtype=np.float64))
+        return symbol
+
+    def _take_crossbars(self, count: int) -> List[int]:
+        if self._next_xb + count > self.arch.total_crossbars:
+            raise AllocationError(
+                f"out of crossbars: need {count}, "
+                f"{self.arch.total_crossbars - self._next_xb} left"
+            )
+        ids = list(range(self._next_xb, self._next_xb + count))
+        self._next_xb += count
+        return ids
+
+    def _take_core(self) -> int:
+        if self._next_core >= self.arch.chip.core_number:
+            raise AllocationError("out of cores")
+        core = self._next_core
+        self._next_core += 1
+        return core
+
+    # ------------------------------------------------------------------
+    # CM lowering
+    # ------------------------------------------------------------------
+
+    def _lower_cim_cm(self, node: Node) -> None:
+        decision = self.schedule.decision(node.name)
+        dup = decision.dup_cg
+        w = np.asarray(self.weights[self._weight_name(node)])
+        src = self.offsets[node.inputs[0]]
+        dst = self._place(node.outputs[0])
+        out_shape = self.graph.output_spec(node).shape
+        in_shape = self.graph.tensors[node.inputs[0]].shape
+        if node.op_type == "Conv":
+            rows_total = out_shape[2]
+            row_stride = out_shape[3]  # elements per (channel-interleaved)
+        else:
+            rows_total = int(np.prod(out_shape[:-1]))
+            row_stride = out_shape[-1]
+        dup = min(dup, rows_total)
+        bounds = _split_range(rows_total, dup)
+        ops = []
+        for (a, b) in bounds:
+            core = self._take_core()
+            self.core_images[core] = CoreImage(
+                op_type=node.op_type, weights=w, attrs=dict(node.attrs),
+                in_shape=tuple(in_shape), out_shape=tuple(out_shape),
+                out_rows=(a, b),
+            )
+            # Every replica targets the canonical tensor base; the core's
+            # memory controller scatters its row slice (machine semantics).
+            ops.append(ReadCore(
+                op_type="conv" if node.op_type == "Conv" else "gemm",
+                coreaddr=core, src=src, dst=dst,
+                params=(("rows", (a, b)),),
+            ))
+        self.flow.append(parallel(ops))
+
+    # ------------------------------------------------------------------
+    # XBM / WLM lowering
+    # ------------------------------------------------------------------
+
+    def _lower_cim_xb(self, node: Node, wlm: bool) -> None:
+        decision = self.schedule.decision(node.name)
+        arch = self.arch
+        xb_rows, xb_cols = arch.xb.xb_size
+        matrix = self.graph.weight_matrix(node)
+        r_total, c_total, w_bits = matrix
+        w = np.asarray(self.weights[self._weight_name(node)])
+        flat = (w.reshape(w.shape[0], -1).T if node.op_type == "Conv"
+                else w.T)   # (R, C)
+        cells = encode_matrix(flat, w_bits, arch.xb.cell_bits)
+        slices = arch.xb.bit_slices(w_bits)
+        offset_value = 2 ** (w_bits - 1)
+        phys_cols = c_total * slices
+
+        dup = min(decision.dup, max(1, self.graph.num_mvms(node)))
+        # Row chunking: the WLM remap splits rows at parallel_row
+        # granularity (Fig. 14(c)) when enough crossbars remain; otherwise
+        # fall back to full-height tiles with serialized waves.
+        pr = arch.xb.effective_parallel_row
+        # Budget for this op = free crossbars minus the minimum reserved for
+        # the ops still to come.
+        self._reserved -= self._min_tiles[node.name]
+        budget = (self.arch.total_crossbars - self._next_xb
+                  - self._reserved)
+        chunk_height = xb_rows
+        if wlm and decision.wave_reduction > 1 and pr < xb_rows:
+            remap_tiles = (len(_tile_bounds(r_total, pr))
+                           * len(_tile_bounds(phys_cols, xb_cols)))
+            if dup * remap_tiles <= budget:
+                chunk_height = pr
+        row_bounds = _tile_bounds(r_total, chunk_height)
+        col_bounds = _tile_bounds(phys_cols, xb_cols)
+        needed = dup * len(row_bounds) * len(col_bounds)
+        while dup > 1 and needed > budget:
+            dup -= 1
+            needed = dup * len(row_bounds) * len(col_bounds)
+        if needed > budget + self._reserved + 0:
+            raise AllocationError(
+                f"{node.name}: needs {needed} crossbars, budget {budget}"
+            )
+
+        replicas = []
+        for _ in range(dup):
+            tile_map: Dict[Tuple[int, int], int] = {}
+            xbs = self._take_crossbars(len(row_bounds) * len(col_bounds))
+            it = iter(xbs)
+            for ri in range(len(row_bounds)):
+                for ci in range(len(col_bounds)):
+                    tile_map[(ri, ci)] = next(it)
+            replicas.append(tile_map)
+
+        # --- Init: write weights ---------------------------------------
+        for tile_map in replicas:
+            for (ri, ci), xb in tile_map.items():
+                r0, r1 = row_bounds[ri]
+                c0, c1 = col_bounds[ci]
+                payload = cells[r0:r1, c0:c1]
+                symbol = self._const(payload, f"{node.name}_w")
+                if wlm:
+                    self.flow.append(
+                        WriteRow(xb, 0, r1 - r0, symbol))
+                else:
+                    self.flow.append(WriteXb(xb, symbol))
+
+        # --- Compute: one block per sliding window ---------------------
+        src_matrix, n_windows = self._window_matrix(node)
+        dst = self._place(node.outputs[0])
+        out_shape = self.graph.output_spec(node).shape
+        out_matrix = self._scratch(n_windows * c_total,
+                                   f"{node.name}_outmat")
+        for widx in range(n_windows):
+            tile_map = replicas[widx % dup]
+            self._emit_window(
+                node, tile_map, row_bounds, col_bounds, widx,
+                src_matrix, out_matrix, r_total, c_total, slices,
+                offset_value, wlm, pr)
+
+        self._finish_output(node, out_matrix, dst, out_shape, c_total)
+
+    def _emit_window(self, node, tile_map, row_bounds, col_bounds, widx,
+                     src_matrix, out_matrix, r_total, c_total, slices,
+                     offset_value, wlm, pr) -> None:
+        arch = self.arch
+        xb_cols = arch.xb.cols
+        # Stage input chunks into every tile-row's crossbars.
+        movs = []
+        for ri, (r0, r1) in enumerate(row_bounds):
+            for ci in range(len(col_bounds)):
+                xb = tile_map[(ri, ci)]
+                movs.append(Mov(
+                    src=src_matrix + widx * r_total + r0,
+                    dst=self.mem.stage_addr(xb),
+                    length=r1 - r0,
+                    src_space="L0", dst_space="L1",
+                ))
+        self.flow.extend(movs)
+        # Clear accumulators.
+        zeros = [DigitalOp("zero", (self.mem.acc_addr(xb),),
+                           self.mem.acc_addr(xb), xb_cols,
+                           params=(("space", "L1"),))
+                 for xb in tile_map.values()]
+        self.flow.append(parallel(zeros))
+        # Activate: whole crossbars (XBM) or row waves (WLM).
+        reads = []
+        for (ri, ci), xb in tile_map.items():
+            r0, r1 = row_bounds[ri]
+            height = r1 - r0
+            if wlm:
+                for wave0 in range(0, height, pr):
+                    reads.append(ReadRow(
+                        xb, wave0, min(pr, height - wave0)))
+            else:
+                reads.append(ReadXb(xb, 1))
+        # All first-wave activations are concurrent; later waves of the
+        # same crossbar serialize, which the emitter models by chunking
+        # into parallel blocks of distinct crossbars.
+        for block in _stagger(reads):
+            self.flow.append(parallel(block))
+        # Digital: shift-add per tile (slice combine + offset correction),
+        # then accumulate vertical tiles, then write the window's outputs.
+        for ci, (c0, c1) in enumerate(col_bounds):
+            cols_here = (c1 - c0) // slices
+            if cols_here == 0:
+                raise CodegenError(
+                    f"{node.name}: crossbar narrower than one weight "
+                    f"({slices} slices)"
+                )
+            seg_scratch = []
+            for ri, (r0, r1) in enumerate(row_bounds):
+                xb = tile_map[(ri, ci)]
+                self.flow.append(DigitalOp(
+                    "shiftadd", (self.mem.acc_addr(xb),),
+                    self.mem.scratch_addr(xb), cols_here,
+                    params=(
+                        ("space", "L1"), ("slices", slices),
+                        ("cell_bits", arch.xb.cell_bits),
+                        ("offset", offset_value),
+                        ("stage", self.mem.stage_addr(xb)),
+                        ("stage_len", r1 - r0),
+                    ),
+                ))
+                seg_scratch.append(self.mem.scratch_addr(xb))
+            acc = seg_scratch[0]
+            for other in seg_scratch[1:]:
+                self.flow.append(DigitalOp(
+                    "add", (acc, other), acc, cols_here,
+                    params=(("space", "L1"),),
+                ))
+            # Write this column segment of the window's output row.
+            out_col0 = c0 // slices
+            self.flow.append(Mov(
+                src=acc, dst=out_matrix + widx * c_total + out_col0,
+                length=cols_here, src_space="L1", dst_space="L0",
+            ))
+
+    # ------------------------------------------------------------------
+
+    def _window_matrix(self, node: Node) -> Tuple[int, int]:
+        """Materialize the (windows, R) input matrix in L0; returns
+        (offset, n_windows)."""
+        in_name = node.inputs[0]
+        in_offset = self.offsets[in_name]
+        in_spec = self.graph.tensors[in_name]
+        if node.op_type == "Conv":
+            matrix = self.graph.weight_matrix(node)
+            n_windows = self.graph.num_mvms(node)
+            dst = self._scratch(n_windows * matrix[0], f"{node.name}_im2col")
+            kh, kw = np.asarray(self.weights[self._weight_name(node)]).shape[2:]
+            self.flow.append(DigitalOp(
+                "im2col", (in_offset,), dst, n_windows * matrix[0],
+                params=(
+                    ("in_shape", tuple(in_spec.shape)),
+                    ("kernel", (int(kh), int(kw))),
+                    ("stride", _pair(node.attr("stride", 1), "stride")),
+                    ("padding", _pair(node.attr("padding", 0), "padding")),
+                ),
+            ))
+            return dst, n_windows
+        # Gemm: rows are already contiguous feature vectors.
+        n_windows = self.graph.num_mvms(node)
+        return in_offset, n_windows
+
+    def _finish_output(self, node: Node, out_matrix: int, dst: int,
+                       out_shape: Tuple[int, ...], c_total: int) -> None:
+        if node.op_type == "Conv":
+            n, c, oh, ow = out_shape
+            self.flow.append(DigitalOp(
+                "nhwc2nchw", (out_matrix,), dst, n * c * oh * ow,
+                params=(("oh", oh), ("ow", ow), ("channels", c)),
+            ))
+        else:
+            total = int(np.prod(out_shape))
+            self.flow.append(DigitalOp("copy", (out_matrix,), dst, total))
+
+    def _weight_name(self, node: Node) -> str:
+        for name in node.inputs:
+            if self.graph.tensors[name].is_weight:
+                return name
+        raise CodegenError(f"{node.name} has no weight input")
+
+    # ------------------------------------------------------------------
+    # Digital node lowering
+    # ------------------------------------------------------------------
+
+    def _lower_digital(self, node: Node) -> None:
+        out_spec = self.graph.output_spec(node)
+        dst = self._place(node.outputs[0])
+        srcs = [self.offsets[i] for i in node.inputs]
+        in_spec = self.graph.tensors[node.inputs[0]]
+        if node.op_type in _SIMPLE_DCOM:
+            self.flow.append(DigitalOp(
+                _SIMPLE_DCOM[node.op_type], tuple(srcs), dst, out_spec.numel))
+        elif node.op_type in ("MaxPool", "AveragePool"):
+            fn = "maxpool" if node.op_type == "MaxPool" else "avgpool"
+            self.flow.append(DigitalOp(
+                fn, tuple(srcs), dst, out_spec.numel,
+                params=(
+                    ("in_shape", tuple(in_spec.shape)),
+                    ("kernel", _pair(node.require_attr("kernel"), "kernel")),
+                    ("stride", _pair(node.attr("stride",
+                                               node.require_attr("kernel")),
+                                     "stride")),
+                    ("padding", _pair(node.attr("padding", 0), "padding")),
+                ),
+            ))
+        elif node.op_type == "GlobalAveragePool":
+            self.flow.append(DigitalOp(
+                "gap", tuple(srcs), dst, out_spec.numel,
+                params=(("in_shape", tuple(in_spec.shape)),),
+            ))
+        elif node.op_type in ("Flatten", "Reshape", "Identity", "BatchNorm"):
+            # Layout-preserving in our canonical placement: plain copy.
+            self.flow.append(DigitalOp(
+                "copy", tuple(srcs), dst, out_spec.numel))
+        elif node.op_type == "Slice":
+            axis = node.require_attr("axis")
+            if in_spec.shape[0] != 1 or axis != 1 or in_spec.rank != 4:
+                raise CodegenError(
+                    f"{node.name}: lowering supports channel slices of "
+                    f"batch-1 NCHW tensors only"
+                )
+            plane = in_spec.shape[2] * in_spec.shape[3]
+            start = node.require_attr("start")
+            self.flow.append(DigitalOp(
+                "copy", (srcs[0] + start * plane,), dst, out_spec.numel))
+        elif node.op_type == "Concat":
+            if node.attr("axis", 1) != 1 or out_spec.shape[0] != 1:
+                raise CodegenError(
+                    f"{node.name}: lowering supports channel concat of "
+                    f"batch-1 tensors only"
+                )
+            cursor = dst
+            for src_name, src_off in zip(node.inputs, srcs):
+                length = self.graph.tensors[src_name].numel
+                self.flow.append(DigitalOp(
+                    "copy", (src_off,), cursor, length))
+                cursor += length
+        else:
+            raise CodegenError(
+                f"lowering has no DCOM mapping for {node.op_type!r}"
+            )
+
+
+def lower_to_flow(schedule: Schedule, weights: Dict[str, np.ndarray],
+                  l0_size: int = 1 << 24) -> FlowProgram:
+    """Convenience wrapper: lower ``schedule`` with concrete weights."""
+    return Lowering(schedule, weights, l0_size).lower()
+
+
+# ---------------------------------------------------------------------------
+
+
+def _split_range(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split [0, total) into ``parts`` near-equal contiguous ranges."""
+    base = total // parts
+    rem = total % parts
+    bounds = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < rem else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _tile_bounds(total: int, tile: int) -> List[Tuple[int, int]]:
+    """[0, total) cut into tiles of at most ``tile``."""
+    return [(i, min(i + tile, total)) for i in range(0, total, tile)]
+
+
+def _stagger(reads: List) -> List[List]:
+    """Group activations into parallel blocks with distinct crossbars.
+
+    Multiple waves of the same crossbar must serialize; waves of distinct
+    crossbars run concurrently (this is also what keeps the flow valid
+    under :class:`repro.mops.validate.FlowValidator`).
+    """
+    blocks: List[List] = []
+    for op in reads:
+        placed = False
+        for block in blocks:
+            if all(getattr(b, "xbaddr", None) != op.xbaddr for b in block):
+                block.append(op)
+                placed = True
+                break
+        if not placed:
+            blocks.append([op])
+    return blocks

@@ -1,0 +1,84 @@
+"""MVM-grained optimization (Section 3.3.3, Fig. 12).
+
+Applies only when the architecture exposes crossbars (XBM or WLM).  Two
+techniques:
+
+* **Duplication refinement** (Eq. 1): the CG level allocates whole cores,
+  which strands crossbars whenever a replica's VXB does not divide the core
+  evenly.  The refinement re-counts duplication at crossbar granularity::
+
+      D' = floor(num_cores(op) * dup_cg * xbs_per_core / xbs_per_replica)
+
+  recovering the stranded capacity (``Core_VXB / num_VXB`` in the paper's
+  notation equals ``xb_number / n_xb`` here).
+
+* **MVM-grained computing pipeline**: instead of waiting for every crossbar
+  of a VXB to receive its input, each crossbar activates as soon as its
+  input chunk arrives (Fig. 12(c)/(d)).  Latency is unchanged in steady
+  state but the number of *simultaneously active* crossbars drops from the
+  whole VXB to roughly one row-tile wave, cutting peak power (evaluated by
+  :mod:`repro.sim.power`), and each pipeline stage moves half-size inputs,
+  easing NoC pressure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..arch import CIMArchitecture
+from ..errors import ModeError
+from ..graph import Graph
+from .costs import CostModel
+from .schedule import OpDecision, Schedule
+
+
+def refine_duplication(decision: OpDecision, arch: CIMArchitecture) -> int:
+    """Eq. 1: duplication at crossbar granularity for one operator."""
+    p = decision.profile
+    if not p.is_cim or p.n_xb == 0:
+        return decision.dup_cg
+    cores_assigned = p.cores_per_replica * decision.dup_cg
+    refined = (cores_assigned * arch.core.xb_number) // p.n_xb
+    return max(decision.dup_cg, min(refined, p.max_useful_dup))
+
+
+def schedule_mvm(cg_schedule: Schedule,
+                 stagger: bool = True,
+                 refine: bool = True) -> Schedule:
+    """Apply MVM-grained optimization on top of a CG schedule.
+
+    Parameters
+    ----------
+    cg_schedule:
+        Output of :func:`repro.sched.cg.schedule_cg`.
+    stagger:
+        Enable the staggered activation pipeline (peak-power optimization).
+    refine:
+        Enable Eq. 1 duplication refinement.
+    """
+    arch = cg_schedule.arch
+    if not arch.supports("MVM"):
+        raise ModeError(
+            f"{arch.name} is {arch.mode}; MVM-grained optimization needs "
+            f"XBM or WLM"
+        )
+    decisions: Dict[str, OpDecision] = {}
+    for name, d in cg_schedule.decisions.items():
+        dup_mvm = refine_duplication(d, arch) if refine else d.dup_cg
+        decisions[name] = OpDecision(
+            profile=d.profile,
+            segment=d.segment,
+            dup_cg=d.dup_cg,
+            dup_mvm=dup_mvm,
+            wave_reduction=d.wave_reduction,
+            mvm_pipelined=stagger and d.profile.is_cim,
+        )
+        node = cg_schedule.graph.node(name)
+        node.annotations["duplication_mvm"] = dup_mvm
+    return Schedule(
+        cg_schedule.graph, arch, decisions,
+        [list(s) for s in cg_schedule.segments],
+        pipelined=cg_schedule.pipelined,
+        levels=tuple(cg_schedule.levels) + ("MVM",),
+    )

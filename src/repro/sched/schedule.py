@@ -1,0 +1,170 @@
+"""Schedule containers: the scheduler's decisions for one compilation.
+
+An :class:`OpDecision` collects, for one node, everything the multi-level
+scheduler decided: CG-grained duplication and segment, MVM-grained refined
+duplication and pipeline staggering, and the VVM-grained wave reduction.
+A :class:`Schedule` bundles all decisions plus segment structure and is the
+input of the performance simulator and meta-operator code generators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..arch import CIMArchitecture
+from ..errors import ScheduleError
+from ..graph import Graph
+from .costs import OpProfile
+
+
+@dataclass
+class OpDecision:
+    """All per-operator scheduling results."""
+
+    profile: OpProfile
+    segment: int = 0
+    dup_cg: int = 1            # CG-grained duplication (core granularity)
+    dup_mvm: Optional[int] = None   # MVM-grained refined duplication
+    wave_reduction: int = 1    # VVM-grained row-wave division factor
+    mvm_pipelined: bool = False  # staggered crossbar activation (Fig. 12)
+    #: VVM remap of time-multiplexed ops: total waves per window across all
+    #: passes (None = derive from row_waves / seq_passes).
+    window_waves: Optional[int] = None
+
+    @property
+    def dup(self) -> int:
+        """Effective duplication (MVM refinement wins when present)."""
+        return self.dup_mvm if self.dup_mvm is not None else self.dup_cg
+
+    @property
+    def cores(self) -> int:
+        """Cores occupied by all replicas of this operator."""
+        return self.profile.cores_per_replica * self.dup_cg
+
+    @property
+    def crossbars(self) -> int:
+        """Crossbars resident with this operator's weights."""
+        return self.profile.n_xb * self.dup
+
+    def latency(self) -> float:
+        """End-to-end cycles of this operator under the decision."""
+        return self.profile.latency(self.dup, self.wave_reduction,
+                                    self.window_waves)
+
+    def fill(self) -> float:
+        """Pipeline-fill cycles contributed by this operator."""
+        return self.profile.fill_cycles(self.dup, self.wave_reduction,
+                                        self.window_waves)
+
+    def active_crossbars(self) -> int:
+        """Crossbars simultaneously activated while this op computes.
+
+        Without the MVM-grained pipeline every crossbar of every replica
+        fires together; with staggering only one row-tile wave per replica
+        is active at a time (Section 3.3.3).
+        """
+        prof = self.profile
+        if not prof.is_cim or prof.vxb is None:
+            return 0
+        per_replica = prof.n_xb
+        if self.mvm_pipelined and prof.vxb.v_rows > 1:
+            per_replica = math.ceil(prof.n_xb / prof.vxb.v_rows)
+        return per_replica * self.dup
+
+
+@dataclass
+class Schedule:
+    """The complete compilation result for (graph, architecture)."""
+
+    graph: Graph
+    arch: CIMArchitecture
+    decisions: Dict[str, OpDecision]
+    segments: List[List[str]]          # node names per segment, topo order
+    pipelined: bool = True             # inter-operator (CG) pipeline on?
+    levels: Sequence[str] = ("CG",)    # optimization levels applied
+
+    def __post_init__(self) -> None:
+        scheduled = {name for seg in self.segments for name in seg}
+        missing = {n.name for n in self.graph.nodes} - scheduled
+        if missing:
+            raise ScheduleError(f"nodes missing from segments: {sorted(missing)}")
+        for name in scheduled:
+            if name not in self.decisions:
+                raise ScheduleError(f"no decision for node {name!r}")
+
+    # ------------------------------------------------------------------
+
+    def decision(self, name: str) -> OpDecision:
+        """Decision for one node."""
+        try:
+            return self.decisions[name]
+        except KeyError:
+            raise ScheduleError(f"no decision for node {name!r}") from None
+
+    def segment_decisions(self, segment: int) -> List[OpDecision]:
+        """Decisions of one segment in topological order."""
+        return [self.decisions[name] for name in self.segments[segment]]
+
+    def cores_used(self, segment: int) -> int:
+        """Cores occupied by a segment's CIM operators."""
+        return sum(d.cores for d in self.segment_decisions(segment)
+                   if d.profile.is_cim)
+
+    def crossbars_used(self, segment: int) -> int:
+        """Crossbars resident in a segment."""
+        return sum(d.crossbars for d in self.segment_decisions(segment)
+                   if d.profile.is_cim)
+
+    def validate_resources(self) -> None:
+        """Every segment must fit the chip."""
+        for seg in range(len(self.segments)):
+            used = self.cores_used(seg)
+            if used > self.arch.chip.core_number:
+                raise ScheduleError(
+                    f"segment {seg} uses {used} cores but chip has "
+                    f"{self.arch.chip.core_number}"
+                )
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible export of every scheduling decision (for
+        downstream toolchains and debugging)."""
+        return {
+            "graph": self.graph.name,
+            "architecture": self.arch.name,
+            "mode": self.arch.mode.value,
+            "levels": list(self.levels),
+            "pipelined": self.pipelined,
+            "segments": [list(s) for s in self.segments],
+            "decisions": {
+                name: {
+                    "segment": d.segment,
+                    "dup_cg": d.dup_cg,
+                    "dup_mvm": d.dup_mvm,
+                    "wave_reduction": d.wave_reduction,
+                    "mvm_pipelined": d.mvm_pipelined,
+                    "window_waves": d.window_waves,
+                    "cores": d.cores,
+                    "crossbars": d.crossbars,
+                    "latency_cycles": d.latency(),
+                }
+                for name, d in self.decisions.items()
+            },
+        }
+
+    def summary(self) -> str:
+        """Readable per-segment decision table."""
+        lines = [f"Schedule {self.graph.name} on {self.arch.name} "
+                 f"levels={'+'.join(self.levels)} pipelined={self.pipelined}"]
+        for seg_idx, seg in enumerate(self.segments):
+            lines.append(f" segment {seg_idx}: cores={self.cores_used(seg_idx)}"
+                         f"/{self.arch.chip.core_number}")
+            for name in seg:
+                d = self.decisions[name]
+                if d.profile.is_cim:
+                    lines.append(
+                        f"  {name:<24} dup={d.dup:<4} xbs={d.crossbars:<6} "
+                        f"lat={d.latency():,.0f}"
+                    )
+        return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""VVM-grained optimization (Section 3.3.4, Fig. 14).
+
+Applies only to WLM chips (partial-row activation).  When
+``parallel_row < rows_used`` an MVM takes several sequential row waves — the
+Fig. 14 example needs two cycles for output A because only half the rows may
+fire.  The **data remapping strategy** spreads the row chunks that feed one
+accumulation across crossbars that would otherwise sit idle, so chunks fire
+concurrently and the wave count divides by the replication factor.
+
+Crossbar budget for the remap comes from capacity the MVM level could not
+turn into whole extra replicas: leftover crossbars in the cores assigned to
+the operator.  Spreading rows of each replica over ``w`` column-strips costs
+``(w - 1) * v_cols * slices`` extra crossbars per replica.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..arch import CIMArchitecture
+from ..errors import ModeError
+from .schedule import OpDecision, Schedule
+
+
+def remap_plan(decision: OpDecision, arch: CIMArchitecture) -> tuple:
+    """Jointly choose (duplication, wave reduction) for one operator.
+
+    Replication and row spreading compete for the same crossbar budget
+    (spreading each replica's rows over ``w`` concurrent chunks costs
+    ``(w-1) * v_cols * slices`` extra crossbars per replica), but they divide
+    latency differently because of integer rounding: ``ceil(n_mvms / D) *
+    passes * ceil(waves / w)``.  The search is exhaustive over ``w`` (waves
+    is small) with the best affordable ``D`` for each ``w``.
+    """
+    p = decision.profile
+    if not p.is_cim or p.vxb is None:
+        return decision.dup, 1
+    base_dup, base_w = decision.dup, 1
+    if p.row_waves <= 1:
+        return base_dup, base_w
+    cores_assigned = p.cores_per_replica * decision.dup_cg
+    total_xbs = cores_assigned * arch.core.xb_number
+    strip = p.vxb.v_cols * p.vxb.slices_per_xb
+
+    def latency(dup: int, w: int) -> float:
+        waves = math.ceil(p.row_waves / w)
+        mvm = p.input_passes * waves
+        return math.ceil(p.num_mvms / dup) * mvm
+
+    best = (latency(base_dup, base_w), base_dup, base_w)
+    for w in range(1, p.row_waves + 1):
+        replica_xbs = p.n_xb + (w - 1) * strip
+        dup = min(p.max_useful_dup, total_xbs // replica_xbs)
+        if dup < 1:
+            break
+        cand = (latency(dup, w), dup, w)
+        if cand[0] < best[0]:
+            best = cand
+    _, dup, w = best
+    # Never regress below the MVM decision (the remap must be a refinement).
+    if latency(dup, w) > latency(base_dup, base_w):
+        return base_dup, base_w
+    return dup, w
+
+
+def wave_reduction_for(decision: OpDecision, arch: CIMArchitecture) -> int:
+    """Wave-division factor of the joint remap plan (back-compat helper)."""
+    return remap_plan(decision, arch)[1]
+
+
+def seq_remap_waves(decision: OpDecision, arch: CIMArchitecture):
+    """VVM remap of a time-multiplexed operator (one replica exceeds the
+    chip): total waves per window, or ``None`` when no improvement.
+
+    The naive packing loads full-height tiles (``row_waves`` waves per tile,
+    ``seq_passes`` resident generations): ``seq_passes * row_waves`` waves
+    per window in total.  The remap re-tiles the matrix into
+    ``parallel_row``-high strips so every resident strip completes in one
+    wave; the window then takes ``ceil(total_strips / resident_xbs)`` waves.
+    The two differ by tile-rounding and partial-tile effects — exactly the
+    slack the remap recovers (cf. Fig. 22(d): small ``parallel_row`` leaves
+    more slack).
+    """
+    p = decision.profile
+    if not p.is_cim or p.vxb is None or p.seq_passes <= 1:
+        return None
+    r_total = p.vxb.matrix[0]
+    pr = arch.xb.effective_parallel_row
+    strips = math.ceil(r_total / pr) * p.vxb.v_cols * p.vxb.slices_per_xb
+    resident = p.cores_per_replica * arch.core.xb_number
+    remap = math.ceil(strips / resident)
+    naive = p.seq_passes * p.row_waves
+    return remap if remap < naive else None
+
+
+def schedule_vvm(mvm_schedule: Schedule) -> Schedule:
+    """Apply VVM-grained data remapping on top of an MVM schedule."""
+    arch = mvm_schedule.arch
+    if not arch.supports("VVM"):
+        raise ModeError(
+            f"{arch.name} is {arch.mode}; VVM-grained optimization needs WLM"
+        )
+    decisions: Dict[str, OpDecision] = {}
+    for name, d in mvm_schedule.decisions.items():
+        dup, reduction = remap_plan(d, arch)
+        window_waves = seq_remap_waves(d, arch)
+        decisions[name] = OpDecision(
+            profile=d.profile,
+            segment=d.segment,
+            dup_cg=d.dup_cg,
+            dup_mvm=dup if d.profile.is_cim else d.dup_mvm,
+            wave_reduction=reduction,
+            mvm_pipelined=d.mvm_pipelined,
+            window_waves=window_waves,
+        )
+        node = mvm_schedule.graph.node(name)
+        node.annotations["wave_reduction"] = reduction
+        if window_waves is not None:
+            node.annotations["window_waves"] = window_waves
+    return Schedule(
+        mvm_schedule.graph, arch, decisions,
+        [list(s) for s in mvm_schedule.segments],
+        pipelined=mvm_schedule.pipelined,
+        levels=tuple(mvm_schedule.levels) + ("VVM",),
+    )

@@ -1,0 +1,18 @@
+"""Simulators: functional (value-exact) and performance (latency/power)."""
+
+from .performance import (
+    PerformanceReport,
+    PerformanceSimulator,
+    SegmentTiming,
+    activity_timeline,
+)
+from .power import PowerModel, PowerReport
+
+__all__ = [
+    "PerformanceReport",
+    "PerformanceSimulator",
+    "PowerModel",
+    "PowerReport",
+    "SegmentTiming",
+    "activity_timeline",
+]

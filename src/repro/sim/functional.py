@@ -1,0 +1,281 @@
+"""Functional simulator: value-exact execution of meta-operator flows.
+
+"In our built functional simulator, the hardware abstraction of CIM is
+described by a data structure, and meta-operators are implemented by
+specific functions" (Section 4.1).  :class:`CIMMachine` is that data
+structure; each meta-operator has an execution function; running a flow
+reproduces the DNN's integer arithmetic exactly, which the test suite
+verifies against :class:`repro.sim.reference.ReferenceExecutor`.
+
+Semantics (machine contract, see :mod:`repro.sim.memory` for the layout):
+
+* ``mov``            — copy between L0 and per-core L1 regions.
+* ``cim.writexb``    — load an encoded cell matrix into a crossbar.
+* ``cim.writerow``   — load rows of cell values.
+* ``cim.readxb``     — each crossbar adds ``cells.T @ stage`` into its
+  accumulator (whole-array activation).
+* ``cim.readrow``    — partial-row activation: only ``len`` wordlines from
+  ``row`` contribute.
+* ``cim.readcore``   — CM: the core executes a whole operator on its flashed
+  weights (:class:`CoreImage`).
+* DCOM functions     — ``relu``/``add``/``shiftadd``/``maxpool``/... on
+  buffers; ``shiftadd`` performs the ISAAC-style slice combine plus
+  offset-binary correction (see :mod:`repro.quant`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..arch import CIMArchitecture, ComputingMode
+from ..errors import SimulationError
+from ..graph.ops import _pair
+from ..mops import (
+    DigitalOp,
+    MetaOperatorFlow,
+    Mov,
+    ParallelBlock,
+    ReadCore,
+    ReadRow,
+    ReadXb,
+    WriteRow,
+    WriteXb,
+)
+from .memory import MachineMemory
+from .reference import ReferenceExecutor, conv_windows
+
+
+@dataclass
+class CoreImage:
+    """CM-mode core configuration: the operator a core is flashed with."""
+
+    op_type: str               # "Conv" or "Gemm"
+    weights: np.ndarray
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    in_shape: Tuple[int, ...] = ()
+    out_shape: Tuple[int, ...] = ()
+    out_rows: Tuple[int, int] = (0, 0)   # output spatial-row slice [a, b)
+
+
+@dataclass
+class FlowProgram:
+    """A lowered program: flow + layout metadata the machine needs."""
+
+    flow: MetaOperatorFlow
+    tensor_offsets: Dict[str, int]       # L0 placement of every tensor
+    core_images: Dict[int, CoreImage] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class CIMMachine:
+    """Executes :class:`FlowProgram` objects on architectural state."""
+
+    def __init__(self, arch: CIMArchitecture, l0_size: int = 1 << 24) -> None:
+        self.arch = arch
+        self.mem = MachineMemory(arch, l0_size)
+        self._program: Optional[FlowProgram] = None
+        self.stats: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, program: FlowProgram,
+            inputs: Dict[str, np.ndarray]) -> None:
+        """Load graph inputs into L0 and execute the whole flow."""
+        self._program = program
+        self.stats = {"cim_activations": 0, "dcom_ops": 0, "movs": 0}
+        for name, value in inputs.items():
+            offset = program.tensor_offsets.get(name)
+            if offset is None:
+                raise SimulationError(f"input {name!r} has no L0 placement")
+            self.mem.l0.write(offset, np.asarray(value))
+        for stmt in program.flow.statements:
+            body = stmt.body if isinstance(stmt, ParallelBlock) else (stmt,)
+            for op in body:
+                self._execute(op)
+
+    def read_tensor(self, program: FlowProgram, name: str,
+                    shape: Tuple[int, ...]) -> np.ndarray:
+        """Read a tensor back from L0 in its canonical layout."""
+        offset = program.tensor_offsets[name]
+        flat = self.mem.l0.read(offset, int(np.prod(shape)))
+        return flat.reshape(shape).copy()
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, op) -> None:
+        if isinstance(op, Mov):
+            src = self.mem.l0 if op.src_space == "L0" else self.mem.l1
+            dst = self.mem.l0 if op.dst_space == "L0" else self.mem.l1
+            dst.write(op.dst, src.read(op.src, op.length))
+            self.stats["movs"] += 1
+        elif isinstance(op, WriteXb):
+            cells = self._program.flow.constant(op.mat)
+            xb = self.mem.crossbar(op.xbaddr)
+            r, c = cells.shape
+            xb[:, :] = 0
+            xb[:r, :c] = cells
+        elif isinstance(op, WriteRow):
+            cells = self._program.flow.constant(op.value)
+            xb = self.mem.crossbar(op.xbaddr)
+            if cells.shape[0] != op.length:
+                raise SimulationError(
+                    f"writerow length {op.length} != payload rows "
+                    f"{cells.shape[0]}"
+                )
+            xb[op.row:op.row + op.length, :cells.shape[1]] = cells
+        elif isinstance(op, ReadXb):
+            for addr in range(op.xbaddr, op.xbaddr + op.length):
+                self._activate(addr, 0, self.arch.xb.rows)
+        elif isinstance(op, ReadRow):
+            self._activate(op.xbaddr, op.row, op.length)
+        elif isinstance(op, ReadCore):
+            self._read_core(op)
+        elif isinstance(op, DigitalOp):
+            self._digital(op)
+            self.stats["dcom_ops"] += 1
+        else:
+            raise SimulationError(f"machine cannot execute {op!r}")
+
+    def _activate(self, xbaddr: int, row: int, length: int) -> None:
+        """One crossbar activation: bitline partial sums into the ACC."""
+        xb = self.mem.crossbar(xbaddr)
+        stage = self.mem.l1.read(self.mem.stage_addr(xbaddr) + row, length)
+        partial = xb[row:row + length].T @ stage
+        self.mem.l1.accumulate(self.mem.acc_addr(xbaddr), partial)
+        self.stats["cim_activations"] += 1
+
+    # ------------------------------------------------------------------
+
+    def _read_core(self, op: ReadCore) -> None:
+        image = self._program.core_images.get(op.coreaddr)
+        if image is None:
+            raise SimulationError(
+                f"core {op.coreaddr} has no flashed operator"
+            )
+        x = self.mem.l0.read(
+            op.src, int(np.prod(image.in_shape))).reshape(image.in_shape)
+        a, b = image.out_rows
+        if image.op_type == "Conv":
+            stride = _pair(image.attrs.get("stride", 1), "stride")
+            padding = _pair(image.attrs.get("padding", 0), "padding")
+            w = image.weights
+            cout, cin, kh, kw = w.shape
+            windows = conv_windows(x, (kh, kw), stride, padding)
+            out = windows @ w.reshape(cout, -1).T
+            n, _, oh, ow = image.out_shape
+            out = out.reshape(n, oh, ow, cout).transpose(0, 3, 1, 2)
+            # The core's memory controller scatters its output-row slice
+            # [a, b) into the canonical NCHW tensor at op.dst.
+            for bi in range(n):
+                for c in range(cout):
+                    base = op.dst + (bi * cout + c) * oh * ow + a * ow
+                    self.mem.l0.write(base, out[bi, c, a:b, :])
+        elif image.op_type == "Gemm":
+            out = x.reshape(-1, image.weights.shape[1]) @ image.weights.T
+            row_stride = image.weights.shape[0]
+            self.mem.l0.write(op.dst + a * row_stride, out[a:b])
+        else:
+            raise SimulationError(
+                f"core image op {image.op_type!r} not executable"
+            )
+        self.stats["cim_activations"] += 1
+
+    # ------------------------------------------------------------------
+    # DCOM functions
+    # ------------------------------------------------------------------
+
+    def _digital(self, op: DigitalOp) -> None:
+        params = dict(op.params)
+        space = self.mem.l1 if params.get("space") == "L1" else self.mem.l0
+        fn = getattr(self, f"_dcom_{op.fn}", None)
+        if fn is None:
+            raise SimulationError(f"unknown DCOM function {op.fn!r}")
+        fn(op, space, params)
+
+    def _dcom_relu(self, op, space, params) -> None:
+        x = space.read(op.srcs[0], op.length)
+        space.write(op.dst, np.maximum(x, 0))
+
+    def _dcom_add(self, op, space, params) -> None:
+        a = space.read(op.srcs[0], op.length)
+        b = space.read(op.srcs[1], op.length)
+        space.write(op.dst, a + b)
+
+    def _dcom_copy(self, op, space, params) -> None:
+        space.write(op.dst, space.read(op.srcs[0], op.length))
+
+    def _dcom_zero(self, op, space, params) -> None:
+        space.write(op.dst, np.zeros(op.length))
+
+    def _dcom_shiftadd(self, op, space, params) -> None:
+        """Combine ``slices`` raw column sums into ``length`` outputs and
+        subtract the offset-binary correction ``offset * sum(stage)``."""
+        slices = params["slices"]
+        cell_bits = params["cell_bits"]
+        offset = params.get("offset", 0)
+        raw = space.read(op.srcs[0], op.length * slices)
+        correction = 0.0
+        if offset:
+            stage = self.mem.l1.read(params["stage"], params["stage_len"])
+            correction = float(offset) * float(stage.sum())
+        # Float shift-and-add: partial sums may carry fractions when the
+        # staged activations do (e.g. after an average pool), and float64
+        # keeps the integer case exact below 2^53.
+        combined = np.zeros(op.length, dtype=np.float64)
+        for j in range(slices):
+            combined += raw[j::slices] * float(2 ** (cell_bits * j))
+        space.write(op.dst, combined - correction)
+
+    def _dcom_maxpool(self, op, space, params) -> None:
+        self._pool(op, space, params, np.max)
+
+    def _dcom_avgpool(self, op, space, params) -> None:
+        self._pool(op, space, params, np.mean)
+
+    def _pool(self, op, space, params, reduce_fn) -> None:
+        shape = tuple(params["in_shape"])
+        x = space.read(op.srcs[0], int(np.prod(shape))).reshape(shape)
+        kernel = _pair(params["kernel"], "kernel")
+        stride = _pair(params.get("stride", params["kernel"]), "stride")
+        padding = _pair(params.get("padding", 0), "padding")
+        n, c, h, w = shape
+        kh, kw = kernel
+        oh = (h + 2 * padding[0] - kh) // stride[0] + 1
+        ow = (w + 2 * padding[1] - kw) // stride[1] + 1
+        fill = -np.inf if reduce_fn is np.max else 0.0
+        padded = np.full((n, c, h + 2 * padding[0], w + 2 * padding[1]), fill)
+        padded[:, :, padding[0]:padding[0] + h, padding[1]:padding[1] + w] = x
+        out = np.empty((n, c, oh, ow))
+        for i in range(oh):
+            for j in range(ow):
+                win = padded[:, :, i * stride[0]:i * stride[0] + kh,
+                             j * stride[1]:j * stride[1] + kw]
+                out[:, :, i, j] = reduce_fn(win, axis=(2, 3))
+        space.write(op.dst, out)
+
+    def _dcom_gap(self, op, space, params) -> None:
+        shape = tuple(params["in_shape"])
+        x = space.read(op.srcs[0], int(np.prod(shape))).reshape(shape)
+        space.write(op.dst, x.mean(axis=(2, 3)))
+
+    def _dcom_nhwc2nchw(self, op, space, params) -> None:
+        """Reorder a (OH*OW, C) MVM-output matrix into canonical NCHW."""
+        oh, ow, c = params["oh"], params["ow"], params["channels"]
+        x = space.read(op.srcs[0], oh * ow * c).reshape(oh, ow, c)
+        space.write(op.dst, x.transpose(2, 0, 1))
+
+    def _dcom_im2col(self, op, space, params) -> None:
+        """Materialize the convolution window matrix in L0."""
+        shape = tuple(params["in_shape"])
+        x = space.read(op.srcs[0], int(np.prod(shape))).reshape(shape)
+        windows = conv_windows(
+            x,
+            _pair(params["kernel"], "kernel"),
+            _pair(params.get("stride", 1), "stride"),
+            _pair(params.get("padding", 0), "padding"),
+        )
+        space.write(op.dst, windows)

@@ -1,0 +1,133 @@
+"""Buffer and crossbar state for the functional simulator.
+
+Machine layout conventions (shared contract with
+:mod:`repro.sched.lowering`):
+
+* **L0** — the chip-tier global buffer: one flat array, element-addressed.
+* **L1** — core-tier local buffers, addressed globally as
+  ``core * l1_segment + offset``.  Within each core's segment:
+
+  - ``stage(xb_local) = xb_local * xb_rows`` — input-vector staging region
+    of each crossbar (what ``mov`` fills and ``cim.readxb``/``cim.readrow``
+    consume);
+  - ``acc(xb_local) = xb_number * xb_rows + xb_local * xb_cols`` — the
+    bitline accumulator each crossbar adds its partial sums into;
+  - ``scratch(xb_local) = xb_number * (xb_rows + xb_cols) + xb_local *
+    xb_cols`` — per-crossbar digital scratch (shift-and-add results).
+
+* **Crossbars** — one ``(rows, cols)`` cell array each, global index
+  ``core * xb_number + local``.
+
+Values are float64 so integer arithmetic below 2^53 is exact while float
+digital ops (softmax etc.) still work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..arch import CIMArchitecture
+from ..errors import AllocationError, SimulationError
+
+
+class BufferSpace:
+    """One flat element-addressed buffer."""
+
+    def __init__(self, name: str, size: int) -> None:
+        self.name = name
+        self.data = np.zeros(size, dtype=np.float64)
+
+    def read(self, offset: int, length: int) -> np.ndarray:
+        self._check(offset, length)
+        return self.data[offset:offset + length]
+
+    def write(self, offset: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        self._check(offset, values.size)
+        self.data[offset:offset + values.size] = values
+
+    def accumulate(self, offset: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        self._check(offset, values.size)
+        self.data[offset:offset + values.size] += values
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or offset + length > self.data.size:
+            raise SimulationError(
+                f"{self.name}: access [{offset}, {offset + length}) outside "
+                f"buffer of {self.data.size} elements"
+            )
+
+
+class MachineMemory:
+    """All architectural state: L0, per-core L1, crossbar cells."""
+
+    def __init__(self, arch: CIMArchitecture, l0_size: int = 1 << 24) -> None:
+        self.arch = arch
+        rows, cols = arch.xb.xb_size
+        n_xb = arch.core.xb_number
+        #: Per-core L1 segment: stage + acc + scratch regions plus headroom.
+        self.l1_segment = n_xb * (rows + 2 * cols) + 4096
+        self.l0 = BufferSpace("L0", l0_size)
+        self.l1 = BufferSpace(
+            "L1", arch.chip.core_number * self.l1_segment)
+        self.crossbars: List[np.ndarray] = [
+            np.zeros((rows, cols), dtype=np.float64)
+            for _ in range(arch.total_crossbars)
+        ]
+
+    # ------------------------------------------------------------------
+    # Layout helpers (the lowering uses the same formulas)
+    # ------------------------------------------------------------------
+
+    def core_of(self, xbaddr: int) -> int:
+        return xbaddr // self.arch.core.xb_number
+
+    def stage_addr(self, xbaddr: int) -> int:
+        """Global L1 address of crossbar ``xbaddr``'s staging region."""
+        local = xbaddr % self.arch.core.xb_number
+        return self.core_of(xbaddr) * self.l1_segment + \
+            local * self.arch.xb.rows
+
+    def acc_addr(self, xbaddr: int) -> int:
+        """Global L1 address of crossbar ``xbaddr``'s accumulator."""
+        n_xb = self.arch.core.xb_number
+        local = xbaddr % n_xb
+        base = n_xb * self.arch.xb.rows
+        return self.core_of(xbaddr) * self.l1_segment + base + \
+            local * self.arch.xb.cols
+
+    def scratch_addr(self, xbaddr: int) -> int:
+        """Global L1 address of crossbar ``xbaddr``'s digital scratch."""
+        n_xb = self.arch.core.xb_number
+        local = xbaddr % n_xb
+        base = n_xb * (self.arch.xb.rows + self.arch.xb.cols)
+        return self.core_of(xbaddr) * self.l1_segment + base + \
+            local * self.arch.xb.cols
+
+    def crossbar(self, xbaddr: int) -> np.ndarray:
+        if not 0 <= xbaddr < len(self.crossbars):
+            raise SimulationError(f"crossbar {xbaddr} out of range")
+        return self.crossbars[xbaddr]
+
+
+class BumpAllocator:
+    """Monotone element allocator for L0 tensor placement."""
+
+    def __init__(self, size: int, start: int = 0) -> None:
+        self.size = size
+        self.next = start
+
+    def alloc(self, length: int, label: str = "") -> int:
+        if length < 0:
+            raise AllocationError(f"negative allocation for {label!r}")
+        offset = self.next
+        if offset + length > self.size:
+            raise AllocationError(
+                f"L0 exhausted allocating {length} elements for {label!r} "
+                f"(used {offset}/{self.size})"
+            )
+        self.next += length
+        return offset

@@ -1,0 +1,173 @@
+"""Performance simulator: latency of a scheduled inference.
+
+Extends the structure of the open simulators the paper builds on (ISAAC /
+PUMA latency models, NeuroSim / NVSim array timing): per-operator compute
+cycles from the cost model, an inter-operator pipeline within each segment,
+and weight-reconfiguration stalls between segments (a segment swap rewrites
+crossbars, which is expensive on ReRAM/FLASH — Section 2.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..arch import CIMArchitecture
+from ..sched.cg import pipelined_latency, sequential_latency
+from ..sched.costs import reconfiguration_cycles
+from ..sched.schedule import OpDecision, Schedule
+from .power import PowerModel, PowerReport
+
+
+@dataclass(frozen=True)
+class SegmentTiming:
+    """Latency detail of one segment."""
+
+    index: int
+    cycles: float
+    reconfiguration: float
+    bottleneck: str            # slowest operator name
+    bottleneck_cycles: float
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """Complete latency + power result of one scheduled inference."""
+
+    schedule_levels: Tuple[str, ...]
+    pipelined: bool
+    total_cycles: float
+    compute_cycles: float
+    reconfiguration_cycles: float
+    segments: Tuple[SegmentTiming, ...]
+    op_latency: Dict[str, float]
+    power: PowerReport
+
+    def speedup_over(self, other: "PerformanceReport") -> float:
+        """``other.total / self.total`` — how much faster this run is."""
+        return other.total_cycles / self.total_cycles
+
+    @property
+    def steady_state_interval(self) -> float:
+        """Cycles between consecutive completed inferences when images
+        stream through the pipeline (batch throughput mode).
+
+        Pipelined: the slowest stage paces the stream.  Sequential: each
+        image occupies the whole chip for its full latency.
+        """
+        if not self.pipelined:
+            return self.total_cycles
+        interval = 0.0
+        for seg in self.segments:
+            interval = max(interval, seg.bottleneck_cycles)
+            interval = max(interval, seg.reconfiguration)
+        return max(interval, 1.0)
+
+    @property
+    def throughput(self) -> float:
+        """Inferences per cycle in steady state."""
+        return 1.0 / self.steady_state_interval
+
+    def summary(self) -> str:
+        """Readable one-block summary."""
+        lines = [
+            f"levels={'+'.join(self.schedule_levels)} "
+            f"pipelined={self.pipelined}",
+            f"total cycles: {self.total_cycles:,.0f} "
+            f"(compute {self.compute_cycles:,.0f} + reconf "
+            f"{self.reconfiguration_cycles:,.0f})",
+            f"peak active crossbars: {self.power.peak_active_crossbars:,} "
+            f"peak power: {self.power.peak_power:,.1f}",
+        ]
+        for seg in self.segments:
+            lines.append(
+                f"  segment {seg.index}: {seg.cycles:,.0f} cycles, "
+                f"bottleneck {seg.bottleneck} "
+                f"({seg.bottleneck_cycles:,.0f})"
+            )
+        return "\n".join(lines)
+
+
+class PerformanceSimulator:
+    """Evaluates a :class:`Schedule` into a :class:`PerformanceReport`."""
+
+    def __init__(self, arch: CIMArchitecture) -> None:
+        self.arch = arch
+        self.power_model = PowerModel(arch)
+
+    def run(self, schedule: Schedule) -> PerformanceReport:
+        """Simulate one inference under ``schedule``."""
+        segments: List[SegmentTiming] = []
+        op_latency: Dict[str, float] = {}
+        compute_total = 0.0
+        reconf_total = 0.0
+        multi_segment = len(schedule.segments) > 1
+        for seg_idx in range(len(schedule.segments)):
+            decisions = schedule.segment_decisions(seg_idx)
+            for d in decisions:
+                op_latency[d.profile.name] = d.latency()
+            cycles = (pipelined_latency(decisions) if schedule.pipelined
+                      else sequential_latency(decisions))
+            reconf = 0.0
+            if multi_segment:
+                seg_profiles = {d.profile.name: d.profile for d in decisions}
+                reconf = reconfiguration_cycles(seg_profiles, self.arch)
+                if schedule.pipelined and self.arch.xb.cell_type.cheap_writes:
+                    # SRAM chips stream the next segment's weights into
+                    # idle cores while the current segment computes; only
+                    # the non-hidden part of the reload stalls.
+                    reconf = max(0.0, reconf - cycles)
+            bottleneck = max(decisions, key=lambda d: d.latency())
+            segments.append(SegmentTiming(
+                index=seg_idx,
+                cycles=cycles,
+                reconfiguration=reconf,
+                bottleneck=bottleneck.profile.name,
+                bottleneck_cycles=bottleneck.latency(),
+            ))
+            compute_total += cycles
+            reconf_total += reconf
+        total = compute_total + reconf_total
+        power = self.power_model.evaluate(schedule, total)
+        return PerformanceReport(
+            schedule_levels=tuple(schedule.levels),
+            pipelined=schedule.pipelined,
+            total_cycles=total,
+            compute_cycles=compute_total,
+            reconfiguration_cycles=reconf_total,
+            segments=tuple(segments),
+            op_latency=op_latency,
+            power=power,
+        )
+
+
+def activity_timeline(schedule: Schedule) -> List[Tuple[float, float, int]]:
+    """Coarse (start, end, active_crossbars) intervals for plotting.
+
+    Within a pipelined segment operators overlap after their upstream fill;
+    the timeline stacks per-operator active-crossbar counts over the
+    segment's duration.
+    """
+    timeline: List[Tuple[float, float, int]] = []
+    clock = 0.0
+    for seg_idx in range(len(schedule.segments)):
+        decisions = schedule.segment_decisions(seg_idx)
+        if schedule.pipelined:
+            duration = pipelined_latency(decisions)
+            fill = 0.0
+            for d in decisions:
+                start = clock + fill
+                end = min(clock + duration, start + d.latency())
+                if d.active_crossbars() > 0 and end > start:
+                    timeline.append((start, end, d.active_crossbars()))
+                fill += d.fill()
+        else:
+            for d in decisions:
+                end = clock + d.latency()
+                if d.active_crossbars() > 0:
+                    timeline.append((clock, end, d.active_crossbars()))
+                clock = end
+            continue
+        clock += duration
+    return timeline

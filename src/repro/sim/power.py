@@ -1,0 +1,121 @@
+"""Power/energy model for CIM schedules.
+
+Three components, following the paper's Section 4.2 breakdown for PUMA
+("ADC/DAC, XB activation computation, and data movement ... account for 10%,
+83%, and 7%"):
+
+* **Crossbar activation**: energy per crossbar per active cycle; every row
+  wave of every MVM on every resident crossbar pays it.
+* **ADC/DAC conversion**: per crossbar activation, scaled by converter
+  precision (an 8-bit ADC costs ~2x a 4-bit one per conversion; cost grows
+  linearly with resolution bits in our model).
+* **Data movement**: per bit crossing the global buffer / NoC.
+
+*Peak power* is the instantaneous maximum: the number of simultaneously
+active crossbars (plus their converters) at the busiest moment.  The
+MVM-grained staggered pipeline reduces exactly this quantity
+(:meth:`repro.sched.schedule.OpDecision.active_crossbars`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..arch import CIMArchitecture
+from ..sched.schedule import OpDecision, Schedule
+
+#: Reference energy of one crossbar active for one cycle (arbitrary units;
+#: all reported powers are relative, as in the paper's normalized plots).
+E_XB_CYCLE = 1.0
+#: Converter energy per crossbar activation per resolution bit.
+E_CONVERTER_PER_BIT = 0.015
+#: Movement energy per bit through the global buffer + NoC.
+E_MOVE_PER_BIT = 0.00015
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Peak and average power plus the energy breakdown of one schedule."""
+
+    peak_active_crossbars: int
+    peak_power: float            # instantaneous worst case (energy/cycle)
+    avg_power: float             # total energy / total cycles
+    energy_crossbar: float
+    energy_converter: float
+    energy_movement: float
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy_crossbar + self.energy_converter + \
+            self.energy_movement
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fractional energy split (sums to 1)."""
+        total = self.total_energy
+        if total <= 0:
+            return {"crossbar": 0.0, "converter": 0.0, "movement": 0.0}
+        return {
+            "crossbar": self.energy_crossbar / total,
+            "converter": self.energy_converter / total,
+            "movement": self.energy_movement / total,
+        }
+
+
+class PowerModel:
+    """Evaluates :class:`PowerReport` for a schedule."""
+
+    def __init__(self, arch: CIMArchitecture) -> None:
+        self.arch = arch
+        xb = arch.xb
+        self._e_conv_per_activation = \
+            E_CONVERTER_PER_BIT * (xb.adc_bits + xb.dac_bits)
+
+    # ------------------------------------------------------------------
+
+    def per_xb_cycle_power(self) -> float:
+        """Power of one active crossbar including its converters."""
+        return E_XB_CYCLE + self._e_conv_per_activation
+
+    def evaluate(self, schedule: Schedule, total_cycles: float) -> PowerReport:
+        """Compute peak/average power for a scheduled inference taking
+        ``total_cycles`` (from the performance simulator)."""
+        peak_xbs = self.peak_active_crossbars(schedule)
+        e_xb = e_conv = e_move = 0.0
+        for d in schedule.decisions.values():
+            p = d.profile
+            if p.is_cim and p.num_mvms > 0:
+                waves = math.ceil(p.row_waves / max(1, d.wave_reduction))
+                activations = p.num_mvms * p.input_passes * waves * p.n_xb
+                e_xb += activations * E_XB_CYCLE
+                e_conv += activations * self._e_conv_per_activation
+            e_move += (p.in_bits + p.out_bits) * E_MOVE_PER_BIT
+        peak_power = peak_xbs * self.per_xb_cycle_power()
+        avg = (e_xb + e_conv + e_move) / max(1.0, total_cycles)
+        return PowerReport(
+            peak_active_crossbars=peak_xbs,
+            peak_power=peak_power,
+            avg_power=avg,
+            energy_crossbar=e_xb,
+            energy_converter=e_conv,
+            energy_movement=e_move,
+        )
+
+    def peak_active_crossbars(self, schedule: Schedule) -> int:
+        """Most crossbars simultaneously active at any time.
+
+        In a pipelined segment every operator computes concurrently, so
+        actives sum across the segment; without the inter-operator pipeline
+        only one operator runs at a time.
+        """
+        peak = 0
+        for seg in range(len(schedule.segments)):
+            decisions = schedule.segment_decisions(seg)
+            if schedule.pipelined:
+                active = sum(d.active_crossbars() for d in decisions)
+            else:
+                active = max((d.active_crossbars() for d in decisions),
+                             default=0)
+            peak = max(peak, active)
+        return peak

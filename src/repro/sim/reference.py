@@ -1,0 +1,213 @@
+"""Reference executor: numpy ground truth for functional verification.
+
+The paper verifies its functional simulator against PyTorch (Section 4.1);
+offline we verify against this executor, which computes the same exact
+integer arithmetic for the quantized CIM-relevant ops (Conv/Gemm/ReLU/
+pooling/Add) and float math for the remaining ops.  The im2col window
+ordering here — ``(channel, kernel_row, kernel_col)`` flattened row-major —
+is the layout contract shared with the meta-operator lowering.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graph import Graph, Node
+from ..graph.ops import _pair
+
+
+def conv_windows(x: np.ndarray, kernel: tuple, stride: tuple,
+                 padding: tuple) -> np.ndarray:
+    """im2col: (N*OH*OW, Cin*KH*KW) window matrix in the canonical order."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    rows = []
+    for b in range(n):
+        for i in range(oh):
+            for j in range(ow):
+                patch = padded[b, :, i * sh:i * sh + kh, j * sw:j * sw + kw]
+                rows.append(patch.reshape(-1))
+    return np.stack(rows)
+
+
+class ReferenceExecutor:
+    """Executes a :class:`Graph` on concrete numpy tensors."""
+
+    def __init__(self, graph: Graph, weights: Dict[str, np.ndarray]) -> None:
+        self.graph = graph
+        self.weights = dict(weights)
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Run one inference; returns every tensor produced (by name)."""
+        env: Dict[str, np.ndarray] = {}
+        for name, value in self.weights.items():
+            env[name] = np.asarray(value)
+        for name, value in inputs.items():
+            env[name] = np.asarray(value)
+        for node in self.graph.topological():
+            self._execute(node, env)
+        missing = [o for o in self.graph.outputs if o not in env]
+        if missing:
+            raise SimulationError(f"outputs never produced: {missing}")
+        return env
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, node: Node, env: Dict[str, np.ndarray]) -> None:
+        handler = getattr(self, f"_op_{node.op_type.lower()}", None)
+        if handler is None:
+            raise SimulationError(
+                f"reference executor has no kernel for {node.op_type!r}"
+            )
+        args = [env[i] for i in node.inputs]
+        result = handler(node, *args)
+        outs = result if isinstance(result, tuple) else (result,)
+        for name, value in zip(node.outputs, outs):
+            env[name] = value
+
+    # --- CIM-supported -------------------------------------------------
+
+    def _op_conv(self, node: Node, x, w, bias=None):
+        stride = _pair(node.attr("stride", 1), "stride")
+        padding = _pair(node.attr("padding", 0), "padding")
+        groups = node.attr("groups", 1)
+        n, cin = x.shape[0], x.shape[1]
+        cout, w_cin, kh, kw = w.shape
+        oh = (x.shape[2] + 2 * padding[0] - kh) // stride[0] + 1
+        ow = (x.shape[3] + 2 * padding[1] - kw) // stride[1] + 1
+        if groups == 1:
+            windows = conv_windows(x, (kh, kw), stride, padding)
+            out = windows @ w.reshape(cout, -1).T    # (N*OH*OW, Cout)
+            out = out.reshape(n, oh, ow, cout).transpose(0, 3, 1, 2)
+        else:
+            # Grouped / depthwise: run each channel group independently.
+            if cin % groups or cout % groups or w_cin * groups != cin:
+                raise SimulationError(
+                    f"{node.name}: inconsistent grouped conv "
+                    f"(cin={cin}, cout={cout}, groups={groups})"
+                )
+            cin_g, cout_g = cin // groups, cout // groups
+            out = np.zeros((n, cout, oh, ow),
+                           dtype=np.result_type(x, w))
+            for g in range(groups):
+                xg = x[:, g * cin_g:(g + 1) * cin_g]
+                wg = w[g * cout_g:(g + 1) * cout_g]
+                windows = conv_windows(xg, (kh, kw), stride, padding)
+                og = windows @ wg.reshape(cout_g, -1).T
+                out[:, g * cout_g:(g + 1) * cout_g] = \
+                    og.reshape(n, oh, ow, cout_g).transpose(0, 3, 1, 2)
+        if bias is not None:
+            out = out + bias.reshape(1, -1, 1, 1)
+        return out
+
+    def _op_gemm(self, node: Node, x, w, bias=None):
+        out = x @ w.T
+        if bias is not None:
+            out = out + bias
+        return out
+
+    # --- digital --------------------------------------------------------
+
+    def _op_relu(self, node: Node, x):
+        return np.maximum(x, 0)
+
+    def _op_gelu(self, node: Node, x):
+        xf = x.astype(np.float64)
+        return 0.5 * xf * (1.0 + np.tanh(
+            math.sqrt(2.0 / math.pi) * (xf + 0.044715 * xf ** 3)))
+
+    def _op_sigmoid(self, node: Node, x):
+        return 1.0 / (1.0 + np.exp(-x.astype(np.float64)))
+
+    def _op_add(self, node: Node, a, b):
+        return a + b
+
+    def _op_mul(self, node: Node, a, b):
+        return a * b
+
+    def _op_maxpool(self, node: Node, x):
+        return self._pool(node, x, np.max)
+
+    def _op_averagepool(self, node: Node, x):
+        return self._pool(node, x, np.mean)
+
+    def _pool(self, node: Node, x, reduce_fn):
+        kernel = _pair(node.require_attr("kernel"), "kernel")
+        stride = _pair(node.attr("stride", kernel), "stride")
+        padding = _pair(node.attr("padding", 0), "padding")
+        n, c, h, w = x.shape
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        oh = (h + 2 * ph - kh) // sh + 1
+        ow = (w + 2 * pw - kw) // sw + 1
+        fill = np.iinfo(np.int64).min if reduce_fn is np.max else 0
+        padded = np.full((n, c, h + 2 * ph, w + 2 * pw), fill, dtype=x.dtype)
+        padded[:, :, ph:ph + h, pw:pw + w] = x
+        out = np.empty((n, c, oh, ow), dtype=x.dtype if reduce_fn is np.max
+                       else np.float64)
+        for i in range(oh):
+            for j in range(ow):
+                window = padded[:, :, i * sh:i * sh + kh, j * sw:j * sw + kw]
+                out[:, :, i, j] = reduce_fn(window, axis=(2, 3))
+        return out
+
+    def _op_globalaveragepool(self, node: Node, x):
+        return x.mean(axis=(2, 3), keepdims=True)
+
+    def _op_flatten(self, node: Node, x):
+        return x.reshape(x.shape[0], -1)
+
+    def _op_reshape(self, node: Node, x):
+        return x.reshape(tuple(node.require_attr("shape")))
+
+    def _op_transpose(self, node: Node, x):
+        return x.transpose(tuple(node.require_attr("perm")))
+
+    def _op_matmul(self, node: Node, a, b):
+        return a @ b
+
+    def _op_softmax(self, node: Node, x):
+        xf = x.astype(np.float64)
+        xf = xf - xf.max(axis=-1, keepdims=True)
+        e = np.exp(xf)
+        return e / e.sum(axis=-1, keepdims=True)
+
+    def _op_layernorm(self, node: Node, x):
+        xf = x.astype(np.float64)
+        mean = xf.mean(axis=-1, keepdims=True)
+        var = xf.var(axis=-1, keepdims=True)
+        return (xf - mean) / np.sqrt(var + 1e-5)
+
+    def _op_batchnorm(self, node: Node, x):
+        # Folded inference batchnorm: scale/shift absorbed into conv weights
+        # in the quantized deployment, so the reference treats it as
+        # identity (the scheduler still costs its ALU work).
+        return x
+
+    def _op_concat(self, node: Node, *xs):
+        return np.concatenate(xs, axis=node.attr("axis", 1))
+
+    def _op_slice(self, node: Node, x):
+        axis = node.require_attr("axis")
+        start, end = node.require_attr("start"), node.require_attr("end")
+        index = [slice(None)] * x.ndim
+        index[axis] = slice(start, end)
+        return x[tuple(index)]
+
+    def _op_identity(self, node: Node, x):
+        return x
+
+    def _op_padtoken(self, node: Node, x):
+        tokens = node.require_attr("tokens")
+        pad = tokens - x.shape[1]
+        return np.pad(x, ((0, 0), (0, pad), (0, 0)))

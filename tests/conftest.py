@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.arch import (
+    ComputingMode,
+    functional_testbed,
+    isaac_baseline,
+    table2_example,
+)
+from repro.models import conv_relu_example, mlp, residual_toy, tiny_conv
+
+
+@pytest.fixture
+def baseline_arch():
+    """The Table 3 ISAAC-like baseline (WLM mode)."""
+    return isaac_baseline()
+
+
+@pytest.fixture
+def toy_arch():
+    """The Table 2 walkthrough architecture (WLM mode)."""
+    return table2_example()
+
+
+@pytest.fixture
+def testbed_xbm():
+    """Roomy functional-simulation chip in XBM mode."""
+    return functional_testbed(ComputingMode.XBM)
+
+
+@pytest.fixture
+def tiny_graph():
+    return tiny_conv()
+
+
+@pytest.fixture
+def mlp_graph():
+    return mlp()
+
+
+@pytest.fixture
+def residual_graph():
+    return residual_toy()
+
+
+@pytest.fixture
+def conv_relu_graph():
+    return conv_relu_example()

@@ -1,0 +1,185 @@
+"""Hardware abstraction: tier parameters, modes, architecture, presets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import (
+    CellType,
+    ChipTier,
+    CIMArchitecture,
+    ComputingMode,
+    CoreTier,
+    CrossbarTier,
+    get_preset,
+    isaac_baseline,
+    jain2021,
+    jia2021,
+    puma,
+    table2_example,
+)
+from repro.errors import ArchitectureError, ModeError
+
+
+class TestTiers:
+    def test_negative_core_number_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ChipTier(core_number=0)
+
+    def test_grid_mismatch_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ChipTier(core_number=6, core_grid=(2, 2))
+
+    def test_xb_grid_mismatch_rejected(self):
+        with pytest.raises(ArchitectureError):
+            CoreTier(xb_number=5, xb_grid=(2, 2))
+
+    def test_parallel_row_bounds(self):
+        with pytest.raises(ArchitectureError):
+            CrossbarTier(xb_size=(32, 32), parallel_row=64)
+        with pytest.raises(ArchitectureError):
+            CrossbarTier(xb_size=(32, 32), parallel_row=0)
+
+    def test_effective_parallel_row_defaults_to_rows(self):
+        xb = CrossbarTier(xb_size=(64, 32))
+        assert xb.effective_parallel_row == 64
+
+    def test_capacity(self):
+        xb = CrossbarTier(xb_size=(128, 128), cell_bits=2)
+        assert xb.capacity_bits == 128 * 128 * 2
+
+    @given(bits=st.integers(1, 32), cell=st.integers(1, 8))
+    def test_bit_slices_cover_weight(self, bits, cell):
+        xb = CrossbarTier(xb_size=(8, 8), cell_bits=cell)
+        slices = xb.bit_slices(bits)
+        assert slices * cell >= bits
+        assert (slices - 1) * cell < bits
+
+    @given(act=st.integers(1, 32), dac=st.integers(1, 8))
+    def test_input_passes_cover_activation(self, act, dac):
+        xb = CrossbarTier(xb_size=(8, 8), dac_bits=dac)
+        passes = xb.input_passes(act)
+        assert passes * dac >= act
+
+    @given(rows_used=st.integers(1, 128), pr=st.integers(1, 128))
+    def test_row_waves_cover_rows(self, rows_used, pr):
+        xb = CrossbarTier(xb_size=(128, 8), parallel_row=pr)
+        waves = xb.row_waves(rows_used)
+        assert waves * pr >= rows_used
+
+    def test_row_waves_zero_rows(self):
+        assert CrossbarTier(xb_size=(8, 8)).row_waves(0) == 0
+
+
+class TestCellType:
+    def test_only_sram_cheap_writes(self):
+        assert CellType.SRAM.cheap_writes
+        for ct in CellType:
+            if ct is not CellType.SRAM:
+                assert not ct.cheap_writes
+
+    def test_write_ratios_ordered(self):
+        assert CellType.SRAM.write_cost_ratio < \
+            CellType.RERAM.write_cost_ratio < \
+            CellType.FLASH.write_cost_ratio
+
+
+class TestModes:
+    def test_visible_tiers(self):
+        assert ComputingMode.CM.visible_tiers == 1
+        assert ComputingMode.XBM.visible_tiers == 2
+        assert ComputingMode.WLM.visible_tiers == 3
+
+    def test_optimization_levels(self):
+        assert ComputingMode.CM.optimization_levels == ("CG",)
+        assert ComputingMode.XBM.optimization_levels == ("CG", "MVM")
+        assert ComputingMode.WLM.optimization_levels == ("CG", "MVM", "VVM")
+
+    def test_supports(self):
+        assert ComputingMode.XBM.supports("MVM")
+        assert not ComputingMode.XBM.supports("VVM")
+
+
+class TestArchitecture:
+    def test_mode_gates_tier_access(self):
+        arch = jia2021()  # CM
+        arch.visible_chip()
+        with pytest.raises(ModeError):
+            arch.visible_core()
+        with pytest.raises(ModeError):
+            arch.visible_xb()
+        assert jain2021().visible_xb() == jain2021().xb  # WLM sees all
+
+    def test_derived_capacities(self):
+        arch = isaac_baseline()
+        assert arch.total_crossbars == 768 * 16
+        assert arch.core_capacity_bits == 16 * 128 * 128 * 2
+        assert arch.chip_capacity_bits == 768 * arch.core_capacity_bits
+
+    def test_with_variants(self):
+        arch = isaac_baseline()
+        assert arch.with_cores(256).chip.core_number == 256
+        assert arch.with_xb_number(8).core.xb_number == 8
+        assert arch.with_xb_size((64, 512)).xb.xb_size == (64, 512)
+        assert arch.with_parallel_row(4).xb.parallel_row == 4
+        # original untouched (frozen dataclasses)
+        assert arch.chip.core_number == 768
+
+    def test_with_xb_size_clamps_parallel_row(self):
+        arch = isaac_baseline().with_xb_size((4, 128))
+        assert arch.xb.parallel_row == 4
+
+    def test_describe_has_paper_fields(self):
+        desc = puma().describe()
+        assert desc["Chip_tier"]["core_number"] == 138
+        assert desc["XB_tier"]["Type"] == "ReRAM"
+        assert desc["Computing_Mode"] == "XBM"
+
+
+class TestPresets:
+    def test_table3_baseline(self):
+        arch = isaac_baseline()
+        assert arch.chip.core_number == 768
+        assert arch.core.xb_number == 16
+        assert arch.xb.xb_size == (128, 128)
+        assert arch.xb.parallel_row == 8
+        assert arch.chip.alu_ops == 1024
+        assert arch.chip.l0_bw_bits == 384
+        assert arch.core.l1_bw_bits == 8192
+        assert arch.xb.cell_type is CellType.RERAM
+        assert arch.xb.cell_bits == 2
+
+    def test_fig17_jia(self):
+        arch = jia2021()
+        assert arch.mode is ComputingMode.CM
+        assert arch.chip.core_number == 16
+        assert arch.xb.xb_size == (1152, 256)
+        assert arch.xb.parallel_row == 1152
+        assert arch.xb.cell_type is CellType.SRAM
+
+    def test_fig18_puma(self):
+        arch = puma()
+        assert arch.mode is ComputingMode.XBM
+        assert arch.chip.core_number == 138
+        assert arch.core.xb_number == 2
+        assert arch.chip.l0_size_bits == 96 * 8 * 1024
+        assert arch.chip.core_noc.topology == "mesh"
+
+    def test_fig19_jain(self):
+        arch = jain2021()
+        assert arch.mode is ComputingMode.WLM
+        assert arch.xb.xb_size == (256, 64)
+        assert arch.xb.parallel_row == 32
+        assert arch.xb.adc_bits == 6
+
+    def test_table2_example(self):
+        arch = table2_example()
+        assert arch.chip.core_number == 2
+        assert arch.core.xb_number == 2
+        assert arch.xb.xb_size == (32, 128)
+        assert arch.xb.parallel_row == 16
+
+    def test_get_preset(self):
+        assert get_preset("puma").name == "puma"
+        with pytest.raises(KeyError):
+            get_preset("nonexistent")

@@ -1,0 +1,132 @@
+"""GraphBuilder, JSON serialization round-trip, and graph transforms."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    GraphBuilder,
+    annotate_depth,
+    critical_path,
+    eliminate_dead_nodes,
+    fold_identities,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.models import residual_toy, tiny_conv, vit_tiny
+
+
+class TestBuilder:
+    def test_sequential_net_shapes(self):
+        b = GraphBuilder("net")
+        x = b.input("x", (1, 3, 8, 8))
+        x = b.conv(x, 8, kernel=3, padding=1)
+        x = b.relu(x)
+        x = b.maxpool(x, kernel=2)
+        x = b.flatten(x)
+        x = b.gemm(x, 10)
+        g = b.build([x])
+        assert g.tensors[g.outputs[0]].shape == (1, 10)
+
+    def test_conv_requires_known_input_shape(self):
+        b = GraphBuilder("net")
+        with pytest.raises(GraphError, match="unknown shape"):
+            b.conv("mystery", 8, kernel=3)
+
+    def test_residual_wiring(self):
+        g = residual_toy()
+        add = g.node("residual_add")
+        assert len(add.inputs) == 2
+        # One operand comes from conv2, the other is the graph input.
+        assert [p.name for p in g.predecessors(add)] == ["conv2"]
+
+    def test_weight_bits_follow_builder_default(self):
+        b = GraphBuilder("net", bits=4)
+        x = b.input("x", (1, 4))
+        b.gemm(x, 2, name="fc")
+        assert b._tensors["fc_w"].bits == 4
+
+    def test_bias_tensors_created(self):
+        b = GraphBuilder("net")
+        x = b.input("x", (1, 4))
+        b.gemm(x, 2, bias=True, name="fc")
+        assert "fc_b" in b._tensors
+        assert b._tensors["fc_b"].is_weight
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("factory", [tiny_conv, residual_toy, vit_tiny])
+    def test_roundtrip_preserves_structure(self, factory):
+        g = factory()
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2.name == g.name
+        assert [n.name for n in g2.topological()] == \
+            [n.name for n in g.topological()]
+        for name, spec in g.tensors.items():
+            assert g2.tensors[name].shape == spec.shape
+            assert g2.tensors[name].is_weight == spec.is_weight
+
+    def test_roundtrip_preserves_tuple_attrs(self):
+        g = tiny_conv()
+        g2 = graph_from_dict(graph_to_dict(g))
+        for n1, n2 in zip(g.topological(), g2.topological()):
+            assert n1.attrs == n2.attrs
+
+    def test_file_roundtrip(self, tmp_path):
+        g = tiny_conv()
+        path = tmp_path / "model.json"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert len(g2.nodes) == len(g.nodes)
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(GraphError, match="schema"):
+            graph_from_dict({"schema": 99})
+
+
+class TestTransforms:
+    def test_dead_node_elimination(self):
+        b = GraphBuilder("net")
+        x = b.input("x", (1, 4))
+        live = b.gemm(x, 4, name="live")
+        b.gemm(x, 4, name="dead")  # output unused
+        g = b.build([live])
+        pruned = eliminate_dead_nodes(g)
+        names = {n.name for n in pruned.nodes}
+        assert "live" in names and "dead" not in names
+
+    def test_identity_folding(self):
+        b = GraphBuilder("net")
+        x = b.input("x", (1, 4))
+        y = b.node("Identity", [x], name="id")
+        z = b.relu(y, name="r")
+        g = b.build([z])
+        folded = fold_identities(g)
+        assert all(n.op_type != "Identity" for n in folded.nodes)
+        r = folded.node("r")
+        assert r.inputs == ["x"]
+
+    def test_identity_as_output_rewired(self):
+        b = GraphBuilder("net")
+        x = b.input("x", (1, 4))
+        y = b.relu(x, name="r")
+        z = b.node("Identity", [y], name="id")
+        g = b.build([z])
+        folded = fold_identities(g)
+        assert folded.outputs == ["r_out"]
+
+    def test_depth_annotation(self):
+        g = tiny_conv()
+        depth = annotate_depth(g)
+        for node in g.topological():
+            for pred in g.predecessors(node):
+                assert depth[node.name] > depth[pred.name]
+            assert node.annotations["depth"] == depth[node.name]
+
+    def test_critical_path_is_a_chain(self):
+        g = residual_toy()
+        path = critical_path(g)
+        assert len(path) >= 4  # conv1, relu1, conv2, add, relu2
+        for a, b in zip(path, path[1:]):
+            assert b in g.successors(a)

@@ -1,0 +1,163 @@
+"""CG-grained optimization: duplication searches, balancing, segmentation.
+
+The duplication searches are verified against exhaustive brute force on
+small synthetic instances (hypothesis generates them), which is the ground
+truth the paper's dynamic-programming search would also find.
+"""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import isaac_baseline
+from repro.errors import CapacityError
+from repro.models import conv_relu_example, resnet18, tiny_conv
+from repro.sched import (
+    CostModel,
+    duplicate_min_bottleneck,
+    duplicate_min_total,
+    schedule_cg,
+    segment_graph,
+)
+from repro.sched.costs import OpProfile
+
+
+def make_profile(name, num_mvms, mvm_cycles, cores=1):
+    """Synthetic CIM profile with exact latency num_mvms/d * mvm_cycles."""
+    return OpProfile(
+        name=name, op_type="Conv", is_cim=True,
+        num_mvms=num_mvms, vxb=None, n_xb=cores, cores_per_replica=cores,
+        mvm_cycles_base=mvm_cycles, row_waves=1, input_passes=mvm_cycles,
+        alu_cycles=0.0, mov_cycles=0.0, weight_bits=1, in_bits=1, out_bits=1,
+        fill_fraction=0.1, max_useful_dup=num_mvms,
+    )
+
+
+def brute_force(profiles, budget, objective):
+    """Exhaustive search over all duplication vectors within budget."""
+    best = None
+    ranges = [range(1, budget // p.cores_per_replica + 1) for p in profiles]
+    for combo in itertools.product(*ranges):
+        cost = sum(d * p.cores_per_replica for d, p in zip(combo, profiles))
+        if cost > budget:
+            continue
+        value = objective([p.latency(d) for p, d in zip(profiles, combo)])
+        if best is None or value < best:
+            best = value
+    return best
+
+
+small_instances = st.lists(
+    st.tuples(st.integers(1, 30),     # num_mvms
+              st.integers(1, 20),     # mvm_cycles
+              st.integers(1, 3)),     # cores per replica
+    min_size=1, max_size=3,
+)
+
+
+class TestDuplicationOptimality:
+    @settings(max_examples=30, deadline=None)
+    @given(instance=small_instances, budget=st.integers(3, 10))
+    def test_min_total_matches_brute_force(self, instance, budget):
+        profiles = [make_profile(f"op{i}", *params)
+                    for i, params in enumerate(instance)]
+        if sum(p.cores_per_replica for p in profiles) > budget:
+            return  # infeasible instance; covered by the capacity test
+        dups = duplicate_min_total(profiles, budget)
+        mine = sum(p.latency(dups[p.name]) for p in profiles)
+        best = brute_force(profiles, budget, sum)
+        assert mine == pytest.approx(best)
+
+    @settings(max_examples=30, deadline=None)
+    @given(instance=small_instances, budget=st.integers(3, 10))
+    def test_min_bottleneck_matches_brute_force(self, instance, budget):
+        profiles = [make_profile(f"op{i}", *params)
+                    for i, params in enumerate(instance)]
+        if sum(p.cores_per_replica for p in profiles) > budget:
+            return
+        dups = duplicate_min_bottleneck(profiles, budget)
+        mine = max(p.latency(dups[p.name]) for p in profiles)
+        best = brute_force(profiles, budget, max)
+        assert mine == pytest.approx(best)
+
+    def test_budget_respected(self):
+        profiles = [make_profile("a", 100, 10), make_profile("b", 50, 10)]
+        for search in (duplicate_min_total, duplicate_min_bottleneck):
+            dups = search(profiles, 7)
+            assert sum(dups.values()) <= 7
+
+    def test_infeasible_raises(self):
+        profiles = [make_profile("a", 10, 10, cores=5)]
+        with pytest.raises(CapacityError):
+            duplicate_min_total(profiles, 4)
+        with pytest.raises(CapacityError):
+            duplicate_min_bottleneck(profiles, 4)
+
+    def test_heavy_op_gets_more_replicas(self):
+        profiles = [make_profile("heavy", 1000, 10),
+                    make_profile("light", 10, 10)]
+        dups = duplicate_min_bottleneck(profiles, 20)
+        assert dups["heavy"] > dups["light"]
+
+    def test_digital_ops_ignored(self):
+        digital = OpProfile(
+            name="relu", op_type="Relu", is_cim=False, num_mvms=0,
+            vxb=None, n_xb=0, cores_per_replica=0, mvm_cycles_base=0,
+            row_waves=0, input_passes=0, alu_cycles=5.0, mov_cycles=0.0,
+            weight_bits=0, in_bits=1, out_bits=1, fill_fraction=1.0,
+            max_useful_dup=1)
+        dups = duplicate_min_total([digital, make_profile("c", 8, 4)], 8)
+        assert dups["relu"] == 1
+
+
+class TestSegmentation:
+    def test_single_segment_when_fits(self):
+        arch = isaac_baseline()
+        graph = resnet18()
+        profiles = CostModel(arch).profiles(graph)
+        segments = segment_graph(graph, profiles, arch)
+        assert len(segments) == 1
+        assert sum(len(s) for s in segments) == len(graph.nodes)
+
+    def test_multi_segment_when_constrained(self):
+        arch = isaac_baseline().with_cores(8)
+        graph = resnet18()
+        profiles = CostModel(arch).profiles(graph)
+        segments = segment_graph(graph, profiles, arch)
+        assert len(segments) > 1
+        # Segments partition the topological order exactly.
+        flat = [n for seg in segments for n in seg]
+        assert flat == [n.name for n in graph.topological()]
+
+    def test_every_segment_fits(self):
+        arch = isaac_baseline().with_cores(8)
+        graph = resnet18()
+        sched = schedule_cg(graph, arch)
+        sched.validate_resources()  # raises on violation
+
+
+class TestScheduleCG:
+    def test_annotations_written(self):
+        graph = conv_relu_example()
+        sched = schedule_cg(graph, isaac_baseline())
+        conv = graph.node("conv")
+        assert conv.annotations["duplication"] == \
+            sched.decision("conv").dup_cg
+        assert "segment" in conv.annotations
+
+    def test_duplicate_false_keeps_one_replica(self):
+        sched = schedule_cg(tiny_conv(), isaac_baseline(), duplicate=False)
+        assert all(d.dup_cg == 1 for d in sched.decisions.values())
+
+    def test_pipeline_objective_differs_from_total(self):
+        graph = resnet18()
+        arch = isaac_baseline()
+        pipe = schedule_cg(graph, arch, pipelined=True)
+        total = schedule_cg(graph, arch, pipelined=False)
+        # The two objectives allocate differently on a real network.
+        assert any(
+            pipe.decision(n.name).dup_cg != total.decision(n.name).dup_cg
+            for n in graph.cim_nodes())

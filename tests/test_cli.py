@@ -1,0 +1,62 @@
+"""CLI: every subcommand runs and prints sensible output."""
+
+import pytest
+
+from repro.cli import MODELS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["describe", "imaginary-chip"])
+
+
+class TestCommands:
+    def test_presets(self, capsys):
+        main(["presets"])
+        out = capsys.readouterr().out
+        assert "isaac-baseline" in out and "puma" in out
+
+    def test_models(self, capsys):
+        main(["models"])
+        out = capsys.readouterr().out
+        assert "resnet18" in out and "vit-base" in out
+
+    def test_describe(self, capsys):
+        main(["describe", "puma"])
+        out = capsys.readouterr().out
+        assert '"core_number": 138' in out
+        assert '"Computing_Mode": "XBM"' in out
+
+    def test_compile_small_model(self, capsys):
+        main(["compile", "--arch", "functional-testbed",
+              "--model", "tiny-conv", "--ablation"])
+        out = capsys.readouterr().out
+        assert "CIM-MLC" in out
+        assert "up to CG" in out
+
+    def test_compile_unknown_model(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["compile", "--model", "skynet"])
+
+    def test_codegen_conv_relu(self, capsys):
+        main(["codegen", "--arch", "table2-example",
+              "--model", "conv-relu", "--max-lines", "10"])
+        out = capsys.readouterr().out
+        assert "more lines" in out
+
+    def test_schedule_flag(self, capsys):
+        main(["compile", "--arch", "functional-testbed",
+              "--model", "mlp", "--schedule"])
+        out = capsys.readouterr().out
+        assert "segment 0" in out
+
+    def test_model_zoo_entries_buildable(self):
+        for name, factory in MODELS.items():
+            if name in ("mlp", "tiny-conv", "conv-relu", "lenet", "vgg7"):
+                graph = factory()
+                assert len(graph.nodes) > 0

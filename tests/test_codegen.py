@@ -1,0 +1,132 @@
+"""BNF codegen: emission format and parse round-trip (incl. property test)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodegenError
+from repro.mops import (
+    CustomOp,
+    DigitalOp,
+    MetaOperatorFlow,
+    Mov,
+    ParallelBlock,
+    ReadCore,
+    ReadRow,
+    ReadXb,
+    WriteRow,
+    WriteXb,
+    emit,
+    parse_flow,
+)
+
+
+class TestEmission:
+    def test_readcore_syntax(self):
+        flow = MetaOperatorFlow("t", [ReadCore("conv", 0, 0, 3072,
+                                               (("stride", 1),))])
+        text = emit(flow)
+        assert "cim.readcore(type=conv, params={stride:1}, coreaddr=0, " \
+            "src=0, dst=3072)" in text
+
+    def test_parallel_braces(self):
+        flow = MetaOperatorFlow("t", [ParallelBlock((ReadXb(0), ReadXb(1)))])
+        lines = emit(flow).splitlines()
+        assert lines[0] == "parallel {"
+        assert lines[-1] == "}"
+
+    def test_rowaddr_format_matches_paper(self):
+        flow = MetaOperatorFlow("t", [
+            WriteRow(0, 0, 16, "A"),
+            ReadRow(1, 16, 16),
+        ])
+        text = emit(flow)
+        assert "cim.writerow(rowaddr=xb0_row0~15, value=A)" in text
+        assert "cim.readrow(rowaddr=xb1_row16, len=16)" in text
+
+    def test_mov_spaces(self):
+        flow = MetaOperatorFlow("t", [Mov(0, 5, 3, "L1", "L0")])
+        assert "mov(src=L1:0, dst=L0:5, len=3)" in emit(flow)
+
+    def test_multi_source_dcom(self):
+        flow = MetaOperatorFlow("t", [DigitalOp("add", (1, 2), 3, 4)])
+        assert "add(src1=1, src2=2, dst=3, len=4)" in emit(flow)
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        flow = parse_flow("// header\n\n# note\nmov(src=L0:0, dst=L1:1, len=2)\n")
+        assert len(flow.statements) == 1
+
+    def test_unterminated_parallel_rejected(self):
+        with pytest.raises(CodegenError, match="unterminated"):
+            parse_flow("parallel {\ncim.readxb(xbaddr=0, len=1)\n")
+
+    def test_unmatched_brace_rejected(self):
+        with pytest.raises(CodegenError):
+            parse_flow("}\n")
+
+    def test_nested_parallel_rejected(self):
+        with pytest.raises(CodegenError):
+            parse_flow("parallel {\nparallel {\n}\n}\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CodegenError):
+            parse_flow("this is not a meta operator\n")
+
+    def test_bad_rowaddr_rejected(self):
+        with pytest.raises(CodegenError):
+            parse_flow("cim.readrow(rowaddr=banana, len=1)\n")
+
+
+# ---------------------------------------------------------------------------
+# Round-trip property test over randomly generated flows
+# ---------------------------------------------------------------------------
+
+_leaf = st.one_of(
+    st.builds(ReadXb, xbaddr=st.integers(0, 99), length=st.integers(1, 8)),
+    st.builds(WriteXb, xbaddr=st.integers(0, 99),
+              mat=st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}",
+                                fullmatch=True)),
+    st.builds(ReadRow, xbaddr=st.integers(0, 99), row=st.integers(0, 63),
+              length=st.integers(1, 16)),
+    st.builds(WriteRow, xbaddr=st.integers(0, 99), row=st.integers(0, 63),
+              length=st.integers(1, 16),
+              value=st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}",
+                                  fullmatch=True)),
+    st.builds(Mov, src=st.integers(0, 9999), dst=st.integers(0, 9999),
+              length=st.integers(1, 512),
+              src_space=st.sampled_from(["L0", "L1"]),
+              dst_space=st.sampled_from(["L0", "L1"])),
+    st.builds(DigitalOp,
+              fn=st.sampled_from(["relu", "add", "shiftadd", "gap"]),
+              srcs=st.lists(st.integers(0, 999), min_size=1,
+                            max_size=3).map(tuple),
+              dst=st.integers(0, 999), length=st.integers(1, 64)),
+    st.builds(ReadCore,
+              op_type=st.sampled_from(["conv", "gemm"]),
+              coreaddr=st.integers(0, 9), src=st.integers(0, 999),
+              dst=st.integers(0, 999)),
+)
+
+_stmt = st.one_of(
+    _leaf,
+    st.lists(_leaf, min_size=2, max_size=4).map(
+        lambda ops: ParallelBlock(tuple(ops))),
+)
+
+
+@given(stmts=st.lists(_stmt, max_size=12))
+def test_emit_parse_roundtrip(stmts):
+    flow = MetaOperatorFlow("prop", stmts)
+    text = emit(flow)
+    parsed = parse_flow(text)
+    assert emit(parsed) == text
+    assert len(parsed.statements) == len(flow.statements)
+
+
+@given(stmts=st.lists(_leaf, min_size=1, max_size=8))
+def test_roundtrip_preserves_statistics(stmts):
+    flow = MetaOperatorFlow("prop", stmts)
+    parsed = parse_flow(emit(flow))
+    assert parsed.stats() == flow.stats()

@@ -1,0 +1,116 @@
+"""Compiler facade, options, and baseline schedulers."""
+
+import pytest
+
+from repro.arch import (
+    ComputingMode,
+    isaac_baseline,
+    jain2021,
+    jia2021,
+    puma,
+)
+from repro.errors import ScheduleError
+from repro.models import conv_relu_example, resnet18, tiny_conv
+from repro.sched import (
+    CIMMLC,
+    CompilerOptions,
+    capability_matrix,
+    no_optimization,
+    poly_schedule,
+    puma_schedule,
+    vendor_schedule,
+)
+
+
+class TestOptions:
+    def test_bad_level_rejected(self):
+        with pytest.raises(ScheduleError):
+            CompilerOptions(max_level="XXL")
+
+    def test_levels_follow_mode(self):
+        graph = conv_relu_example()
+        assert CIMMLC(jia2021()).levels() == ("CG",)
+        assert CIMMLC(puma()).levels() == ("CG", "MVM")
+        assert CIMMLC(jain2021()).levels() == ("CG", "MVM", "VVM")
+
+    def test_max_level_truncates(self):
+        assert CIMMLC(jain2021(),
+                      CompilerOptions(max_level="CG")).levels() == ("CG",)
+        assert CIMMLC(jain2021(),
+                      CompilerOptions(max_level="MVM")).levels() == \
+            ("CG", "MVM")
+
+    def test_max_level_beyond_mode_ignored(self):
+        # Asking a CM chip for VVM yields only what the mode exposes.
+        assert CIMMLC(jia2021(),
+                      CompilerOptions(max_level="VVM")).levels() == ("CG",)
+
+
+class TestCompile:
+    def test_schedule_levels_recorded(self):
+        result = CIMMLC(isaac_baseline()).compile(conv_relu_example())
+        assert tuple(result.schedule.levels) == ("CG", "MVM", "VVM")
+        assert result.total_cycles > 0
+        assert result.peak_power > 0
+
+    def test_compile_is_deterministic(self):
+        arch = isaac_baseline()
+        graph = resnet18()
+        a = CIMMLC(arch).compile(graph).total_cycles
+        b = CIMMLC(arch).compile(graph).total_cycles
+        assert a == b
+
+    def test_optimized_beats_baseline(self):
+        arch = isaac_baseline()
+        graph = resnet18()
+        base = no_optimization(graph, arch)
+        ours = CIMMLC(arch).compile(graph)
+        assert ours.total_cycles < base.total_cycles
+
+    def test_resources_valid_on_every_preset(self):
+        graph = tiny_conv()
+        for arch in (isaac_baseline(), puma(), jia2021(), jain2021()):
+            result = CIMMLC(arch).compile(graph)
+            result.schedule.validate_resources()
+
+
+class TestBaselines:
+    def test_no_optimization_is_sequential_single_replica(self):
+        sched = no_optimization(conv_relu_example(),
+                                isaac_baseline()).schedule
+        assert not sched.pipelined
+        assert all(d.dup == 1 for d in sched.decisions.values())
+
+    def test_vendor_is_alias(self):
+        graph = conv_relu_example()
+        arch = isaac_baseline()
+        assert vendor_schedule(graph, arch).total_cycles == \
+            no_optimization(graph, arch).total_cycles
+
+    def test_puma_schedule_pipelines_without_stagger(self):
+        result = puma_schedule(conv_relu_example(), puma())
+        assert result.schedule.pipelined
+        assert all(not d.mvm_pipelined
+                   for d in result.schedule.decisions.values())
+
+    def test_poly_schedule_between_baseline_and_ours(self):
+        graph = resnet18()
+        arch = isaac_baseline()
+        base = no_optimization(graph, arch).total_cycles
+        poly = poly_schedule(graph, arch).total_cycles
+        ours = CIMMLC(arch).compile(graph).total_cycles
+        assert ours < poly < base
+
+    def test_poly_schedule_respects_budget(self):
+        result = poly_schedule(resnet18(), isaac_baseline())
+        result.schedule.validate_resources()
+
+
+class TestCapabilityMatrix:
+    def test_table1_claims(self):
+        caps = capability_matrix()
+        assert set(caps["modes"]) == {"CM", "XBM", "WLM"}
+        assert "SRAM" in caps["devices"] and "ReRAM" in caps["devices"]
+        assert "FLASH" in caps["devices"]          # the MISC column
+        assert caps["optimization_granularity"] == \
+            ["VVM", "MVM", "DNN Operators"]

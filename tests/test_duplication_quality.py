@@ -1,0 +1,51 @@
+"""Large-budget greedy duplication vs the exact DP: quality guarantee."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.cg import _min_total_exact, duplicate_min_total
+from tests.test_cg import make_profile
+
+medium_instances = st.lists(
+    st.tuples(st.integers(1, 200),    # num_mvms
+              st.integers(1, 50),     # mvm_cycles
+              st.integers(1, 4)),     # cores per replica
+    min_size=2, max_size=5,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=medium_instances)
+def test_greedy_close_to_exact(instance):
+    """The jump greedy (used for real chip budgets) stays within 15% of the
+    exact DP optimum on budgets just above the exact-DP threshold.
+
+    Greedy over non-uniform core costs is a knapsack relaxation, so a small
+    integrality gap is inherent; real chips (hundreds of cores, many ops)
+    sit far from these adversarial two-op corner cases.
+    """
+    profiles = [make_profile(f"op{i}", *params)
+                for i, params in enumerate(instance)]
+    budget = 65   # first budget on the greedy path
+    if sum(p.cores_per_replica for p in profiles) > budget:
+        return
+    greedy = duplicate_min_total(profiles, budget)
+    exact = _min_total_exact(profiles, budget)
+    greedy_total = sum(p.latency(greedy[p.name]) for p in profiles)
+    exact_total = sum(p.latency(exact[p.name]) for p in profiles)
+    assert greedy_total <= exact_total * 1.15 + 1e-9
+    assert greedy_total >= exact_total - 1e-9   # exact is a lower bound
+
+
+def test_exact_dp_uses_leftover_budget_optimally():
+    profiles = [make_profile("a", 12, 10), make_profile("b", 12, 10)]
+    dups = _min_total_exact(profiles, 8)
+    # 12 windows, 8 cores: best split is 4/4 (3 windows each).
+    assert dups == {"a": 4, "b": 4}
+
+
+def test_greedy_handles_single_op_saturation():
+    profiles = [make_profile("solo", 10, 5)]
+    dups = duplicate_min_total(profiles, 100)
+    assert dups["solo"] == 10   # duplication beyond windows is useless

@@ -1,0 +1,28 @@
+"""Every example script runs to completion (smoke level)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_FAST = [
+    "examples/codegen_conv_relu.py",
+    "examples/functional_verification.py",
+    "examples/custom_hardware_ops.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES_FAST)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(script, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()   # produced some report
+
+
+def test_quickstart_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/quickstart.py"])
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "CIM-MLC" in out
+    assert "speedup" in out

@@ -1,0 +1,83 @@
+"""Experiment drivers: smoke + shape checks on reduced workloads.
+
+The full paper-scale experiments run from ``benchmarks/``; here each driver
+executes on small inputs and the paper's qualitative claims (orderings,
+directions) are asserted.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    fig16_codegen,
+    fig16_stats,
+    fig20c_jain,
+    fig20d_poly,
+    fig22a_cores,
+    fig22d_parallel_row,
+    table1,
+)
+from repro.models import tiny_conv, vgg7, vit_tiny
+
+
+class TestCommon:
+    def test_result_table_and_lookup(self):
+        result = ExperimentResult("X", "demo")
+        result.add("row", 2.0, 3.0)
+        assert "row" in result.table()
+        assert result.row("row").paper == 3.0
+        with pytest.raises(KeyError):
+            result.row("nope")
+        assert result.as_dict() == {"row": 2.0}
+
+
+class TestFig16:
+    def test_listings_per_mode(self):
+        listings = fig16_codegen(max_lines=10)
+        assert set(listings) == {"CM", "XBM", "WLM"}
+        assert "cim.readcore" in listings["CM"]
+        assert "cim.readxb" in listings["XBM"] or \
+            "cim.writexb" in listings["XBM"]
+        assert "cim.writerow" in listings["WLM"]
+
+    def test_stats_ordering(self):
+        stats = fig16_stats().as_dict()
+        # Finer interfaces need more meta-operators.
+        assert stats["CM flow statements"] < stats["XBM flow statements"] \
+            <= stats["WLM flow statements"]
+
+
+class TestFig20:
+    def test_jain_level_ordering(self):
+        result = fig20c_jain(vgg7())
+        cg = result.row("CG-grained").measured
+        mvm = result.row("CG+MVM-grained").measured
+        vvm = result.row("CG+MVM+VVM-grained").measured
+        assert 1.0 <= cg <= mvm <= vvm
+
+    def test_poly_comparison_ordering(self):
+        result = fig20d_poly(tiny_conv())
+        base = result.row("w/o optimization (cycles)").measured
+        poly = result.row("Poly-Schedule (cycles)").measured
+        ours = result.row("CIM-MLC (cycles)").measured
+        assert ours <= poly <= base
+
+
+class TestFig22:
+    def test_more_cores_never_slower(self):
+        result = fig22a_cores(core_numbers=(64, 256), graph=vit_tiny())
+        assert result.row("cores=256 CG").measured >= \
+            result.row("cores=64 CG").measured
+
+    def test_vvm_recovers_low_parallel_rows(self):
+        result = fig22d_parallel_row(rows=(64, 8), graph=vit_tiny())
+        # At 8 parallel rows the VVM remap must beat plain MVM scheduling.
+        assert result.row("pr=8 CG+MVM+VVM").measured >= \
+            result.row("pr=8 CG+MVM").measured
+
+
+class TestTable1:
+    def test_all_capabilities_execute(self):
+        result = table1()
+        for row in result.rows:
+            assert row.measured >= 1.0

@@ -1,0 +1,118 @@
+"""Flow validator: mode gating, address ranges, write-before-read."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ComputingMode, table2_example
+from repro.errors import CodegenError
+from repro.mops import (
+    FlowValidator,
+    MetaOperatorFlow,
+    ParallelBlock,
+    ReadCore,
+    ReadRow,
+    ReadXb,
+    WriteRow,
+    WriteXb,
+)
+
+
+def flow_with(*stmts, constants=None):
+    flow = MetaOperatorFlow("t", list(stmts))
+    for name, value in (constants or {}).items():
+        flow.add_constant(name, value)
+    return flow
+
+
+def cells(rows=4, cols=4):
+    return np.zeros((rows, cols))
+
+
+class TestModeGating:
+    def test_readcore_only_in_cm(self):
+        arch = table2_example(ComputingMode.XBM)
+        flow = flow_with(ReadCore("conv", 0, 0, 0))
+        with pytest.raises(CodegenError, match="CM meta-operator"):
+            FlowValidator(arch).validate(flow)
+        FlowValidator(table2_example(ComputingMode.CM)).validate(flow)
+
+    def test_readxb_not_in_cm(self):
+        arch = table2_example(ComputingMode.CM)
+        flow = flow_with(WriteXb(0, "A"), ReadXb(0),
+                         constants={"A": cells()})
+        with pytest.raises(CodegenError, match="requires XBM/WLM"):
+            FlowValidator(arch).validate(flow)
+
+    def test_readrow_requires_wlm(self):
+        arch = table2_example(ComputingMode.XBM)
+        flow = flow_with(WriteRow(0, 0, 4, "A"), ReadRow(0, 0, 4),
+                         constants={"A": cells()})
+        with pytest.raises(CodegenError, match="requires WLM"):
+            FlowValidator(arch).validate(flow)
+
+
+class TestRanges:
+    def test_core_out_of_range(self):
+        arch = table2_example(ComputingMode.CM)
+        flow = flow_with(ReadCore("conv", 5, 0, 0))
+        with pytest.raises(CodegenError, match="coreaddr"):
+            FlowValidator(arch).validate(flow)
+
+    def test_crossbar_out_of_range(self):
+        arch = table2_example(ComputingMode.XBM)  # 4 crossbars total
+        flow = flow_with(WriteXb(3, "A"), ReadXb(3, 2),
+                         constants={"A": cells()})
+        with pytest.raises(CodegenError, match="exceeds"):
+            FlowValidator(arch).validate(flow)
+
+    def test_row_range_exceeds_height(self):
+        arch = table2_example(ComputingMode.WLM)  # 32-row crossbars
+        flow = flow_with(WriteRow(0, 20, 20, "A"),
+                         constants={"A": cells(20)})
+        with pytest.raises(CodegenError, match="exceed crossbar height"):
+            FlowValidator(arch).validate(flow)
+
+    def test_readrow_exceeds_parallel_row(self):
+        arch = table2_example(ComputingMode.WLM)  # parallel_row = 16
+        flow = flow_with(WriteRow(0, 0, 32, "A"), ReadRow(0, 0, 32),
+                         constants={"A": cells(32)})
+        with pytest.raises(CodegenError, match="parallel_row"):
+            FlowValidator(arch).validate(flow)
+
+
+class TestOrderingRules:
+    def test_read_before_write_rejected(self):
+        arch = table2_example(ComputingMode.XBM)
+        flow = flow_with(ReadXb(0))
+        with pytest.raises(CodegenError, match="before any"):
+            FlowValidator(arch).validate(flow)
+
+    def test_readrow_before_write_rejected(self):
+        arch = table2_example(ComputingMode.WLM)
+        flow = flow_with(ReadRow(0, 0, 8))
+        with pytest.raises(CodegenError, match="before it is written"):
+            FlowValidator(arch).validate(flow)
+
+    def test_double_activation_in_parallel_rejected(self):
+        arch = table2_example(ComputingMode.XBM)
+        flow = flow_with(
+            WriteXb(0, "A"),
+            ParallelBlock((ReadXb(0), ReadXb(0))),
+            constants={"A": cells()})
+        with pytest.raises(CodegenError, match="activated twice"):
+            FlowValidator(arch).validate(flow)
+
+    def test_undefined_constant_rejected(self):
+        arch = table2_example(ComputingMode.XBM)
+        flow = flow_with(WriteXb(0, "ghost"))
+        with pytest.raises(CodegenError, match="undefined constant"):
+            FlowValidator(arch).validate(flow)
+
+    def test_valid_flow_returns_stats(self):
+        arch = table2_example(ComputingMode.XBM)
+        flow = flow_with(
+            WriteXb(0, "A"), WriteXb(1, "A"),
+            ParallelBlock((ReadXb(0), ReadXb(1))),
+            constants={"A": cells()})
+        stats = FlowValidator(arch).validate(flow)
+        assert stats == {"steps": 3, "cim_reads": 2, "cim_writes": 2}

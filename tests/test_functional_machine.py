@@ -1,0 +1,180 @@
+"""CIMMachine: per-meta-operator semantics at the unit level."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ComputingMode, table2_example
+from repro.errors import SimulationError
+from repro.mops import (
+    DigitalOp,
+    MetaOperatorFlow,
+    Mov,
+    ReadRow,
+    ReadXb,
+    WriteRow,
+    WriteXb,
+)
+from repro.quant import encode_matrix
+from repro.sim.functional import CIMMachine, FlowProgram
+from repro.sim.memory import BufferSpace, BumpAllocator, MachineMemory
+
+
+def machine(mode=ComputingMode.XBM):
+    return CIMMachine(table2_example(mode), l0_size=1 << 16)
+
+
+def run_ops(m, ops, constants=None, inputs=None, offsets=None):
+    flow = MetaOperatorFlow("t", ops)
+    for name, value in (constants or {}).items():
+        flow.add_constant(name, value)
+    program = FlowProgram(flow, offsets or {"in": 0})
+    m.run(program, inputs or {})
+    return program
+
+
+class TestBuffers:
+    def test_out_of_range_read(self):
+        buf = BufferSpace("b", 8)
+        with pytest.raises(SimulationError):
+            buf.read(6, 4)
+
+    def test_accumulate(self):
+        buf = BufferSpace("b", 4)
+        buf.write(0, np.ones(4))
+        buf.accumulate(0, np.ones(4))
+        assert np.array_equal(buf.read(0, 4), 2 * np.ones(4))
+
+    def test_bump_allocator_exhaustion(self):
+        alloc = BumpAllocator(10)
+        alloc.alloc(8)
+        with pytest.raises(Exception):
+            alloc.alloc(4, "too-big")
+
+    def test_memory_layout_disjoint(self):
+        mem = MachineMemory(table2_example(), l0_size=16)
+        regions = []
+        for xb in range(4):
+            regions.append((mem.stage_addr(xb), mem.arch.xb.rows))
+            regions.append((mem.acc_addr(xb), mem.arch.xb.cols))
+            regions.append((mem.scratch_addr(xb), mem.arch.xb.cols))
+        regions.sort()
+        for (a_start, a_len), (b_start, _) in zip(regions, regions[1:]):
+            assert a_start + a_len <= b_start
+
+
+class TestCrossbarOps:
+    def test_mov_l0_to_l1(self):
+        m = machine()
+        run_ops(m, [Mov(0, m.mem.stage_addr(0), 4)],
+                inputs={"in": np.array([1, 2, 3, 4])})
+        assert np.array_equal(
+            m.mem.l1.read(m.mem.stage_addr(0), 4), [1, 2, 3, 4])
+
+    def test_readxb_computes_mvm(self):
+        m = machine()
+        cells = np.zeros((32, 128))
+        cells[:3, :2] = [[1, 2], [3, 4], [5, 6]]
+        ops = [
+            Mov(0, m.mem.stage_addr(0), 3),
+            WriteXb(0, "W"),
+            ReadXb(0),
+        ]
+        run_ops(m, ops, constants={"W": cells},
+                inputs={"in": np.array([1, 1, 1])})
+        acc = m.mem.l1.read(m.mem.acc_addr(0), 2)
+        assert np.array_equal(acc, [9, 12])
+
+    def test_readxb_accumulates_across_activations(self):
+        m = machine()
+        cells = np.ones((32, 128))
+        ops = [Mov(0, m.mem.stage_addr(0), 2), WriteXb(0, "W"),
+               ReadXb(0), ReadXb(0)]
+        run_ops(m, ops, constants={"W": cells},
+                inputs={"in": np.array([1, 1])})
+        assert m.mem.l1.read(m.mem.acc_addr(0), 1)[0] == 4
+
+    def test_readrow_partial_activation(self):
+        m = machine(ComputingMode.WLM)
+        cells = np.ones((8, 4))
+        ops = [
+            Mov(0, m.mem.stage_addr(0), 8),
+            WriteRow(0, 0, 8, "W"),
+            ReadRow(0, 0, 4),       # only first 4 rows contribute
+        ]
+        run_ops(m, ops, constants={"W": cells},
+                inputs={"in": np.arange(8)})
+        assert m.mem.l1.read(m.mem.acc_addr(0), 1)[0] == 0 + 1 + 2 + 3
+
+    def test_writerow_length_mismatch_rejected(self):
+        m = machine(ComputingMode.WLM)
+        with pytest.raises(SimulationError, match="payload"):
+            run_ops(m, [WriteRow(0, 0, 4, "W")],
+                    constants={"W": np.ones((2, 2))})
+
+    def test_stats_counted(self):
+        m = machine()
+        run_ops(m, [Mov(0, m.mem.stage_addr(0), 1), WriteXb(0, "W"),
+                    ReadXb(0)],
+                constants={"W": np.zeros((32, 128))},
+                inputs={"in": np.zeros(1)})
+        assert m.stats["cim_activations"] == 1
+        assert m.stats["movs"] == 1
+
+
+class TestDigitalOps:
+    def test_relu(self):
+        m = machine()
+        run_ops(m, [DigitalOp("relu", (0,), 8, 4)],
+                inputs={"in": np.array([-1, 2, -3, 4])})
+        assert np.array_equal(m.mem.l0.read(8, 4), [0, 2, 0, 4])
+
+    def test_add(self):
+        m = machine()
+        prog_inputs = {"a": np.array([1, 2]), "b": np.array([10, 20])}
+        flow = MetaOperatorFlow("t", [DigitalOp("add", (0, 2), 4, 2)])
+        program = FlowProgram(flow, {"a": 0, "b": 2})
+        m.run(program, prog_inputs)
+        assert np.array_equal(m.mem.l0.read(4, 2), [11, 22])
+
+    def test_shiftadd_with_offset_correction(self):
+        m = machine()
+        matrix = np.array([[-3, 7], [5, -2]])
+        cells = encode_matrix(matrix, bits=8, cell_bits=2)
+        x = np.array([2, 3])
+        ops = [
+            Mov(0, m.mem.stage_addr(0), 2),
+            WriteXb(0, "W"),
+            ReadXb(0),
+            DigitalOp("shiftadd", (m.mem.acc_addr(0),),
+                      m.mem.scratch_addr(0), 2,
+                      params=(("space", "L1"), ("slices", 4),
+                              ("cell_bits", 2), ("offset", 128),
+                              ("stage", m.mem.stage_addr(0)),
+                              ("stage_len", 2))),
+        ]
+        run_ops(m, ops, constants={"W": cells}, inputs={"in": x})
+        got = m.mem.l1.read(m.mem.scratch_addr(0), 2)
+        assert np.array_equal(got, x @ matrix)
+
+    def test_unknown_dcom_rejected(self):
+        m = machine()
+        with pytest.raises(SimulationError, match="unknown DCOM"):
+            run_ops(m, [DigitalOp("teleport", (0,), 4, 1)],
+                    inputs={"in": np.zeros(1)})
+
+    def test_maxpool_params(self):
+        m = machine()
+        x = np.arange(16).reshape(1, 1, 4, 4)
+        run_ops(m, [DigitalOp("maxpool", (0,), 16, 4,
+                              params=(("in_shape", (1, 1, 4, 4)),
+                                      ("kernel", 2), ("stride", 2)))],
+                inputs={"in": x})
+        assert np.array_equal(m.mem.l0.read(16, 4), [5, 7, 13, 15])
+
+    def test_readcore_without_image_rejected(self):
+        from repro.mops import ReadCore
+
+        m = machine(ComputingMode.CM)
+        with pytest.raises(SimulationError, match="no flashed operator"):
+            run_ops(m, [ReadCore("conv", 0, 0, 0)],
+                    inputs={"in": np.zeros(1)})

@@ -1,0 +1,110 @@
+"""Section 4.1 verification: compiled flows == reference executor, exactly.
+
+The paper validates its functional simulator against PyTorch; here every
+(network, computing-mode) pair is compiled to a meta-operator flow, executed
+on the machine model, and compared bit-for-bit against the numpy reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import ComputingMode, functional_testbed, table2_example
+from repro.models import (
+    conv_relu_example,
+    lenet,
+    mlp,
+    residual_toy,
+    tiny_conv,
+)
+from repro.mops import FlowValidator
+from repro.quant import random_input, random_weights
+from repro.sched import CIMMLC
+from repro.sched.lowering import lower_to_flow
+from repro.sim.functional import CIMMachine
+from repro.sim.reference import ReferenceExecutor
+
+MODES = (ComputingMode.CM, ComputingMode.XBM, ComputingMode.WLM)
+
+
+def run_both(graph, arch, seed=3):
+    weights = random_weights(graph, seed=seed, low=-4, high=4)
+    inputs = random_input(graph, seed=seed + 100)
+    schedule = CIMMLC(arch).schedule(graph)
+    program = lower_to_flow(schedule, weights)
+    FlowValidator(arch).validate(program.flow)   # flows are always legal
+    machine = CIMMachine(arch)
+    machine.run(program, inputs)
+    reference = ReferenceExecutor(graph, weights).run(inputs)
+    return machine, program, reference
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("factory",
+                         [tiny_conv, mlp, residual_toy, lenet],
+                         ids=lambda f: f.__name__)
+def test_flow_matches_reference(mode, factory):
+    graph = factory()
+    machine, program, reference = run_both(graph, functional_testbed(mode))
+    for out in graph.outputs:
+        got = machine.read_tensor(program, out, reference[out].shape)
+        assert np.array_equal(got, reference[out].astype(np.float64)), \
+            f"{graph.name} diverges in {mode}"
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+def test_paper_example_on_table2(mode):
+    """The Section 3.4 Conv-ReLU walkthrough on the Table 2 architecture."""
+    graph = conv_relu_example()
+    machine, program, reference = run_both(graph, table2_example(mode))
+    out = graph.outputs[0]
+    got = machine.read_tensor(program, out, reference[out].shape)
+    assert np.array_equal(got, reference[out].astype(np.float64))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_verification_across_seeds(seed):
+    """Different random weights/inputs — exactness is not a coincidence."""
+    graph = tiny_conv()
+    arch = functional_testbed(ComputingMode.WLM)
+    machine, program, reference = run_both(graph, arch, seed=seed)
+    out = graph.outputs[0]
+    got = machine.read_tensor(program, out, reference[out].shape)
+    assert np.array_equal(got, reference[out].astype(np.float64))
+
+
+def test_intermediate_tensors_also_exact():
+    """Not just the output: every placed activation tensor matches."""
+    graph = tiny_conv()
+    machine, program, reference = run_both(
+        graph, functional_testbed(ComputingMode.XBM))
+    for name, offset in program.tensor_offsets.items():
+        spec = graph.tensors.get(name)
+        if spec is None or spec.is_weight or name not in reference:
+            continue
+        got = machine.read_tensor(program, name, spec.shape)
+        assert np.array_equal(got, reference[name].astype(np.float64)), name
+
+
+def test_wlm_uses_row_operators():
+    from repro.mops import ReadRow, ReadXb, WriteRow
+
+    graph = tiny_conv()
+    weights = random_weights(graph, seed=3, low=-4, high=4)
+    arch = functional_testbed(ComputingMode.WLM)
+    program = lower_to_flow(CIMMLC(arch).schedule(graph), weights)
+    assert program.flow.count(ReadRow) > 0
+    assert program.flow.count(WriteRow) > 0
+    assert program.flow.count(ReadXb) == 0
+
+
+def test_wlm_activations_respect_parallel_row():
+    from repro.mops import ReadRow
+
+    graph = tiny_conv()
+    weights = random_weights(graph, seed=3, low=-4, high=4)
+    arch = functional_testbed(ComputingMode.WLM)
+    program = lower_to_flow(CIMMLC(arch).schedule(graph), weights)
+    pr = arch.xb.effective_parallel_row
+    for op in program.flow.leaves():
+        if isinstance(op, ReadRow):
+            assert op.length <= pr

@@ -1,0 +1,104 @@
+"""Fuzzing: random graphs x random architectures through the whole stack.
+
+Property: for any well-formed (graph, architecture) pair where the graph's
+largest operator fits at least one core pass, the compiler produces a
+schedule that (a) covers every node exactly once, (b) respects the core
+budget per segment, (c) never slows down relative to the un-optimized
+baseline, and (d) keeps per-level monotonicity.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    CellType,
+    ChipTier,
+    CIMArchitecture,
+    ComputingMode,
+    CoreTier,
+    CrossbarTier,
+)
+from repro.graph import GraphBuilder
+from repro.sched import CIMMLC, CompilerOptions, no_optimization
+
+arch_strategy = st.builds(
+    lambda cores, xbs, rows, cols, pr_div, dac, cells, mode: CIMArchitecture(
+        name="fuzz",
+        chip=ChipTier(core_number=cores, alu_ops=256, l0_bw_bits=128),
+        core=CoreTier(xb_number=xbs),
+        xb=CrossbarTier(
+            xb_size=(rows, cols),
+            parallel_row=max(1, rows // pr_div),
+            dac_bits=dac,
+            adc_bits=8,
+            cell_type=cells,
+            cell_bits=2,
+        ),
+        mode=mode,
+    ),
+    cores=st.integers(2, 32),
+    xbs=st.integers(1, 8),
+    rows=st.sampled_from([16, 32, 64, 128]),
+    cols=st.sampled_from([16, 32, 64, 128]),
+    pr_div=st.sampled_from([1, 2, 4]),
+    dac=st.sampled_from([1, 2, 8]),
+    cells=st.sampled_from([CellType.SRAM, CellType.RERAM]),
+    mode=st.sampled_from(list(ComputingMode)),
+)
+
+
+@st.composite
+def graph_strategy(draw):
+    b = GraphBuilder("fuzz")
+    h = draw(st.sampled_from([6, 8, 12]))
+    channels = draw(st.integers(1, 8))
+    x = b.input("x", (1, channels, h, h))
+    n_layers = draw(st.integers(1, 4))
+    for i in range(n_layers):
+        kind = draw(st.sampled_from(["conv", "relu", "pool"]))
+        if kind == "conv":
+            x = b.conv(x, draw(st.integers(1, 8)), kernel=3, padding=1,
+                       name=f"conv{i}")
+        elif kind == "relu":
+            x = b.relu(x, name=f"relu{i}")
+        else:
+            spec = b._tensors[x]
+            if spec.shape[2] >= 2:
+                x = b.maxpool(x, kernel=2, stride=2, name=f"pool{i}")
+    x = b.flatten(x)
+    x = b.gemm(x, draw(st.integers(2, 10)), name="head")
+    return b.build([x])
+
+
+@settings(max_examples=40, deadline=None)
+@given(arch=arch_strategy, graph=graph_strategy())
+def test_compiler_on_random_inputs(arch, graph):
+    baseline = no_optimization(graph, arch)
+    result = CIMMLC(arch).compile(graph)
+
+    # (a) complete node coverage
+    scheduled = [n for seg in result.schedule.segments for n in seg]
+    assert sorted(scheduled) == sorted(n.name for n in graph.nodes)
+    # (b) resource validity
+    result.schedule.validate_resources()
+    # (c) never slower than no optimization
+    assert result.total_cycles <= baseline.total_cycles * (1 + 1e-9)
+    # (d) level monotonicity within what the mode exposes
+    prev = None
+    for level in arch.mode.optimization_levels:
+        run = CIMMLC(arch, CompilerOptions(max_level=level)).compile(graph)
+        if prev is not None:
+            assert run.total_cycles <= prev * (1 + 1e-9)
+        prev = run.total_cycles
+
+
+@settings(max_examples=15, deadline=None)
+@given(arch=arch_strategy, graph=graph_strategy())
+def test_power_reports_well_formed(arch, graph):
+    report = CIMMLC(arch).compile(graph).report
+    assert 0 <= report.power.peak_active_crossbars <= arch.total_crossbars
+    breakdown = report.power.breakdown()
+    assert abs(sum(breakdown.values()) - 1.0) < 1e-9 or \
+        sum(breakdown.values()) == 0.0
+    assert report.throughput > 0

@@ -1,0 +1,152 @@
+"""Graph structure: edges, topological order, validation, CIM statistics."""
+
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.graph import Graph, GraphBuilder, Node, TensorSpec
+
+
+def chain_graph():
+    """input -> Relu(a) -> Relu(b) -> output."""
+    tensors = {"x": TensorSpec("x", (1, 4))}
+    nodes = [
+        Node("a", "Relu", ["x"], ["t1"]),
+        Node("b", "Relu", ["t1"], ["y"]),
+    ]
+    return Graph("chain", ["x"], ["y"], tensors, nodes)
+
+
+class TestStructure:
+    def test_topological_order_respects_dependencies(self):
+        g = chain_graph()
+        order = [n.name for n in g.topological()]
+        assert order.index("a") < order.index("b")
+
+    def test_nodes_out_of_order_are_sorted(self):
+        tensors = {"x": TensorSpec("x", (1, 4))}
+        nodes = [
+            Node("b", "Relu", ["t1"], ["y"]),
+            Node("a", "Relu", ["x"], ["t1"]),
+        ]
+        g = Graph("g", ["x"], ["y"], tensors, nodes)
+        order = [n.name for n in g.topological()]
+        assert order == ["a", "b"]
+
+    def test_cycle_detected(self):
+        tensors = {"x": TensorSpec("x", (1, 4))}
+        nodes = [
+            Node("a", "Relu", ["x", "t2"], ["t1"]),
+            Node("b", "Relu", ["t1"], ["t2"]),
+        ]
+        g = Graph("g", ["x"], ["t2"], tensors, nodes)
+        with pytest.raises(GraphError, match="cycle"):
+            g.topological()
+
+    def test_duplicate_node_name_rejected(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            Graph("g", [], [], {}, [
+                Node("a", "Relu", ["x"], ["y"]),
+                Node("a", "Relu", ["y"], ["z"]),
+            ])
+
+    def test_double_producer_rejected(self):
+        with pytest.raises(GraphError, match="produced by two"):
+            Graph("g", [], [], {}, [
+                Node("a", "Relu", ["x"], ["y"]),
+                Node("b", "Relu", ["x"], ["y"]),
+            ])
+
+    def test_undefined_input_rejected(self):
+        g = Graph("g", ["x"], ["y"],
+                  {"x": TensorSpec("x", (4,))},
+                  [Node("a", "Relu", ["ghost"], ["y"])])
+        with pytest.raises(GraphError, match="undefined tensor"):
+            g.validate()
+
+    def test_missing_output_rejected(self):
+        g = Graph("g", ["x"], ["never"],
+                  {"x": TensorSpec("x", (4,))},
+                  [Node("a", "Relu", ["x"], ["y"])])
+        with pytest.raises(GraphError, match="never produced"):
+            g.validate()
+
+    def test_producer_and_consumers(self):
+        g = chain_graph()
+        assert g.producer("t1").name == "a"
+        assert g.producer("x") is None
+        assert [n.name for n in g.consumers("t1")] == ["b"]
+
+    def test_predecessors_successors(self):
+        g = chain_graph()
+        b = g.node("b")
+        assert [n.name for n in g.predecessors(b)] == ["a"]
+        a = g.node("a")
+        assert [n.name for n in g.successors(a)] == ["b"]
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(GraphError):
+            chain_graph().node("zzz")
+
+
+class TestShapeInference:
+    def test_infers_intermediate_shapes(self):
+        g = chain_graph().infer_shapes()
+        assert g.tensors["t1"].shape == (1, 4)
+        assert g.tensors["y"].shape == (1, 4)
+
+    def test_conflicting_annotation_rejected(self):
+        tensors = {
+            "x": TensorSpec("x", (1, 4)),
+            "y": TensorSpec("y", (1, 5)),  # wrong: Relu preserves shape
+        }
+        g = Graph("g", ["x"], ["y"], tensors,
+                  [Node("a", "Relu", ["x"], ["y"])])
+        with pytest.raises(ShapeError, match="annotated"):
+            g.infer_shapes()
+
+    def test_missing_spec_reported(self):
+        g = chain_graph()
+        with pytest.raises(ShapeError, match="run infer_shapes"):
+            g.input_specs(g.node("b"))
+
+
+class TestCIMStats:
+    def test_conv_weight_matrix_and_mvms(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        y = b.conv(x, out_channels=16, kernel=3, padding=1, name="c")
+        g = b.build([y])
+        node = g.node("c")
+        assert g.weight_matrix(node) == (27, 16, 8)
+        assert g.num_mvms(node) == 64          # 8x8 output positions
+        assert g.macs(node) == 64 * 27 * 16
+
+    def test_gemm_stats(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 10))
+        y = b.gemm(x, 5, name="fc")
+        g = b.build([y])
+        node = g.node("fc")
+        assert g.weight_matrix(node) == (10, 5, 8)
+        assert g.num_mvms(node) == 2           # one MVM per batch row
+
+    def test_digital_op_has_no_matrix(self):
+        g = chain_graph().infer_shapes()
+        assert g.weight_matrix(g.node("a")) is None
+        assert not g.is_cim_supported(g.node("a"))
+
+    def test_total_weight_bits(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 10))
+        y = b.gemm(x, 4, name="fc")
+        g = b.build([y])
+        assert g.total_weight_bits() == 10 * 4 * 8
+
+    def test_cim_nodes_in_topo_order(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 8))
+        x = b.gemm(x, 8, name="fc1")
+        x = b.relu(x)
+        x = b.gemm(x, 4, name="fc2")
+        g = b.build([x])
+        assert [n.name for n in g.cim_nodes()] == ["fc1", "fc2"]

@@ -1,0 +1,104 @@
+"""End-to-end integration: every preset x workload compiles and the paper's
+qualitative results hold."""
+
+import pytest
+
+from repro.arch import (
+    PRESETS,
+    isaac_baseline,
+    jain2021,
+    jia2021,
+    puma,
+)
+from repro.models import resnet18, tiny_conv, vgg7, vit_tiny
+from repro.sched import CIMMLC, CompilerOptions, no_optimization
+
+
+class TestEveryPreset:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_compiles_tiny_conv(self, preset):
+        arch = PRESETS[preset]()
+        result = CIMMLC(arch).compile(tiny_conv())
+        assert result.total_cycles > 0
+        result.schedule.validate_resources()
+
+    @pytest.mark.parametrize("preset", ["isaac-baseline", "puma",
+                                        "jia2021", "jain2021"])
+    def test_optimization_helps_or_neutral(self, preset):
+        arch = PRESETS[preset]()
+        graph = vgg7()
+        base = no_optimization(graph, arch)
+        ours = CIMMLC(arch).compile(graph)
+        assert ours.total_cycles <= base.total_cycles
+
+
+class TestPaperHeadlines:
+    """The abstract's quantitative claims, in shape."""
+
+    def test_resnet18_pipeline_speedup_near_paper(self):
+        """Paper Fig. 21(a): CG pipeline alone gives 2.3x on ResNet18."""
+        arch = isaac_baseline()
+        graph = resnet18()
+        base = no_optimization(graph, arch)
+        pipe = CIMMLC(arch, CompilerOptions(
+            max_level="CG", duplicate=False)).compile(graph)
+        speedup = base.total_cycles / pipe.total_cycles
+        assert 1.8 < speedup < 3.0
+
+    def test_resnet18_duplication_speedup_large(self):
+        """Paper Fig. 21(a): duplication gives 25.4x on ResNet18."""
+        arch = isaac_baseline()
+        graph = resnet18()
+        base = no_optimization(graph, arch)
+        dup = CIMMLC(arch, CompilerOptions(
+            max_level="CG", pipeline=False)).compile(graph)
+        assert base.total_cycles / dup.total_cycles > 10
+
+    def test_headline_speedup_over_poly(self):
+        """Abstract: 3.2x average speedup over prior CIM compilation."""
+        from repro.sched import poly_schedule
+
+        arch = isaac_baseline()
+        graph = resnet18()
+        poly = poly_schedule(graph, arch)
+        ours = CIMMLC(arch).compile(graph)
+        assert poly.total_cycles / ours.total_cycles > 2.0
+
+    def test_mvm_pipeline_cuts_puma_peak_power(self):
+        """Abstract: 75% peak-power reduction for PUMA."""
+        from repro.sched import puma_schedule
+
+        arch = puma()
+        graph = vgg7()
+        base = puma_schedule(graph, arch)
+        ours = CIMMLC(arch).compile(graph)
+        assert ours.peak_power < 0.5 * base.peak_power
+
+    def test_wlm_stack_beats_vendor_on_jain(self):
+        """Abstract: 2.3x on Jain et al.'s macro — we assert the win."""
+        arch = jain2021()
+        graph = vgg7()
+        vendor = no_optimization(graph, arch)
+        ours = CIMMLC(arch).compile(graph)
+        assert ours.total_cycles < vendor.total_cycles
+
+    def test_cm_stack_beats_vendor_on_jia(self):
+        """Abstract: 3.7x on Jia et al.'s accelerator — we assert the win."""
+        arch = jia2021()
+        graph = vgg7()
+        vendor = no_optimization(graph, arch)
+        ours = CIMMLC(arch).compile(graph)
+        assert ours.total_cycles < vendor.total_cycles
+
+
+class TestModeGeneralityMatrix:
+    """One compiler, three interface granularities, one workload."""
+
+    @pytest.mark.parametrize("arch_factory,levels", [
+        (jia2021, ("CG",)),
+        (puma, ("CG", "MVM")),
+        (jain2021, ("CG", "MVM", "VVM")),
+    ])
+    def test_levels_match_interface(self, arch_factory, levels):
+        result = CIMMLC(arch_factory()).compile(vit_tiny())
+        assert tuple(result.schedule.levels) == levels

@@ -1,0 +1,114 @@
+"""MobileNet / grouped convolutions across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ComputingMode, functional_testbed, isaac_baseline
+from repro.graph import GraphBuilder
+from repro.graph.transforms import expand_grouped_convs
+from repro.models import mobilenet_tiny, mobilenet_v1
+from repro.quant import random_input, random_weights
+from repro.sched import CIMMLC, no_optimization
+from repro.sched.lowering import lower_to_flow
+from repro.sim.functional import CIMMachine
+from repro.sim.reference import ReferenceExecutor
+
+
+class TestModel:
+    def test_mobilenet_v1_structure(self):
+        g = mobilenet_v1()
+        depthwise = [n for n in g.nodes
+                     if n.op_type == "Conv" and n.attr("groups", 1) > 1]
+        assert len(depthwise) == 13
+        params = g.total_weight_bits() // 8
+        assert 3.5e6 < params < 5e6      # ~4.2M known figure
+
+    def test_depthwise_weight_matrix_is_tiny(self):
+        g = mobilenet_v1()
+        dw = next(n for n in g.nodes if n.attr("groups", 1) > 1)
+        rows, cols, _ = g.weight_matrix(dw)
+        assert rows == 9                 # 1 channel x 3x3 kernel
+        assert cols == dw.attr("groups")
+
+    def test_width_multiplier(self):
+        full = mobilenet_v1().total_weight_bits()
+        half = mobilenet_v1(width=0.5).total_weight_bits()
+        assert half < full
+
+
+class TestReferenceGroupedConv:
+    def test_depthwise_matches_per_channel(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 5, 5))
+        y = b.conv(x, 3, kernel=3, padding=1, groups=3, name="dw")
+        g = b.build([y])
+        rng = np.random.default_rng(0)
+        w = {"dw_w": rng.integers(-3, 4, size=(3, 1, 3, 3))}
+        data = rng.integers(-4, 5, size=(1, 3, 5, 5))
+        out = ReferenceExecutor(g, w).run({"x": data})[g.outputs[0]]
+        # Each output channel depends only on its own input channel.
+        for c in range(3):
+            gc = GraphBuilder(f"single{c}")
+            xc = gc.input("x", (1, 1, 5, 5))
+            yc = gc.conv(xc, 1, kernel=3, padding=1, name="c")
+            gg = gc.build([yc])
+            ref = ReferenceExecutor(
+                gg, {"c_w": w["dw_w"][c:c + 1]},
+            ).run({"x": data[:, c:c + 1]})[gg.outputs[0]]
+            assert np.array_equal(out[:, c:c + 1], ref)
+
+    def test_bad_group_config_rejected(self):
+        from repro.errors import ShapeError
+
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4, 5, 5))
+        with pytest.raises(ShapeError):
+            y = b.conv(x, 6, kernel=3, groups=4, name="bad")
+            b.build([y])
+
+
+class TestExpansionTransform:
+    def test_expansion_preserves_semantics(self):
+        g = mobilenet_tiny()
+        weights = random_weights(g, seed=2, low=-3, high=3)
+        inputs = random_input(g, seed=5)
+        expanded, split_weights = expand_grouped_convs(g, weights)
+        assert all(n.attr("groups", 1) == 1 for n in expanded.nodes
+                   if n.op_type == "Conv")
+        original = ReferenceExecutor(g, weights).run(inputs)
+        rewritten = ReferenceExecutor(expanded, split_weights).run(inputs)
+        out = g.outputs[0]
+        assert np.array_equal(original[out], rewritten[out])
+
+    def test_expansion_without_weights(self):
+        g = mobilenet_tiny()
+        expanded, none_weights = expand_grouped_convs(g)
+        assert none_weights is None
+        expanded.validate()
+
+
+class TestEndToEnd:
+    def test_mobilenet_compiles_on_baseline(self):
+        arch = isaac_baseline()
+        g = mobilenet_v1()
+        base = no_optimization(g, arch)
+        ours = CIMMLC(arch).compile(g)
+        assert ours.total_cycles < base.total_cycles
+
+    @pytest.mark.parametrize("mode",
+                             [ComputingMode.XBM, ComputingMode.WLM],
+                             ids=lambda m: m.value)
+    def test_mobilenet_tiny_functional_exact(self, mode):
+        g = mobilenet_tiny()
+        weights = random_weights(g, seed=2, low=-2, high=2)
+        inputs = random_input(g, seed=5)
+        expanded, split_weights = expand_grouped_convs(g, weights)
+        arch = functional_testbed(mode)
+        program = lower_to_flow(CIMMLC(arch).schedule(expanded),
+                                split_weights)
+        machine = CIMMachine(arch)
+        machine.run(program, inputs)
+        reference = ReferenceExecutor(g, weights).run(inputs)
+        out = g.outputs[0]
+        got = machine.read_tensor(program, out, reference[out].shape)
+        assert np.array_equal(got, reference[out].astype(np.float64))

@@ -1,0 +1,128 @@
+"""Model zoo: structural ground truth for the benchmark networks."""
+
+import pytest
+
+from repro.models import (
+    conv_relu_example,
+    lenet,
+    mlp,
+    residual_toy,
+    resnet,
+    resnet18,
+    resnet50,
+    tiny_conv,
+    vgg,
+    vgg7,
+    vgg16,
+    vit,
+    vit_base,
+)
+
+
+class TestVGG:
+    def test_vgg16_conv_count(self):
+        g = vgg16()
+        convs = [n for n in g.nodes if n.op_type == "Conv"]
+        assert len(convs) == 13
+        gemms = [n for n in g.nodes if n.op_type == "Gemm"]
+        assert len(gemms) == 3
+
+    def test_vgg16_parameter_count(self):
+        # ~138M params at ImageNet scale (known figure).
+        g = vgg16()
+        params = g.total_weight_bits() // 8
+        assert 130e6 < params < 140e6
+
+    def test_vgg7_is_cifar_scale(self):
+        g = vgg7()
+        assert g.tensors["input"].shape == (1, 3, 32, 32)
+        convs = [n for n in g.nodes if n.op_type == "Conv"]
+        assert len(convs) == 6
+
+    def test_unknown_depth_rejected(self):
+        with pytest.raises(ValueError):
+            vgg(15)
+
+    def test_output_is_classifier(self):
+        g = vgg16(num_classes=10)
+        assert g.tensors[g.outputs[0]].shape == (1, 10)
+
+
+class TestResNet:
+    @pytest.mark.parametrize("depth,expected_convs", [
+        (18, 20), (34, 36), (50, 53), (101, 104),
+    ])
+    def test_conv_counts(self, depth, expected_convs):
+        g = resnet(depth)
+        convs = [n for n in g.nodes if n.op_type == "Conv"]
+        assert len(convs) == expected_convs
+
+    def test_resnet18_parameter_count(self):
+        params = resnet18().total_weight_bits() // 8
+        assert 11e6 < params < 12.5e6   # ~11.7M known figure
+
+    def test_resnet50_parameter_count(self):
+        params = resnet50().total_weight_bits() // 8
+        assert 23e6 < params < 27e6     # ~25.5M known figure
+
+    def test_residual_adds_present(self):
+        g = resnet18()
+        adds = [n for n in g.nodes if n.op_type == "Add"]
+        assert len(adds) == 8           # two blocks per stage, four stages
+
+    def test_final_shape(self):
+        g = resnet18()
+        assert g.tensors[g.outputs[0]].shape == (1, 1000)
+
+    def test_unknown_depth_rejected(self):
+        with pytest.raises(ValueError):
+            resnet(99)
+
+
+class TestViT:
+    def test_vit_base_dimensions(self):
+        g = vit_base()
+        qkv = g.node("block0_attn_qkv")
+        assert g.weight_matrix(qkv) == (768, 2304, 8)
+        # 197 tokens (14x14 patches + class token)
+        assert g.num_mvms(qkv) == 197
+
+    def test_vit_attention_matmuls_are_digital(self):
+        g = vit_base()
+        scores = g.node("block0_attn_scores")
+        assert not g.is_cim_supported(scores)
+
+    def test_vit_base_parameter_count(self):
+        params = vit_base().total_weight_bits() // 8
+        assert 80e6 < params < 90e6     # ~86M known figure
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            vit("giant")
+
+    def test_layer_count_scales(self):
+        tiny = vit("tiny")
+        base = vit("base")
+        assert len(base.nodes) == len(tiny.nodes)  # same depth (12 blocks)
+        large = vit("large")
+        assert len(large.nodes) > len(base.nodes)
+
+
+class TestSmallNets:
+    def test_conv_relu_matches_paper_example(self):
+        g = conv_relu_example()
+        conv = g.node("conv")
+        assert g.weight_matrix(conv) == (27, 32, 8)
+        assert g.num_mvms(conv) == 1024          # 32x32 windows
+        assert g.tensors[g.outputs[0]].shape == (1, 32, 32, 32)
+
+    @pytest.mark.parametrize("factory", [tiny_conv, mlp, lenet, residual_toy])
+    def test_small_nets_validate(self, factory):
+        g = factory()
+        g.validate()
+        assert len(g.cim_nodes()) >= 1
+
+    def test_lenet_structure(self):
+        g = lenet()
+        assert len([n for n in g.nodes if n.op_type == "Conv"]) == 2
+        assert len([n for n in g.nodes if n.op_type == "Gemm"]) == 3

@@ -1,0 +1,117 @@
+"""Meta-operators: construction rules, flow statistics, parallel blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodegenError
+from repro.mops import (
+    CustomOp,
+    DigitalOp,
+    MetaOperatorFlow,
+    Mov,
+    ParallelBlock,
+    ReadCore,
+    ReadRow,
+    ReadXb,
+    WriteRow,
+    WriteXb,
+    parallel,
+    params_tuple,
+)
+
+
+class TestConstruction:
+    def test_negative_addresses_rejected(self):
+        with pytest.raises(CodegenError):
+            ReadCore("conv", coreaddr=-1, src=0, dst=0)
+        with pytest.raises(CodegenError):
+            ReadXb(xbaddr=-1)
+        with pytest.raises(CodegenError):
+            ReadRow(xbaddr=0, row=-1)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(CodegenError):
+            ReadXb(xbaddr=0, length=0)
+        with pytest.raises(CodegenError):
+            Mov(src=0, dst=0, length=0)
+
+    def test_write_needs_symbol(self):
+        with pytest.raises(CodegenError):
+            WriteXb(xbaddr=0, mat="")
+        with pytest.raises(CodegenError):
+            WriteRow(xbaddr=0, row=0, length=4, value="")
+
+    def test_bad_buffer_space_rejected(self):
+        with pytest.raises(CodegenError):
+            Mov(src=0, dst=0, length=1, src_space="L9")
+
+    def test_digital_needs_sources(self):
+        with pytest.raises(CodegenError):
+            DigitalOp("relu", (), 0, 4)
+
+    def test_parallel_flattens_singleton(self):
+        op = ReadXb(0)
+        assert parallel([op]) is op
+
+    def test_parallel_no_nesting(self):
+        block = ParallelBlock((ReadXb(0), ReadXb(1)))
+        with pytest.raises(CodegenError):
+            ParallelBlock((block,))
+
+    def test_empty_parallel_rejected(self):
+        with pytest.raises(CodegenError):
+            ParallelBlock(())
+
+    def test_is_cim_classification(self):
+        assert ReadXb(0).is_cim
+        assert WriteRow(0, 0, 1, "A").is_cim
+        assert CustomOp("spike").is_cim
+        assert not Mov(0, 0, 1).is_cim
+        assert not DigitalOp("relu", (0,), 0, 1).is_cim
+
+    def test_params_tuple_sorted(self):
+        assert params_tuple({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+        assert params_tuple(None) == ()
+
+
+class TestFlow:
+    def make_flow(self):
+        flow = MetaOperatorFlow("t")
+        flow.append(parallel([ReadXb(0), ReadXb(1), ReadXb(2)]))
+        flow.append(Mov(0, 10, 4))
+        flow.append(DigitalOp("relu", (10,), 20, 4))
+        return flow
+
+    def test_stats(self):
+        stats = self.make_flow().stats()
+        assert stats["cim.readxb"] == 3
+        assert stats["mov"] == 1
+        assert stats["relu"] == 1
+        assert stats["total"] == 5
+        assert stats["steps"] == 3
+
+    def test_max_parallel_width(self):
+        assert self.make_flow().max_parallel_width() == 3
+
+    def test_peak_active_crossbars(self):
+        flow = MetaOperatorFlow("t")
+        flow.append(parallel([ReadXb(0, 2), ReadXb(4, 1)]))
+        flow.append(ReadXb(0, 1))
+        assert flow.peak_active_crossbars() == 3
+
+    def test_leaves_iteration(self):
+        leaves = list(self.make_flow().leaves())
+        assert len(leaves) == 5
+
+    def test_constant_pool(self):
+        flow = MetaOperatorFlow("t")
+        flow.add_constant("A", np.ones((2, 2)))
+        assert flow.constant("A").shape == (2, 2)
+        with pytest.raises(CodegenError):
+            flow.add_constant("A", np.zeros(1))
+        with pytest.raises(CodegenError):
+            flow.constant("missing")
+
+    def test_count(self):
+        assert self.make_flow().count(ReadXb) == 3
+        assert self.make_flow().count(Mov) == 1

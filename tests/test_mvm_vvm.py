@@ -1,0 +1,153 @@
+"""MVM-grained (Eq. 1, staggering) and VVM-grained (remap) optimization."""
+
+import math
+
+import pytest
+
+from repro.arch import ComputingMode, isaac_baseline, jain2021, jia2021
+from repro.errors import ModeError
+from repro.models import conv_relu_example, resnet18, vgg7
+from repro.sched import (
+    CIMMLC,
+    CompilerOptions,
+    CostModel,
+    refine_duplication,
+    schedule_cg,
+    schedule_mvm,
+    schedule_vvm,
+)
+from repro.sched.schedule import OpDecision
+from repro.sched.vvm import remap_plan, seq_remap_waves
+
+
+class TestEq1Refinement:
+    def test_recovers_stranded_crossbars(self):
+        """A replica needing 9 crossbars strands 7 per 16-crossbar core;
+        4 CG replicas (4 cores, 64 crossbars) refine to 7 MVM replicas."""
+        profiles = CostModel(isaac_baseline()).profiles(conv_relu_example())
+        p = profiles["conv"]
+        # Build a synthetic profile with n_xb = 9 for the arithmetic check.
+        from dataclasses import replace
+
+        p9 = replace(p, n_xb=9, cores_per_replica=1)
+        decision = OpDecision(profile=p9, dup_cg=4)
+        refined = refine_duplication(decision, isaac_baseline())
+        assert refined == (4 * 16) // 9   # = 7
+
+    def test_never_below_cg_duplication(self):
+        profiles = CostModel(isaac_baseline()).profiles(resnet18())
+        for name, p in profiles.items():
+            if not p.is_cim:
+                continue
+            d = OpDecision(profile=p, dup_cg=3)
+            assert refine_duplication(d, isaac_baseline()) >= 3
+
+    def test_capped_by_useful_duplication(self):
+        from dataclasses import replace
+
+        profiles = CostModel(isaac_baseline()).profiles(conv_relu_example())
+        p = replace(profiles["conv"], n_xb=1, cores_per_replica=1,
+                    num_mvms=2, max_useful_dup=2)
+        decision = OpDecision(profile=p, dup_cg=1)
+        assert refine_duplication(decision, isaac_baseline()) == 2
+
+
+class TestScheduleMVM:
+    def test_requires_xbm_or_wlm(self):
+        cg = schedule_cg(conv_relu_example(), jia2021())
+        with pytest.raises(ModeError):
+            schedule_mvm(cg)
+
+    def test_stagger_reduces_active_crossbars(self):
+        graph = resnet18()
+        arch = isaac_baseline()
+        cg = schedule_cg(graph, arch)
+        staggered = schedule_mvm(cg, stagger=True)
+        unstaggered = schedule_mvm(cg, stagger=False)
+        for node in graph.cim_nodes():
+            a = staggered.decision(node.name).active_crossbars()
+            b = unstaggered.decision(node.name).active_crossbars()
+            assert a <= b
+
+    def test_refined_duplication_never_slower(self):
+        graph = resnet18()
+        arch = isaac_baseline()
+        cg = schedule_cg(graph, arch)
+        mvm = schedule_mvm(cg)
+        for node in graph.cim_nodes():
+            assert mvm.decision(node.name).latency() <= \
+                cg.decision(node.name).latency() + 1e-9
+
+    def test_levels_recorded(self):
+        cg = schedule_cg(conv_relu_example(), isaac_baseline())
+        mvm = schedule_mvm(cg)
+        assert tuple(mvm.levels) == ("CG", "MVM")
+
+
+class TestScheduleVVM:
+    def test_requires_wlm(self):
+        from repro.arch import puma
+
+        cg = schedule_cg(conv_relu_example(), puma())
+        mvm = schedule_mvm(cg)
+        with pytest.raises(ModeError):
+            schedule_vvm(mvm)
+
+    def test_vvm_never_slower_than_mvm(self):
+        graph = resnet18()
+        arch = isaac_baseline()
+        mvm = schedule_mvm(schedule_cg(graph, arch))
+        vvm = schedule_vvm(mvm)
+        for node in graph.cim_nodes():
+            assert vvm.decision(node.name).latency() <= \
+                mvm.decision(node.name).latency() + 1e-9
+
+    def test_remap_plan_respects_budget(self):
+        graph = resnet18()
+        arch = isaac_baseline()
+        mvm = schedule_mvm(schedule_cg(graph, arch))
+        for node in graph.cim_nodes():
+            d = mvm.decision(node.name)
+            p = d.profile
+            if p.vxb is None or p.seq_passes > 1:
+                continue
+            dup, w = remap_plan(d, arch)
+            strip = p.vxb.v_cols * p.vxb.slices_per_xb
+            used = dup * (p.n_xb + (w - 1) * strip)
+            total = p.cores_per_replica * d.dup_cg * arch.core.xb_number
+            assert used <= total
+
+    def test_seq_remap_only_for_multiplexed_ops(self):
+        graph = resnet18()
+        arch = isaac_baseline()
+        mvm = schedule_mvm(schedule_cg(graph, arch))
+        for node in graph.cim_nodes():
+            d = mvm.decision(node.name)
+            if d.profile.seq_passes == 1:
+                assert seq_remap_waves(d, arch) is None
+
+    def test_seq_remap_on_starved_chip(self):
+        """On Jain's 8-crossbar macro every VGG7 conv time-multiplexes and
+        the remap must strictly improve at least one operator."""
+        graph = vgg7()
+        arch = jain2021()
+        mvm = schedule_mvm(schedule_cg(graph, arch))
+        improved = 0
+        for node in graph.cim_nodes():
+            d = mvm.decision(node.name)
+            waves = seq_remap_waves(d, arch)
+            if waves is not None:
+                assert waves < d.profile.seq_passes * d.profile.row_waves
+                improved += 1
+        assert improved >= 1
+
+    def test_full_stack_ordering(self):
+        """Adding levels never hurts end-to-end latency."""
+        graph = resnet18()
+        arch = isaac_baseline()
+        cycles = {}
+        for level in ("CG", "MVM", "VVM"):
+            run = CIMMLC(arch, CompilerOptions(max_level=level)).compile(graph)
+            cycles[level] = run.total_cycles
+        assert cycles["MVM"] <= cycles["CG"] * (1 + 1e-9)
+        assert cycles["VVM"] <= cycles["MVM"] * (1 + 1e-9)

@@ -1,0 +1,174 @@
+"""Operator registry: shape inference and cost statistics per op type."""
+
+import pytest
+
+from repro.errors import ShapeError, UnknownOpError
+from repro.graph import Node, TensorSpec, op_spec, register_op, registered_ops
+from repro.graph.ops import OpSpec, conv_out_hw
+
+
+def spec(name, shape, bits=8, weight=False):
+    return TensorSpec(name, shape, bits, weight)
+
+
+class TestConv:
+    def _node(self, **attrs):
+        return Node("c", "Conv", ["x", "w"], ["y"], attrs)
+
+    def test_basic_shape(self):
+        out = op_spec("Conv").infer_shapes(
+            self._node(stride=1, padding=1),
+            [spec("x", (1, 3, 32, 32)), spec("w", (32, 3, 3, 3), weight=True)])
+        assert out == [(1, 32, 32, 32)]
+
+    def test_stride_2(self):
+        out = op_spec("Conv").infer_shapes(
+            self._node(stride=2, padding=3),
+            [spec("x", (1, 3, 224, 224)), spec("w", (64, 3, 7, 7))])
+        assert out == [(1, 64, 112, 112)]
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ShapeError, match="channels"):
+            op_spec("Conv").infer_shapes(
+                self._node(),
+                [spec("x", (1, 4, 8, 8)), spec("w", (8, 3, 3, 3))])
+
+    def test_window_larger_than_input_rejected(self):
+        with pytest.raises(ShapeError):
+            op_spec("Conv").infer_shapes(
+                self._node(),
+                [spec("x", (1, 3, 2, 2)), spec("w", (8, 3, 5, 5))])
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ShapeError, match="weight"):
+            op_spec("Conv").infer_shapes(
+                self._node(), [spec("x", (1, 3, 8, 8))])
+
+    def test_grouped_conv(self):
+        node = Node("c", "Conv", ["x", "w"], ["y"], {"groups": 2})
+        out = op_spec("Conv").infer_shapes(
+            node, [spec("x", (1, 4, 8, 8)), spec("w", (8, 2, 3, 3))])
+        assert out == [(1, 8, 6, 6)]
+        # grouped weight matrix uses per-group input channels
+        assert op_spec("Conv").weight_matrix(
+            node, [spec("x", (1, 4, 8, 8)), spec("w", (8, 2, 3, 3))]) == \
+            (2 * 3 * 3, 8, 8)
+
+    def test_num_mvms_counts_groups(self):
+        node = Node("c", "Conv", ["x", "w"], ["y"], {"groups": 2})
+        inputs = [spec("x", (1, 4, 8, 8)), spec("w", (8, 2, 3, 3))]
+        assert op_spec("Conv").num_mvms(node, inputs) == 6 * 6 * 2
+
+    def test_bias_adds_alu_work(self):
+        node = Node("c", "Conv", ["x", "w", "b"], ["y"], {})
+        inputs = [spec("x", (1, 3, 8, 8)), spec("w", (4, 3, 3, 3)),
+                  spec("b", (4,))]
+        assert op_spec("Conv").alu_ops(node, inputs) == 4 * 6 * 6
+
+
+class TestGemmAndMatMul:
+    def test_gemm_3d_activation(self):
+        node = Node("g", "Gemm", ["x", "w"], ["y"])
+        out = op_spec("Gemm").infer_shapes(
+            node, [spec("x", (1, 197, 768)), spec("w", (2304, 768))])
+        assert out == [(1, 197, 2304)]
+        assert op_spec("Gemm").num_mvms(
+            node, [spec("x", (1, 197, 768)), spec("w", (2304, 768))]) == 197
+
+    def test_gemm_feature_mismatch(self):
+        with pytest.raises(ShapeError):
+            op_spec("Gemm").infer_shapes(
+                Node("g", "Gemm", ["x", "w"], ["y"]),
+                [spec("x", (1, 10)), spec("w", (5, 11))])
+
+    def test_matmul_batched(self):
+        node = Node("m", "MatMul", ["a", "b"], ["y"])
+        out = op_spec("MatMul").infer_shapes(
+            node, [spec("a", (12, 197, 64)), spec("b", (12, 64, 197))])
+        assert out == [(12, 197, 197)]
+
+    def test_matmul_is_not_cim(self):
+        assert not op_spec("MatMul").is_cim_supported
+        assert op_spec("Gemm").is_cim_supported
+        assert op_spec("Conv").is_cim_supported
+
+    def test_matmul_bad_inner_dim(self):
+        with pytest.raises(ShapeError):
+            op_spec("MatMul").infer_shapes(
+                Node("m", "MatMul", ["a", "b"], ["y"]),
+                [spec("a", (2, 3)), spec("b", (4, 5))])
+
+
+class TestPoolingAndShapeOps:
+    def test_maxpool(self):
+        node = Node("p", "MaxPool", ["x"], ["y"], {"kernel": 2, "stride": 2})
+        out = op_spec("MaxPool").infer_shapes(node, [spec("x", (1, 8, 8, 8))])
+        assert out == [(1, 8, 4, 4)]
+
+    def test_global_pool(self):
+        node = Node("p", "GlobalAveragePool", ["x"], ["y"])
+        assert op_spec("GlobalAveragePool").infer_shapes(
+            node, [spec("x", (1, 512, 7, 7))]) == [(1, 512, 1, 1)]
+
+    def test_flatten(self):
+        node = Node("f", "Flatten", ["x"], ["y"])
+        assert op_spec("Flatten").infer_shapes(
+            node, [spec("x", (2, 3, 4, 5))]) == [(2, 60)]
+
+    def test_reshape_checks_numel(self):
+        node = Node("r", "Reshape", ["x"], ["y"], {"shape": (2, 7)})
+        with pytest.raises(ShapeError):
+            op_spec("Reshape").infer_shapes(node, [spec("x", (3, 4))])
+
+    def test_transpose_validates_perm(self):
+        node = Node("t", "Transpose", ["x"], ["y"], {"perm": (0, 0, 1)})
+        with pytest.raises(ShapeError):
+            op_spec("Transpose").infer_shapes(node, [spec("x", (2, 3, 4))])
+
+    def test_concat(self):
+        node = Node("c", "Concat", ["a", "b"], ["y"], {"axis": 1})
+        assert op_spec("Concat").infer_shapes(
+            node, [spec("a", (1, 3)), spec("b", (1, 5))]) == [(1, 8)]
+
+    def test_concat_dim_mismatch(self):
+        node = Node("c", "Concat", ["a", "b"], ["y"], {"axis": 1})
+        with pytest.raises(ShapeError):
+            op_spec("Concat").infer_shapes(
+                node, [spec("a", (1, 3)), spec("b", (2, 5))])
+
+    def test_slice_bounds(self):
+        node = Node("s", "Slice", ["x"], ["y"],
+                    {"axis": 1, "start": 2, "end": 10})
+        with pytest.raises(ShapeError):
+            op_spec("Slice").infer_shapes(node, [spec("x", (1, 8))])
+
+    def test_add_shape_mismatch(self):
+        node = Node("a", "Add", ["p", "q"], ["y"])
+        with pytest.raises(ShapeError):
+            op_spec("Add").infer_shapes(
+                node, [spec("p", (1, 3)), spec("q", (1, 4))])
+
+
+class TestRegistry:
+    def test_unknown_op(self):
+        with pytest.raises(UnknownOpError):
+            op_spec("Quux")
+
+    def test_custom_registration(self):
+        class DoubleSpec(OpSpec):
+            pass
+
+        register_op("DoubleTest", DoubleSpec())
+        assert "DoubleTest" in registered_ops()
+        assert isinstance(op_spec("DoubleTest"), DoubleSpec)
+
+    def test_conv_out_hw_formula(self):
+        assert conv_out_hw(32, 32, (3, 3), (1, 1), (1, 1)) == (32, 32)
+        assert conv_out_hw(224, 224, (7, 7), (2, 2), (3, 3)) == (112, 112)
+
+    def test_softmax_and_norm_alu_cost(self):
+        x = [spec("x", (1, 16))]
+        node = Node("s", "Softmax", ["x"], ["y"])
+        assert op_spec("Softmax").alu_ops(node, x) == 64
+        node = Node("n", "LayerNorm", ["x"], ["y"])
+        assert op_spec("LayerNorm").alu_ops(node, x) == 32

@@ -1,0 +1,130 @@
+"""Performance simulator and power model."""
+
+import pytest
+
+from repro.arch import isaac_baseline, jia2021
+from repro.models import conv_relu_example, resnet18, vgg16
+from repro.sched import CIMMLC, CompilerOptions, no_optimization
+from repro.sim import (
+    PerformanceSimulator,
+    PowerModel,
+    activity_timeline,
+)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return isaac_baseline()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return resnet18()
+
+
+class TestLatency:
+    def test_pipelined_never_slower(self, arch, graph):
+        pipe = CIMMLC(arch, CompilerOptions(
+            max_level="CG", duplicate=False)).compile(graph)
+        seq = no_optimization(graph, arch)
+        assert pipe.total_cycles <= seq.total_cycles
+
+    def test_report_consistency(self, arch, graph):
+        report = CIMMLC(arch).compile(graph).report
+        assert report.total_cycles == pytest.approx(
+            report.compute_cycles + report.reconfiguration_cycles)
+        assert len(report.op_latency) == len(graph.nodes)
+        assert all(lat >= 0 for lat in report.op_latency.values())
+
+    def test_segment_bottleneck_identified(self, arch, graph):
+        report = no_optimization(graph, arch).report
+        seg = report.segments[0]
+        assert seg.bottleneck in report.op_latency
+        assert seg.bottleneck_cycles == pytest.approx(
+            max(report.op_latency[n.name] for n in graph.nodes))
+
+    def test_speedup_over(self, arch, graph):
+        base = no_optimization(graph, arch).report
+        fast = CIMMLC(arch).compile(graph).report
+        assert fast.speedup_over(base) > 1
+        assert base.speedup_over(fast) < 1
+
+    def test_multi_segment_pays_reconfiguration(self, graph):
+        small = isaac_baseline().with_cores(8)
+        report = CIMMLC(small).compile(graph).report
+        assert len(report.segments) > 1
+        assert report.reconfiguration_cycles > 0
+
+    def test_sram_hides_reconfiguration(self):
+        """On the SRAM CM chip the pipelined schedule overlaps weight
+        streaming with compute; sequential execution cannot."""
+        graph = vgg16()
+        arch = jia2021()
+        seq = no_optimization(graph, arch).report
+        pipe = CIMMLC(arch).compile(graph).report
+        assert pipe.reconfiguration_cycles <= seq.reconfiguration_cycles
+
+    def test_summary_renders(self, arch, graph):
+        text = CIMMLC(arch).compile(graph).report.summary()
+        assert "total cycles" in text
+
+
+class TestPower:
+    def test_breakdown_sums_to_one(self, arch, graph):
+        report = CIMMLC(arch).compile(graph).report
+        breakdown = report.power.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        # Crossbar activation dominates (the paper reports 83% on PUMA).
+        assert breakdown["crossbar"] > 0.5
+
+    def test_peak_power_positive_and_bounded(self, arch, graph):
+        report = CIMMLC(arch).compile(graph).report
+        assert 0 < report.power.peak_active_crossbars <= \
+            arch.total_crossbars
+        assert report.power.peak_power > 0
+
+    def test_stagger_cuts_peak_power(self, arch, graph):
+        unstaggered = CIMMLC(arch, CompilerOptions(
+            max_level="MVM", mvm_stagger=False)).compile(graph)
+        staggered = CIMMLC(arch, CompilerOptions(
+            max_level="MVM", mvm_stagger=True)).compile(graph)
+        assert staggered.peak_power < unstaggered.peak_power
+        # Paper: the staggered MVM pipeline cuts peak power by >= 50%
+        # (75% on PUMA, up to 85% on ResNet101).
+        assert staggered.peak_power < 0.5 * unstaggered.peak_power
+
+    def test_cg_raises_peak_over_sequential(self, arch, graph):
+        """Fig. 21(d): concurrency raises peak power before MVM pulls it
+        back."""
+        seq = no_optimization(graph, arch)
+        pd = CIMMLC(arch, CompilerOptions(max_level="CG")).compile(graph)
+        assert pd.peak_power > seq.peak_power
+
+    def test_per_xb_power_scales_with_converters(self):
+        lo = PowerModel(isaac_baseline())
+        hi = PowerModel(isaac_baseline().with_xb_size((128, 128)))
+        assert lo.per_xb_cycle_power() == hi.per_xb_cycle_power()
+        from dataclasses import replace
+
+        arch = isaac_baseline()
+        hi_adc = replace(arch, xb=replace(arch.xb, adc_bits=16))
+        assert PowerModel(hi_adc).per_xb_cycle_power() > \
+            lo.per_xb_cycle_power()
+
+
+class TestTimeline:
+    def test_timeline_intervals_valid(self, arch):
+        graph = conv_relu_example()
+        schedule = CIMMLC(arch).schedule(graph)
+        timeline = activity_timeline(schedule)
+        assert timeline
+        for start, end, active in timeline:
+            assert 0 <= start < end
+            assert active > 0
+
+    def test_sequential_timeline_disjoint(self, arch):
+        graph = conv_relu_example()
+        schedule = no_optimization(graph, arch).schedule
+        timeline = activity_timeline(schedule)
+        for (s1, e1, _), (s2, e2, _) in zip(timeline, timeline[1:]):
+            assert e1 <= s2 + 1e-9

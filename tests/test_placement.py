@@ -1,0 +1,91 @@
+"""NoC-aware placement: correctness and quality vs the oblivious baseline."""
+
+import pytest
+
+from repro.arch import isaac_baseline, mesh
+from repro.errors import ScheduleError
+from repro.models import resnet18, tiny_conv
+from repro.sched import CIMMLC, CompilerOptions
+from repro.sched.placement import (
+    annotate_placement,
+    place_greedy,
+    place_linear,
+    placement_cost,
+    traffic_bits,
+)
+
+
+def mesh_arch(cores=64):
+    """Baseline with a real mesh NoC so hops actually cost something."""
+    from dataclasses import replace
+
+    arch = isaac_baseline().with_cores(cores)
+    return replace(arch, chip=replace(arch.chip, core_noc=mesh()))
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return CIMMLC(mesh_arch()).schedule(resnet18())
+
+
+class TestMechanics:
+    def test_placements_are_disjoint_and_complete(self, schedule):
+        for strategy in (place_linear, place_greedy):
+            placement = strategy(schedule)
+            used = [c for cores in placement.values() for c in cores]
+            assert len(used) == len(set(used))
+            for name, cores in placement.items():
+                assert len(cores) == schedule.decision(name).cores
+
+    def test_cores_within_chip(self, schedule):
+        placement = place_greedy(schedule)
+        n = schedule.arch.chip.core_number
+        assert all(0 <= c < n for cores in placement.values() for c in cores)
+
+    def test_traffic_bits(self, schedule):
+        graph = schedule.graph
+        bits = traffic_bits(schedule, "conv1", "bn1")
+        assert bits == graph.tensors["conv1_out"].size_bits
+
+    def test_annotate_writes_to_nodes(self, schedule):
+        placement = annotate_placement(schedule, strategy="greedy")
+        for name, cores in placement.items():
+            assert schedule.graph.node(name).annotations["cores_placed"] \
+                == cores
+
+    def test_unknown_strategy_rejected(self, schedule):
+        with pytest.raises(ScheduleError):
+            annotate_placement(schedule, strategy="quantum")
+
+    def test_overfull_segment_rejected(self):
+        arch = mesh_arch(cores=64)
+        sched = CIMMLC(arch).schedule(resnet18())
+        # Corrupt a decision to exceed the chip.
+        sched.decision("conv1").dup_cg = 10 ** 4
+        with pytest.raises(ScheduleError):
+            place_linear(sched)
+
+
+class TestQuality:
+    def test_greedy_beats_or_ties_linear(self, schedule):
+        linear = placement_cost(schedule, place_linear(schedule))
+        greedy = placement_cost(schedule, place_greedy(schedule))
+        assert greedy <= linear * (1 + 1e-9)
+
+    def test_greedy_strictly_wins_on_mesh_resnet(self, schedule):
+        """On a duplicated ResNet over a mesh, locality has real value."""
+        linear = placement_cost(schedule, place_linear(schedule))
+        greedy = placement_cost(schedule, place_greedy(schedule))
+        assert greedy < linear
+
+    def test_ideal_noc_cost_is_zero(self):
+        sched = CIMMLC(isaac_baseline()).schedule(tiny_conv())
+        assert placement_cost(sched, place_linear(sched)) == 0.0
+
+    def test_cost_counts_through_digital_ops(self, schedule):
+        """conv -> bn -> relu -> conv chains still contribute edges."""
+        from repro.sched.placement import _edges
+
+        edges = _edges(schedule, 0)
+        pairs = {(a, b) for a, b, _ in edges}
+        assert ("conv1", "layer1_0_conv1") in pairs

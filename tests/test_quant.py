@@ -1,0 +1,114 @@
+"""Quantization and crossbar cell encoding (offset-binary + bit slicing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SimulationError
+from repro.graph import GraphBuilder
+from repro.models import tiny_conv
+from repro.quant import (
+    decode_columns,
+    encode_matrix,
+    quantize,
+    random_input,
+    random_weights,
+)
+
+
+class TestQuantize:
+    def test_zero_tensor(self):
+        assert quantize(np.zeros((3, 3))).sum() == 0
+
+    def test_range(self):
+        q = quantize(np.linspace(-1, 1, 100), bits=8)
+        assert q.max() == 127
+        assert q.min() == -127
+
+    def test_one_bit_rejected(self):
+        with pytest.raises(SimulationError):
+            quantize(np.ones(3), bits=1)
+
+
+class TestRandomTensors:
+    def test_weights_deterministic(self):
+        g = tiny_conv()
+        w1 = random_weights(g, seed=5)
+        w2 = random_weights(g, seed=5)
+        for name in w1:
+            assert np.array_equal(w1[name], w2[name])
+
+    def test_weights_respect_range(self):
+        g = tiny_conv()
+        for w in random_weights(g, low=-4, high=4).values():
+            assert w.min() >= -4 and w.max() <= 4
+
+    def test_only_weight_tensors(self):
+        g = tiny_conv()
+        names = set(random_weights(g))
+        assert all(g.tensors[n].is_weight for n in names)
+
+    def test_inputs_cover_graph_inputs(self):
+        g = tiny_conv()
+        assert set(random_input(g)) == set(g.inputs)
+
+
+class TestCellEncoding:
+    def test_known_value(self):
+        # weight 5, 8-bit, 2-bit cells: offset-binary 133 = 2*64+0*16+1*4+1
+        cells = encode_matrix(np.array([[5]]), bits=8, cell_bits=2)
+        assert cells.shape == (1, 4)
+        assert list(cells[0]) == [1, 1, 0, 2]  # LSB slice first
+
+    def test_cells_within_precision(self):
+        m = np.arange(-8, 8).reshape(4, 4)
+        cells = encode_matrix(m, bits=8, cell_bits=2)
+        assert cells.min() >= 0 and cells.max() < 4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SimulationError):
+            encode_matrix(np.array([[300]]), bits=8, cell_bits=2)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(SimulationError):
+            encode_matrix(np.zeros(4), bits=8, cell_bits=2)
+
+    def test_decode_requires_divisible_length(self):
+        with pytest.raises(SimulationError):
+            decode_columns(np.zeros(5), slices=2, cell_bits=2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    matrix=hnp.arrays(np.int64, (4, 3),
+                      elements=st.integers(-128, 127)),
+    inputs=hnp.arrays(np.int64, (4,),
+                      elements=st.integers(-128, 127)),
+    cell_bits=st.sampled_from([1, 2, 4]),
+)
+def test_encode_mvm_decode_is_exact(matrix, inputs, cell_bits):
+    """The full analog path is exact: encode -> per-slice column sums ->
+    shift-add -> offset correction == plain integer MVM."""
+    bits = 8
+    cells = encode_matrix(matrix, bits, cell_bits)
+    raw = inputs @ cells                       # bitline partial sums
+    slices = -(-bits // cell_bits)
+    correction = (2 ** (bits - 1)) * int(inputs.sum())
+    decoded = decode_columns(raw, slices, cell_bits, correction)
+    assert np.array_equal(decoded, inputs @ matrix)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    matrix=hnp.arrays(np.int64, (8, 2), elements=st.integers(-8, 7)),
+)
+def test_encoding_is_per_column_block(matrix):
+    """Each weight column occupies `slices` adjacent cell columns."""
+    cells = encode_matrix(matrix, bits=4, cell_bits=2)
+    slices = 2
+    for c in range(matrix.shape[1]):
+        block = cells[:, c * slices:(c + 1) * slices]
+        reconstructed = sum(block[:, j] << (2 * j) for j in range(slices))
+        assert np.array_equal(reconstructed - 8, matrix[:, c])

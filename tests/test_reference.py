@@ -1,0 +1,114 @@
+"""Reference executor: hand-checked kernels and structural behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph import GraphBuilder
+from repro.models import residual_toy, tiny_conv, vit_tiny
+from repro.quant import random_input, random_weights
+from repro.sim.reference import ReferenceExecutor, conv_windows
+
+
+class TestConvWindows:
+    def test_identity_window(self):
+        x = np.arange(16).reshape(1, 1, 4, 4)
+        windows = conv_windows(x, (1, 1), (1, 1), (0, 0))
+        assert windows.shape == (16, 1)
+        assert np.array_equal(windows.reshape(-1), x.reshape(-1))
+
+    def test_padding_zeros(self):
+        x = np.ones((1, 1, 2, 2))
+        windows = conv_windows(x, (3, 3), (1, 1), (1, 1))
+        assert windows.shape == (4, 9)
+        # corner window touches 4 real pixels, 5 padded zeros
+        assert windows[0].sum() == 4
+
+    def test_channel_major_ordering(self):
+        """Window layout is (channel, kh, kw) flattened — the contract
+        shared with the lowering."""
+        x = np.stack([np.zeros((2, 2)), np.ones((2, 2))])[None]
+        windows = conv_windows(x, (2, 2), (1, 1), (0, 0))
+        assert np.array_equal(windows[0], [0, 0, 0, 0, 1, 1, 1, 1])
+
+
+class TestKernels:
+    def test_conv_matches_manual(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 1, 3, 3))
+        y = b.conv(x, 1, kernel=3, name="c")
+        g = b.build([y])
+        w = {"c_w": np.ones((1, 1, 3, 3), dtype=np.int64)}
+        data = np.arange(9).reshape(1, 1, 3, 3)
+        out = ReferenceExecutor(g, w).run({"x": data})[g.outputs[0]]
+        assert out.reshape(-1)[0] == 36     # sum of 0..8
+
+    def test_gemm_with_bias(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3))
+        y = b.gemm(x, 2, bias=True, name="fc")
+        g = b.build([y])
+        w = {"fc_w": np.array([[1, 0, 0], [0, 1, 0]]),
+             "fc_b": np.array([10, 20])}
+        out = ReferenceExecutor(g, w).run(
+            {"x": np.array([[1, 2, 3]])})[g.outputs[0]]
+        assert np.array_equal(out, [[11, 22]])
+
+    def test_maxpool(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 1, 4, 4))
+        y = b.maxpool(x, kernel=2, stride=2, name="p")
+        g = b.build([y])
+        data = np.arange(16).reshape(1, 1, 4, 4)
+        out = ReferenceExecutor(g, {}).run({"x": data})[g.outputs[0]]
+        assert np.array_equal(out.reshape(-1), [5, 7, 13, 15])
+
+    def test_relu_and_add(self):
+        g = residual_toy()
+        w = random_weights(g, seed=0, low=-2, high=2)
+        out = ReferenceExecutor(g, w).run(random_input(g))
+        final = out[g.outputs[0]]
+        assert final.min() >= 0              # ends with ReLU
+
+    def test_softmax_rows_sum_to_one(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 5))
+        y = b.softmax(x, name="s")
+        g = b.build([y])
+        out = ReferenceExecutor(g, {}).run(
+            {"x": np.arange(10).reshape(2, 5)})[g.outputs[0]]
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_unknown_op_rejected(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4))
+        y = b.node("Identity", [x], name="i")
+        g = b.build([y])
+        g.nodes[0].op_type = "Alien"
+        with pytest.raises(SimulationError, match="no kernel"):
+            ReferenceExecutor(g, {}).run({"x": np.zeros((1, 4))})
+
+    def test_missing_output_detected(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4))
+        y = b.relu(x)
+        g = b.build([y])
+        g.outputs.append("phantom")
+        with pytest.raises(SimulationError, match="never produced"):
+            ReferenceExecutor(g, {}).run({"x": np.zeros((1, 4))})
+
+
+class TestEndToEnd:
+    def test_tiny_conv_shapes_match_inference(self):
+        g = tiny_conv()
+        w = random_weights(g, seed=1, low=-3, high=3)
+        env = ReferenceExecutor(g, w).run(random_input(g))
+        for name, spec in g.tensors.items():
+            if name in env and not spec.is_weight:
+                assert env[name].shape == spec.shape
+
+    def test_vit_runs_end_to_end(self):
+        g = vit_tiny()
+        w = random_weights(g, seed=1, low=-1, high=1)
+        env = ReferenceExecutor(g, w).run(random_input(g))
+        assert env[g.outputs[0]].shape == (1, 1000)

@@ -1,0 +1,27 @@
+"""Schedule JSON export."""
+
+import json
+
+from repro.arch import isaac_baseline
+from repro.models import tiny_conv
+from repro.sched import CIMMLC
+
+
+def test_to_dict_is_json_serializable():
+    schedule = CIMMLC(isaac_baseline()).schedule(tiny_conv())
+    data = schedule.to_dict()
+    text = json.dumps(data)     # raises if not serializable
+    back = json.loads(text)
+    assert back["mode"] == "WLM"
+    assert back["levels"] == ["CG", "MVM", "VVM"]
+    assert set(back["decisions"]) == {n.name for n in schedule.graph.nodes}
+
+
+def test_export_reflects_decisions():
+    schedule = CIMMLC(isaac_baseline()).schedule(tiny_conv())
+    data = schedule.to_dict()
+    for name, entry in data["decisions"].items():
+        d = schedule.decision(name)
+        assert entry["dup_cg"] == d.dup_cg
+        assert entry["latency_cycles"] == d.latency()
+        assert entry["cores"] == d.cores

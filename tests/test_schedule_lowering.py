@@ -1,0 +1,138 @@
+"""Schedule container invariants and lowering structure."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ComputingMode, functional_testbed, isaac_baseline
+from repro.errors import CodegenError, ScheduleError
+from repro.models import mlp, tiny_conv
+from repro.mops import Mov, ParallelBlock, ReadCore, WriteXb
+from repro.quant import random_weights
+from repro.sched import CIMMLC, CostModel, OpDecision, Schedule, schedule_cg
+from repro.sched.lowering import (
+    Lowering,
+    _split_range,
+    _stagger,
+    _tile_bounds,
+    lower_to_flow,
+)
+
+
+class TestScheduleContainer:
+    def make(self):
+        graph = tiny_conv()
+        return schedule_cg(graph, isaac_baseline()), graph
+
+    def test_missing_node_in_segments_rejected(self):
+        sched, graph = self.make()
+        with pytest.raises(ScheduleError, match="missing"):
+            Schedule(graph, sched.arch, sched.decisions, [[]])
+
+    def test_missing_decision_rejected(self):
+        sched, graph = self.make()
+        decisions = dict(sched.decisions)
+        decisions.pop("conv1")
+        with pytest.raises(ScheduleError, match="no decision"):
+            Schedule(graph, sched.arch, decisions, sched.segments)
+
+    def test_resource_validation(self):
+        sched, graph = self.make()
+        conv = sched.decision("conv1")
+        conv.dup_cg = 10 ** 6
+        with pytest.raises(ScheduleError, match="cores"):
+            sched.validate_resources()
+
+    def test_summary_renders(self):
+        sched, _ = self.make()
+        assert "segment 0" in sched.summary()
+
+    def test_effective_dup_prefers_mvm(self):
+        sched, _ = self.make()
+        d = sched.decision("conv1")
+        d.dup_mvm = d.dup_cg + 5
+        assert d.dup == d.dup_cg + 5
+        d.dup_mvm = None
+        assert d.dup == d.dup_cg
+
+
+class TestLoweringHelpers:
+    def test_split_range_covers_exactly(self):
+        bounds = _split_range(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_tile_bounds(self):
+        assert _tile_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_stagger_separates_same_crossbar(self):
+        from repro.mops import ReadRow
+
+        reads = [ReadRow(0, 0, 4), ReadRow(0, 4, 4), ReadRow(1, 0, 4)]
+        blocks = _stagger(reads)
+        assert len(blocks) == 2
+        for block in blocks:
+            addrs = [op.xbaddr for op in block]
+            assert len(addrs) == len(set(addrs))
+
+
+class TestLoweringStructure:
+    def test_cm_flow_uses_readcore_per_replica(self):
+        arch = functional_testbed(ComputingMode.CM)
+        graph = tiny_conv()
+        schedule = CIMMLC(arch).schedule(graph)
+        program = lower_to_flow(schedule, random_weights(graph, seed=0,
+                                                         low=-2, high=2))
+        readcores = program.flow.count(ReadCore)
+        expected = sum(
+            min(schedule.decision(n.name).dup_cg,
+                graph.output_spec(n).shape[2]
+                if n.op_type == "Conv" else 1)
+            for n in graph.cim_nodes())
+        assert readcores == expected
+        assert len(program.core_images) == readcores
+
+    def test_xbm_writes_before_reads(self):
+        arch = functional_testbed(ComputingMode.XBM)
+        graph = mlp()
+        program = lower_to_flow(
+            CIMMLC(arch).schedule(graph),
+            random_weights(graph, seed=0, low=-2, high=2))
+        seen_read = False
+        for op in program.flow.leaves():
+            if isinstance(op, WriteXb):
+                assert True
+            from repro.mops import ReadXb
+
+            if isinstance(op, ReadXb):
+                seen_read = True
+        assert seen_read
+
+    def test_multi_segment_rejected(self):
+        arch = functional_testbed(ComputingMode.XBM).with_cores(1)
+        graph = mlp(hidden=(64, 64, 64, 64))
+        schedule = CIMMLC(arch).schedule(graph)
+        if len(schedule.segments) > 1:
+            with pytest.raises(CodegenError, match="single-segment"):
+                lower_to_flow(schedule,
+                              random_weights(graph, seed=0, low=-2, high=2))
+
+    def test_tensor_offsets_disjoint(self):
+        arch = functional_testbed(ComputingMode.XBM)
+        graph = tiny_conv()
+        program = lower_to_flow(
+            CIMMLC(arch).schedule(graph),
+            random_weights(graph, seed=0, low=-2, high=2))
+        placed = sorted(
+            (off, graph.tensors[name].numel)
+            for name, off in program.tensor_offsets.items())
+        for (a0, alen), (b0, _) in zip(placed, placed[1:]):
+            assert a0 + alen <= b0
+
+    def test_constants_referenced_by_writes(self):
+        arch = functional_testbed(ComputingMode.XBM)
+        graph = mlp()
+        program = lower_to_flow(
+            CIMMLC(arch).schedule(graph),
+            random_weights(graph, seed=0, low=-2, high=2))
+        referenced = {op.mat for op in program.flow.leaves()
+                      if isinstance(op, WriteXb)}
+        assert referenced == set(program.flow.constants)

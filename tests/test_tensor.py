@@ -1,0 +1,70 @@
+"""TensorSpec: validation and derived quantities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.graph import TensorSpec
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("", (1, 2))
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (1, 0, 3))
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (1, -2))
+
+    def test_non_integer_dimension_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (1, 2.5))
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (4,), bits=0)
+
+    def test_scalar_shape_allowed(self):
+        assert TensorSpec("x", ()).numel == 1
+
+
+class TestDerived:
+    def test_numel(self):
+        assert TensorSpec("x", (2, 3, 4)).numel == 24
+
+    def test_rank(self):
+        assert TensorSpec("x", (1, 3, 32, 32)).rank == 4
+
+    def test_size_bits(self):
+        assert TensorSpec("x", (10,), bits=8).size_bits == 80
+
+    def test_size_bytes_rounds_up(self):
+        assert TensorSpec("x", (3,), bits=3).size_bytes == 2  # 9 bits -> 2B
+
+    def test_with_shape_preserves_bits_and_kind(self):
+        w = TensorSpec("w", (4, 4), bits=4, is_weight=True)
+        v = w.with_shape((2, 8))
+        assert v.shape == (2, 8)
+        assert v.bits == 4
+        assert v.is_weight
+
+    def test_equality_ignores_weight_flag(self):
+        # is_weight is metadata (compare=False); specs with the same
+        # name/shape/bits compare equal.
+        assert TensorSpec("x", (4,)) == TensorSpec("x", (4,), is_weight=True)
+
+
+@given(shape=st.lists(st.integers(1, 16), min_size=1, max_size=4),
+       bits=st.integers(1, 16))
+def test_size_bits_matches_product(shape, bits):
+    spec = TensorSpec("t", tuple(shape), bits)
+    expected = bits
+    for d in shape:
+        expected *= d
+    assert spec.size_bits == expected
+    assert spec.size_bytes == (expected + 7) // 8

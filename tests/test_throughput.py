@@ -1,0 +1,32 @@
+"""Steady-state throughput (batch pipeline) metric."""
+
+import pytest
+
+from repro.arch import isaac_baseline
+from repro.models import resnet18
+from repro.sched import CIMMLC, CompilerOptions, no_optimization
+
+
+class TestThroughput:
+    def test_pipelined_throughput_beats_latency_rate(self):
+        arch = isaac_baseline()
+        graph = resnet18()
+        report = CIMMLC(arch).compile(graph).report
+        # Streaming images completes faster than one-at-a-time.
+        assert report.steady_state_interval <= report.total_cycles
+        assert report.throughput >= 1.0 / report.total_cycles
+
+    def test_sequential_interval_is_total(self):
+        arch = isaac_baseline()
+        graph = resnet18()
+        report = no_optimization(graph, arch).report
+        assert report.steady_state_interval == report.total_cycles
+
+    def test_duplication_raises_throughput(self):
+        arch = isaac_baseline()
+        graph = resnet18()
+        no_dup = CIMMLC(arch, CompilerOptions(
+            max_level="CG", duplicate=False)).compile(graph).report
+        dup = CIMMLC(arch, CompilerOptions(
+            max_level="CG")).compile(graph).report
+        assert dup.throughput > no_dup.throughput

@@ -1,0 +1,82 @@
+"""Virtual crossbars: dimension binding math (Fig. 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import BitBinding, CrossbarTier, bind, cores_per_vxb, vxbs_per_core
+from repro.errors import ArchitectureError
+
+
+def xb128(cell_bits=2):
+    return CrossbarTier(xb_size=(128, 128), cell_bits=cell_bits)
+
+
+class TestBinding:
+    def test_small_matrix_single_crossbar(self):
+        shape = bind((27, 32, 8), CrossbarTier(xb_size=(32, 128), cell_bits=2))
+        assert (shape.v_rows, shape.v_cols) == (1, 1)
+        assert shape.num_crossbars == 1
+        assert shape.rows_used == 27
+        assert shape.cols_used == 32 * 4   # 4 slices of 2-bit cells
+
+    def test_vgg_conv_tile_counts(self):
+        # 4608x512 8-bit weights on 128x128 2-bit crossbars:
+        # 36 vertical tiles, 512*4/128 = 16 horizontal tiles.
+        shape = bind((4608, 512, 8), xb128())
+        assert shape.v_rows == 36
+        assert shape.v_cols == 16
+        assert shape.num_crossbars == 576
+
+    def test_bit_to_xb_binding(self):
+        shape = bind((100, 100, 8), xb128(), BitBinding.XB)
+        assert shape.slices_per_xb == 4
+        assert shape.v_cols == 1
+        assert shape.num_crossbars == 4
+
+    def test_rows_used_in_tiles(self):
+        xb = xb128()
+        shape = bind((200, 64, 8), xb)
+        assert shape.rows_used_in(0, xb) == 128   # full tile
+        assert shape.rows_used_in(1, xb) == 72    # partial tile
+        with pytest.raises(ArchitectureError):
+            shape.rows_used_in(2, xb)
+
+    def test_degenerate_matrix_rejected(self):
+        with pytest.raises(ArchitectureError):
+            bind((0, 4, 8), xb128())
+
+
+@given(r=st.integers(1, 4096), c=st.integers(1, 4096),
+       bits=st.integers(1, 16),
+       xb_rows=st.integers(8, 512), xb_cols=st.integers(8, 512),
+       cell_bits=st.integers(1, 4))
+def test_binding_covers_matrix(r, c, bits, xb_rows, xb_cols, cell_bits):
+    """Invariant: the bound crossbar grid always covers the whole matrix,
+    and removing one tile row/column would not."""
+    xb = CrossbarTier(xb_size=(xb_rows, xb_cols), cell_bits=cell_bits)
+    shape = bind((r, c, bits), xb)
+    slices = xb.bit_slices(bits)
+    assert shape.v_rows * xb_rows >= r
+    assert (shape.v_rows - 1) * xb_rows < r
+    assert shape.v_cols * xb_cols >= c * slices
+    assert (shape.v_cols - 1) * xb_cols < c * slices
+    assert 1 <= shape.rows_used <= xb_rows
+    assert 1 <= shape.cols_used <= xb_cols
+    # Total cell capacity of the VXB is at least the weight volume.
+    assert shape.num_crossbars * xb.capacity_bits >= r * c * bits
+
+
+@given(r=st.integers(1, 512), c=st.integers(1, 512),
+       xb_number=st.integers(1, 32))
+def test_core_packing_consistent(r, c, xb_number):
+    xb = xb128()
+    shape = bind((r, c, 8), xb)
+    per_core = vxbs_per_core(shape, xb_number)
+    cores = cores_per_vxb(shape, xb_number)
+    if per_core >= 1:
+        assert cores == 1
+        assert per_core * shape.num_crossbars <= xb_number
+    else:
+        assert cores >= 2
+        assert cores * xb_number >= shape.num_crossbars
