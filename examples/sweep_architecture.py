@@ -1,31 +1,45 @@
 #!/usr/bin/env python
 """Architecture sensitivity sweep (Fig. 22) on a custom network.
 
-Uses the public sweep API to explore how core count and parallel-row count
-change the value of each scheduling level — the design-space-exploration
-use case the compiler enables for architects.
+Uses the design-space exploration engine (``repro.explore``) to explore how
+core count and parallel-row count change the value of each scheduling
+level — the use case the compiler enables for architects.  The sweep fans
+out over worker processes and memoizes every point in a disk cache, so
+re-runs and overlapping sweeps are near-free.
 
-Run:  python examples/sweep_architecture.py [--full]
+Run:  python examples/sweep_architecture.py [--full] [--workers N]
+                                            [--cache-dir DIR]
       (--full uses ViT-Base as in the paper; default uses ViT-Tiny for speed)
 """
 
-import sys
+import argparse
 
 from repro.experiments import (
     fig22a_cores,
     fig22d_parallel_row,
     sensitivity_base_arch,
 )
+from repro.explore import SweepRunner
 from repro.models import vit_base, vit_tiny
 
 
 def main() -> None:
-    graph = vit_base() if "--full" in sys.argv else vit_tiny()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use ViT-Base as in the paper")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep")
+    parser.add_argument("--cache-dir", default=None,
+                        help="memoize sweep points under this directory")
+    args = parser.parse_args()
+
+    graph = vit_base() if args.full else vit_tiny()
+    runner = SweepRunner(workers=args.workers, cache_dir=args.cache_dir)
     print(f"workload: {graph.name}; "
           f"base architecture: {sensitivity_base_arch()}\n")
-    print(fig22a_cores(graph=graph).table())
+    print(fig22a_cores(graph=graph, runner=runner).table())
     print()
-    print(fig22d_parallel_row(graph=graph).table())
+    print(fig22d_parallel_row(graph=graph, runner=runner).table())
     print("\nReading the sweep: more cores monotonically raise the CG-level "
           "win (more duplication headroom);\nfewer parallel rows hurt MVM "
           "scheduling but the VVM remap claws the loss back (paper: ~20% "

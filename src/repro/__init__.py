@@ -16,6 +16,8 @@ Packages
 ``repro.mops``        Meta-operator sets, flows, BNF codegen, validation.
 ``repro.sched``       Multi-level scheduler (CG / MVM / VVM) + baselines.
 ``repro.sim``         Functional (value-exact) and performance simulators.
+``repro.explore``     Design-space sweeps: parallel runner, result cache,
+                      Pareto/bottleneck analysis.
 ``repro.experiments`` One driver per paper table/figure.
 """
 
@@ -59,8 +61,9 @@ from .sched import (
     poly_schedule,
 )
 from .sim import PerformanceReport, PerformanceSimulator
+from .explore import SweepPoint, SweepResult, SweepRunner, SweepSpace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CIMArchitecture",
@@ -78,6 +81,10 @@ __all__ = [
     "PerformanceReport",
     "PerformanceSimulator",
     "Schedule",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpace",
     "TensorSpec",
     "conv_relu_example",
     "functional_testbed",

@@ -4,6 +4,8 @@ Commands
 --------
 ``compile``   Compile a model onto an architecture preset and print the
               performance report (optionally per-level ablation).
+``sweep``     Design-space sweep: vary preset parameters over a grid, run
+              (optionally parallel + cached), print table/CSV/JSON.
 ``describe``  Print the Abs-arch abstraction of a preset (Figs. 17-19 style).
 ``codegen``   Emit the meta-operator program for a small model.
 ``presets``   List architecture presets.
@@ -55,8 +57,26 @@ def _model(name: str):
     try:
         return MODELS[name]()
     except KeyError:
+        # Accept underscore spellings (``vit_tiny`` == ``vit-tiny``).
+        normalized = name.replace("_", "-")
+        if normalized in MODELS:
+            return MODELS[normalized]()
         raise SystemExit(
             f"unknown model {name!r}; choose one of {sorted(MODELS)}")
+
+
+def _preset(name: str):
+    """Resolve a preset name: exact, underscore-normalized, or unique
+    prefix (``isaac`` -> ``isaac-baseline``)."""
+    normalized = name.replace("_", "-")
+    if normalized in PRESETS:
+        return PRESETS[normalized]()
+    matches = sorted(p for p in PRESETS if p.startswith(normalized))
+    if len(matches) == 1:
+        return PRESETS[matches[0]]()
+    hint = f"ambiguous ({matches})" if matches else "no match"
+    raise SystemExit(f"unknown preset {name!r}: {hint}; "
+                     f"choose one of {sorted(PRESETS)}")
 
 
 def cmd_presets(args) -> None:
@@ -118,10 +138,73 @@ def cmd_codegen(args) -> None:
     print("\n".join(lines))
 
 
+def cmd_sweep(args) -> None:
+    from .explore import (
+        SweepRunner,
+        SweepSpace,
+        default_cache_dir,
+        frontier_labels,
+        level_series,
+        metric_result,
+        speedup_result,
+        to_csv,
+        to_json,
+    )
+
+    base = _preset(args.preset)
+    graph = _model(args.model)
+    vary: Dict[str, List[str]] = {}
+    for spec in args.vary or []:
+        name, sep, values = spec.partition("=")
+        if not sep or not values:
+            raise SystemExit(
+                f"--vary expects PARAM=V1,V2,... got {spec!r}")
+        vary[name] = values.split(",")
+    try:
+        series = level_series(args.levels.split(","))
+        space = SweepSpace.grid(base, graph, vary, series=series)
+    except Exception as exc:
+        raise SystemExit(str(exc))
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    cache_dir = None if args.no_cache else \
+        (args.cache_dir or default_cache_dir())
+    runner = SweepRunner(workers=args.workers, cache_dir=cache_dir)
+    sweep = runner.run(space)
+    print(f"sweep: {len(sweep)} points "
+          f"({sweep.cache_hits} cache hits, {sweep.cache_misses} misses"
+          f"{'' if cache_dir else ', cache disabled'})", file=sys.stderr)
+
+    if args.format == "json":
+        print(to_json(sweep, pareto=args.pareto))
+        return
+    if args.format == "csv":
+        print(to_csv(sweep, pareto=args.pareto), end="")
+        return
+    has_baseline = any(p.series == "baseline" for p in space)
+    if has_baseline:
+        table = speedup_result(
+            sweep, "sweep", f"{graph.name} on {base.name} "
+            f"(speedup over un-optimized)")
+    else:
+        table = metric_result(
+            sweep, "sweep", f"{graph.name} on {base.name} (total cycles)",
+            unit=" cyc")
+    print(table.table())
+    if args.pareto:
+        print("pareto frontier (min cycles, min peak power): "
+              + ", ".join(frontier_labels(sweep)))
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("presets", help="list architecture presets") \
@@ -142,6 +225,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", action="store_true",
                    help="print the per-operator schedule")
     p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser(
+        "sweep",
+        help="design-space sweep over a preset (parallel + cached)",
+        description="Vary architecture parameters of a preset over a grid, "
+                    "compile the model at every point, and report each "
+                    "optimization level's speedup over the un-optimized "
+                    "schedule.  Results are memoized in a content-addressed "
+                    "disk cache, so repeated and overlapping sweeps are "
+                    "near-free.")
+    p.add_argument("--model", default="vit-tiny",
+                   help="model-zoo entry (underscores accepted)")
+    p.add_argument("--preset", "--arch", dest="preset",
+                   default="isaac-baseline",
+                   help="architecture preset (unique prefixes accepted, "
+                        "e.g. 'isaac')")
+    p.add_argument("--vary", action="append", metavar="PARAM=V1,V2,...",
+                   help="sweep axis, e.g. cores=256,512,1024 or "
+                        "xb_size=64x512,128x256; repeat for a grid")
+    p.add_argument("--levels", default="baseline,CG,MVM,VVM",
+                   help="comma list of series to run per point "
+                        "(baseline,CG,MVM,VVM)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache root (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro-explore)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache")
+    p.add_argument("--format", choices=("table", "csv", "json"),
+                   default="table")
+    p.add_argument("--pareto", action="store_true",
+                   help="report the Pareto frontier (cycles vs. peak power)")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("codegen",
                        help="emit a meta-operator program (small models)")

@@ -5,16 +5,22 @@ The baseline is Table 3 with a 128x256 crossbar (Section 4.4).  Four sweeps:
 64x512..512x64, (d) parallel rows 64..8.  Each point reports the speedup of
 CG / CG+MVM / CG+MVM+VVM over the un-optimized schedule on that same
 architecture.
+
+Each driver is a thin declaration over :mod:`repro.explore`: the point set
+becomes a :class:`~repro.explore.SweepSpace` and a
+:class:`~repro.explore.SweepRunner` executes it — pass ``runner=`` to share
+a result cache or fan points out over worker processes; the default serial
+runner reproduces the original single-process behaviour bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from ..arch import CIMArchitecture, isaac_baseline
+from ..explore import SweepRunner, SweepSpace, speedup_result
 from ..graph import Graph
 from ..models import vit_base
-from ..sched import CIMMLC, CompilerOptions, no_optimization
 from .common import ExperimentResult
 
 CORE_SWEEP = (256, 512, 768, 1024)
@@ -28,64 +34,55 @@ def sensitivity_base_arch() -> CIMArchitecture:
     return isaac_baseline().with_xb_size((128, 256))
 
 
-def _speedups(graph: Graph, arch: CIMArchitecture) -> Dict[str, float]:
-    base = no_optimization(graph, arch).total_cycles
-    cg = CIMMLC(arch, CompilerOptions(max_level="CG")).compile(graph)
-    mvm = CIMMLC(arch, CompilerOptions(max_level="MVM")).compile(graph)
-    vvm = CIMMLC(arch).compile(graph)
-    return {
-        "CG": base / cg.total_cycles,
-        "CG+MVM": base / mvm.total_cycles,
-        "CG+MVM+VVM": base / vvm.total_cycles,
-    }
-
-
 def _sweep(experiment_id: str, description: str, graph: Graph,
-           points: Iterable[Tuple[str, CIMArchitecture]]) -> ExperimentResult:
-    result = ExperimentResult(experiment_id, description)
-    for label, arch in points:
-        for level, speedup in _speedups(graph, arch).items():
-            result.add(f"{label} {level}", speedup)
-    return result
+           points: Iterable[Tuple[str, CIMArchitecture]],
+           runner: Optional[SweepRunner] = None) -> ExperimentResult:
+    space = SweepSpace.from_arch_points(points, graph)
+    sweep = (runner or SweepRunner()).run(space)
+    return speedup_result(sweep, experiment_id, description)
 
 
 def fig22a_cores(core_numbers: Sequence[int] = CORE_SWEEP,
-                 graph: Graph = None) -> ExperimentResult:
+                 graph: Graph = None,
+                 runner: Optional[SweepRunner] = None) -> ExperimentResult:
     """Core-count sweep (paper: CG speedup grows ~15x -> ~30x)."""
     graph = graph or vit_base()
     base = sensitivity_base_arch()
     return _sweep(
         "Fig22a", f"core-number sweep ({graph.name})", graph,
-        ((f"cores={n}", base.with_cores(n)) for n in core_numbers))
+        ((f"cores={n}", base.with_cores(n)) for n in core_numbers), runner)
 
 
 def fig22b_xb_number(xb_numbers: Sequence[int] = XB_SWEEP,
-                     graph: Graph = None) -> ExperimentResult:
+                     graph: Graph = None,
+                     runner: Optional[SweepRunner] = None) -> ExperimentResult:
     """Crossbars-per-core sweep (paper: speedup grows with crossbars)."""
     graph = graph or vit_base()
     base = sensitivity_base_arch()
     return _sweep(
         "Fig22b", f"crossbar-number sweep ({graph.name})", graph,
-        ((f"xbs={n}", base.with_xb_number(n)) for n in xb_numbers))
+        ((f"xbs={n}", base.with_xb_number(n)) for n in xb_numbers), runner)
 
 
 def fig22c_xb_size(sizes: Sequence[Tuple[int, int]] = SIZE_SWEEP,
-                   graph: Graph = None) -> ExperimentResult:
+                   graph: Graph = None,
+                   runner: Optional[SweepRunner] = None) -> ExperimentResult:
     """Crossbar-shape sweep at constant cell count (paper: speedup grows
     until rows exceed the dominant matrix height, then drops)."""
     graph = graph or vit_base()
     base = sensitivity_base_arch()
     return _sweep(
         "Fig22c", f"crossbar-size sweep ({graph.name})", graph,
-        ((f"{r}x{c}", base.with_xb_size((r, c))) for r, c in sizes))
+        ((f"{r}x{c}", base.with_xb_size((r, c))) for r, c in sizes), runner)
 
 
 def fig22d_parallel_row(rows: Sequence[int] = PARALLEL_SWEEP,
-                        graph: Graph = None) -> ExperimentResult:
+                        graph: Graph = None,
+                        runner: Optional[SweepRunner] = None) -> ExperimentResult:
     """Parallel-row sweep (paper: at 8 parallel rows the VVM remap recovers
     ~20% over MVM scheduling)."""
     graph = graph or vit_base()
     base = sensitivity_base_arch()
     return _sweep(
         "Fig22d", f"parallel-row sweep ({graph.name})", graph,
-        ((f"pr={n}", base.with_parallel_row(n)) for n in rows))
+        ((f"pr={n}", base.with_parallel_row(n)) for n in rows), runner)

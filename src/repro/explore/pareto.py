@@ -1,0 +1,99 @@
+"""Pareto analysis and bottleneck attribution over sweep results.
+
+Two analyses an architect runs after a design-space sweep:
+
+* :func:`pareto_frontier` — which design points are non-dominated under a
+  chosen set of objectives (default: latency vs. peak power, both
+  minimized)?
+* :func:`attribute_bottleneck` — *why* is a point slow: weight
+  reconfiguration between segments, crossbar compute waves, or NoC/buffer
+  traffic?  Shares are derived from the performance summary's
+  ``compute_cycles`` / ``reconfiguration_cycles`` / ``noc_cycles`` split and
+  the per-:class:`~repro.sim.performance.SegmentTiming` bottleneck records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .runner import PointResult, SweepResult
+
+#: Default objectives: minimize single-inference latency and peak power.
+DEFAULT_OBJECTIVES = ("total_cycles", "peak_power")
+
+
+def _objective_vector(result: PointResult,
+                      objectives: Sequence[str]) -> Tuple[float, ...]:
+    return tuple(float(result.summary[obj]) for obj in objectives)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and strictly
+    better somewhere (all objectives minimized)."""
+    return all(x <= y for x, y in zip(a, b)) and \
+        any(x < y for x, y in zip(a, b))
+
+
+def pareto_frontier(results: Sequence[PointResult],
+                    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                    ) -> List[PointResult]:
+    """The non-dominated subset of ``results``, in input order.
+
+    ``objectives`` are summary keys, all minimized; negate upstream (or add
+    a derived key) for maximization.  Duplicated objective vectors are all
+    kept — they dominate each other in neither direction.
+    """
+    vectors = [_objective_vector(r, objectives) for r in results]
+    frontier = []
+    for i, r in enumerate(results):
+        if not any(dominates(vectors[j], vectors[i])
+                   for j in range(len(results)) if j != i):
+            frontier.append(r)
+    return frontier
+
+
+def frontier_labels(sweep: SweepResult,
+                    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                    ) -> List[str]:
+    """Labels of Pareto-optimal points of a whole sweep result."""
+    return [f"{r.label}/{r.series}"
+            for r in pareto_frontier(list(sweep), objectives)]
+
+
+def attribute_bottleneck(summary: Dict) -> Dict:
+    """Attribute one point's latency to its architectural causes.
+
+    Returns shares over ``total_cycles`` for ``reconfiguration`` (segment
+    weight rewrites — the serial stall), ``compute`` (crossbar activation
+    waves), and ``noc`` (data movement; overlapped with compute in the
+    latency model, so its share reports how much of the compute window the
+    interconnect is busy, not an additive term), plus the dominant cause
+    and the most frequent per-segment bottleneck operator.
+    """
+    total = summary["total_cycles"] or 1.0
+    compute = summary["compute_cycles"]
+    reconf = summary["reconfiguration_cycles"]
+    noc = summary.get("noc_cycles", 0.0)
+    shares = {
+        "reconfiguration": reconf / total,
+        "compute": compute / total,
+        "noc": min(noc, compute) / total,
+    }
+    counts: Dict[str, int] = {}
+    for seg in summary.get("segments", ()):
+        counts[seg["bottleneck"]] = counts.get(seg["bottleneck"], 0) + 1
+    magnitudes = {"compute": compute, "reconfiguration": reconf, "noc": noc}
+    dominant = max(magnitudes, key=magnitudes.get)
+    return {
+        "shares": shares,
+        "dominant": dominant,
+        "bottleneck_ops": sorted(counts, key=counts.get, reverse=True),
+        "segments": len(summary.get("segments", ())),
+    }
+
+
+def attribute_sweep(sweep: SweepResult) -> Dict[str, Dict]:
+    """:func:`attribute_bottleneck` for every point, keyed
+    ``"label/series"``."""
+    return {f"{r.label}/{r.series}": attribute_bottleneck(r.summary)
+            for r in sweep}

@@ -1,0 +1,251 @@
+"""Sweep execution: fan points out over processes, cache results on disk.
+
+The runner evaluates every :class:`~repro.explore.space.SweepPoint` of a
+space into a plain-dict *summary* of the resulting
+:class:`~repro.sim.performance.PerformanceReport`.  Summaries are JSON
+(floats survive the round-trip bit-exactly), so a content-addressed disk
+cache makes re-runs and overlapping sweeps near-free: the cache key is the
+point fingerprint (architecture parameters + graph signature + compiler
+options), the value is the summary.
+
+``workers=1`` runs serially in-process (deterministic, debuggable);
+``workers>1`` uses a :class:`concurrent.futures.ProcessPoolExecutor` and is
+guaranteed to produce identical results in identical order — points are
+independent compilations and the map preserves input order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..sched import CIMMLC, no_optimization
+from ..sim.performance import PerformanceReport
+from .space import SweepPoint, SweepSpace
+
+#: Cache layout version; bump when the summary schema changes.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> str:
+    """The cache root used when none is given: ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro-explore``."""
+    return os.environ.get(
+        "REPRO_CACHE_DIR",
+        os.path.join(os.path.expanduser("~"), ".cache", "repro-explore"))
+
+
+def summarize_report(report: PerformanceReport,
+                     noc_cycles: float = 0.0) -> Dict:
+    """Flatten a :class:`PerformanceReport` into a JSON-able summary dict.
+
+    ``noc_cycles`` is the schedule's total data-movement budget (NoC +
+    buffer traffic, overlapped with compute) — kept for bottleneck
+    attribution, which the report itself does not carry.
+    """
+    return {
+        "schedule_levels": list(report.schedule_levels),
+        "pipelined": report.pipelined,
+        "total_cycles": report.total_cycles,
+        "compute_cycles": report.compute_cycles,
+        "reconfiguration_cycles": report.reconfiguration_cycles,
+        "noc_cycles": noc_cycles,
+        "steady_state_interval": report.steady_state_interval,
+        "peak_power": report.power.peak_power,
+        "avg_power": report.power.avg_power,
+        "peak_active_crossbars": report.power.peak_active_crossbars,
+        "energy": {
+            "crossbar": report.power.energy_crossbar,
+            "converter": report.power.energy_converter,
+            "movement": report.power.energy_movement,
+        },
+        "segments": [
+            {
+                "index": seg.index,
+                "cycles": seg.cycles,
+                "reconfiguration": seg.reconfiguration,
+                "bottleneck": seg.bottleneck,
+                "bottleneck_cycles": seg.bottleneck_cycles,
+            }
+            for seg in report.segments
+        ],
+    }
+
+
+def evaluate_point(point: SweepPoint) -> Dict:
+    """Compile one point and summarize its performance report.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it.
+    """
+    if point.options is None:
+        result = no_optimization(point.graph, point.arch)
+    else:
+        result = CIMMLC(point.arch, point.options).compile(point.graph)
+    sched = result.schedule
+    noc = sum(d.profile.mov_cycles
+              for i in range(len(sched.segments))
+              for d in sched.segment_decisions(i))
+    return summarize_report(result.report, noc_cycles=noc)
+
+
+class ResultCache:
+    """Content-addressed JSON cache: one file per point fingerprint."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.join(os.path.expanduser(root), f"v{CACHE_VERSION}")
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict]:
+        try:
+            with open(self._path(key)) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, summary: Dict) -> None:
+        # Write-then-rename so concurrent sweeps never read a torn file.
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(summary, fh)
+            os.replace(tmp, self._path(key))
+        except OSError:  # pragma: no cover - best-effort cache
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+
+@dataclass(frozen=True, eq=False)
+class PointResult:
+    """One evaluated point: the point, its summary, and cache provenance."""
+
+    point: SweepPoint
+    summary: Dict
+    cached: bool = False
+
+    @property
+    def label(self) -> str:
+        return self.point.label
+
+    @property
+    def series(self) -> str:
+        return self.point.series
+
+    @property
+    def total_cycles(self) -> float:
+        return self.summary["total_cycles"]
+
+    @property
+    def peak_power(self) -> float:
+        return self.summary["peak_power"]
+
+
+@dataclass
+class SweepResult:
+    """All point results of one sweep, in space order, plus cache stats."""
+
+    results: List[PointResult] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __iter__(self) -> Iterator[PointResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def by_label(self) -> Dict[str, Dict[str, PointResult]]:
+        """``{point label: {series: result}}`` preserving insertion order."""
+        grouped: Dict[str, Dict[str, PointResult]] = {}
+        for r in self.results:
+            grouped.setdefault(r.label, {})[r.series] = r
+        return grouped
+
+    def speedups(self, baseline_series: str = "baseline") -> Dict[str, Dict[str, float]]:
+        """Per-label ``series -> baseline_cycles / series_cycles``.
+
+        Every label must include the baseline series (raises
+        :class:`KeyError` otherwise — use
+        :func:`~repro.explore.report.metric_result` for raw metrics).
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for label, series_map in self.by_label().items():
+            base = series_map.get(baseline_series)
+            if base is None:
+                raise KeyError(
+                    f"label {label!r} has no {baseline_series!r} series; "
+                    f"sweep the baseline too or report raw metrics via "
+                    f"metric_result()")
+            out[label] = {
+                name: base.total_cycles / r.total_cycles
+                for name, r in series_map.items()
+                if name != baseline_series
+            }
+        return out
+
+    @property
+    def all_cached(self) -> bool:
+        return bool(self.results) and self.cache_misses == 0
+
+
+class SweepRunner:
+    """Evaluates a :class:`SweepSpace`, optionally in parallel and cached.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (default) runs serially in-process.
+    cache_dir:
+        Root of the disk cache.  ``None`` disables caching entirely.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache_dir: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+
+    def run(self, space: SweepSpace) -> SweepResult:
+        """Evaluate every point, consulting/filling the cache."""
+        points = list(space)
+        slots: List[Optional[PointResult]] = [None] * len(points)
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(points)
+        for i, point in enumerate(points):
+            if self.cache is not None:
+                keys[i] = point.fingerprint()
+                summary = self.cache.get(keys[i])
+                if summary is not None:
+                    slots[i] = PointResult(point, summary, cached=True)
+                    continue
+            pending.append(i)
+
+        if pending:
+            todo = [points[i] for i in pending]
+            if self.workers > 1 and len(todo) > 1:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    summaries = list(pool.map(evaluate_point, todo))
+            else:
+                summaries = [evaluate_point(p) for p in todo]
+            for i, summary in zip(pending, summaries):
+                slots[i] = PointResult(points[i], summary, cached=False)
+                if self.cache is not None and keys[i] is not None:
+                    self.cache.put(keys[i], summary)
+
+        return SweepResult(
+            results=[r for r in slots if r is not None],
+            cache_hits=len(points) - len(pending),
+            cache_misses=len(pending),
+        )

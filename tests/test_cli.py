@@ -1,7 +1,10 @@
 """CLI: every subcommand runs and prints sensible output."""
 
+import json
+
 import pytest
 
+import repro
 from repro.cli import MODELS, build_parser, main
 
 
@@ -13,6 +16,21 @@ class TestParser:
     def test_unknown_preset_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["describe", "imaginary-chip"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+    def test_sweep_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--model", "--preset", "--vary", "--workers",
+                     "--cache-dir", "--format"):
+            assert flag in out
 
 
 class TestCommands:
@@ -60,3 +78,60 @@ class TestCommands:
             if name in ("mlp", "tiny-conv", "conv-relu", "lenet", "vgg7"):
                 graph = factory()
                 assert len(graph.nodes) > 0
+
+
+class TestSweep:
+    ARGS = ["sweep", "--model", "mlp", "--preset", "functional",
+            "--vary", "cores=8,16", "--levels", "baseline,CG"]
+
+    def test_table_format(self, capsys):
+        main(self.ARGS + ["--no-cache"])
+        out = capsys.readouterr().out
+        assert "cores=8 CG" in out and "cores=16 CG" in out
+
+    def test_json_then_cache_hits(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path), "--format", "json"]
+        main(self.ARGS + cache)
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache"] == {"hits": 0, "misses": 4,
+                                  "all_cached": False}
+        main(self.ARGS + cache)
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache"]["all_cached"]
+        assert all(p["cached"] for p in second["points"])
+        assert [p["total_cycles"] for p in second["points"]] == \
+            [p["total_cycles"] for p in first["points"]]
+
+    def test_csv_format(self, capsys):
+        main(self.ARGS + ["--no-cache", "--format", "csv"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("label,series")
+        assert len(lines) == 5   # header + 2 points x 2 series
+
+    def test_underscore_model_and_preset_prefix(self, capsys):
+        main(["sweep", "--model", "tiny_conv", "--preset", "functional",
+              "--vary", "cores=8", "--levels", "CG", "--no-cache"])
+        assert "cores=8" in capsys.readouterr().out
+
+    def test_pareto_flag(self, capsys):
+        main(self.ARGS + ["--no-cache", "--pareto"])
+        assert "pareto frontier" in capsys.readouterr().out
+
+    def test_workers_zero_rejected(self):
+        with pytest.raises(SystemExit, match="--workers must be"):
+            main(self.ARGS + ["--workers", "0", "--no-cache"])
+
+    def test_bad_vary_spec(self):
+        with pytest.raises(SystemExit, match="--vary expects"):
+            main(["sweep", "--model", "mlp", "--preset", "functional",
+                  "--vary", "cores", "--no-cache"])
+
+    def test_unknown_axis(self):
+        with pytest.raises(SystemExit, match="unknown sweep axis"):
+            main(["sweep", "--model", "mlp", "--preset", "functional",
+                  "--vary", "voltage=1,2", "--no-cache"])
+
+    def test_ambiguous_preset(self):
+        with pytest.raises(SystemExit, match="unknown preset"):
+            main(["sweep", "--model", "mlp", "--preset", "j",
+                  "--no-cache"])

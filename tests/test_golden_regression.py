@@ -1,0 +1,75 @@
+"""Golden regression: the explore-engine refactor reproduces the seed.
+
+The values below were captured from the pre-refactor serial
+implementations of ``fig22a_cores`` (ViT-Tiny) and ``table1`` at the seed
+commit.  The refactored drivers — serial, parallel, and cache-replayed —
+must reproduce them bit-for-bit (the sweep engine changes *how* points
+run, never *what* they compute).
+"""
+
+import pytest
+
+from repro.experiments import fig22a_cores, table1
+from repro.explore import SweepRunner
+from repro.models import vit_tiny
+
+#: fig22a_cores(graph=vit_tiny()) at the seed commit (serial loop).
+FIG22A_VIT_TINY_GOLDEN = {
+    "cores=256 CG": 69.72363916915529,
+    "cores=256 CG+MVM": 123.25215106395471,
+    "cores=256 CG+MVM+VVM": 199.06489345869522,
+    "cores=512 CG": 169.5534296617055,
+    "cores=512 CG+MVM": 220.07782794604796,
+    "cores=512 CG+MVM+VVM": 291.1496287531451,
+    "cores=768 CG": 262.4262258943778,
+    "cores=768 CG+MVM": 338.91775317390955,
+    "cores=768 CG+MVM+VVM": 409.6453641907684,
+    "cores=1024 CG": 277.48145646740863,
+    "cores=1024 CG+MVM": 341.3213369161792,
+    "cores=1024 CG+MVM+VVM": 412.24954756116296,
+}
+
+#: table1() at the seed commit.
+TABLE1_GOLDEN = {
+    "device SRAM supported": 1.0,
+    "device ReRAM supported": 1.0,
+    "device MISC (FLASH) supported": 1.0,
+    "interface CM supported": 1.0,
+    "interface XBM supported": 1.0,
+    "interface WLM supported": 1.0,
+    "optimization granularities": 3,
+}
+
+
+class TestFig22aGolden:
+    def test_serial_matches_seed(self):
+        measured = fig22a_cores(graph=vit_tiny()).as_dict()
+        assert list(measured) == list(FIG22A_VIT_TINY_GOLDEN)  # row order
+        for label, value in FIG22A_VIT_TINY_GOLDEN.items():
+            assert measured[label] == pytest.approx(value, rel=1e-12), label
+
+    def test_cached_replay_matches_seed(self, tmp_path):
+        runner = SweepRunner(cache_dir=str(tmp_path))
+        first = fig22a_cores(core_numbers=(256, 512), graph=vit_tiny(),
+                             runner=runner).as_dict()
+        replay = fig22a_cores(core_numbers=(256, 512), graph=vit_tiny(),
+                              runner=SweepRunner(cache_dir=str(tmp_path)))
+        # The JSON round-trip through the cache must be value-exact.
+        assert replay.as_dict() == first
+        for label, value in replay.as_dict().items():
+            assert value == pytest.approx(
+                FIG22A_VIT_TINY_GOLDEN[label], rel=1e-12), label
+
+    def test_parallel_matches_seed(self):
+        measured = fig22a_cores(core_numbers=(256, 512), graph=vit_tiny(),
+                                runner=SweepRunner(workers=2)).as_dict()
+        for label, value in measured.items():
+            assert value == pytest.approx(
+                FIG22A_VIT_TINY_GOLDEN[label], rel=1e-12), label
+
+
+class TestTable1Golden:
+    def test_matches_seed(self):
+        result = table1()
+        assert result.as_dict() == TABLE1_GOLDEN
+        assert [r.label for r in result.rows] == list(TABLE1_GOLDEN)
