@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Multi-tenant serving: spatial chip partitioning vs. time multiplexing.
+
+The headline serving scenario: a FLASH-cell chip (weight writes cost 100x
+a read, so swapping tenants reprograms crossbars expensively) serves a
+mixed resnet18 + mobilenet request stream.  Spatially partitioning the
+chip — each tenant owns a core region sized by the latency water-filling
+allocator, weights stay resident — beats the time-multiplexed baseline
+on p99 latency and SLO attainment, because the baseline burns chip time
+on reconfiguration and lets slow mobilenet batches block resnet traffic.
+
+Run:  python examples/serve_multi_tenant.py [--requests N] [--rate R]
+      (rate in requests per mega-cycle; default 22)
+"""
+
+import argparse
+
+from repro.arch import isaac_flash
+from repro.serve import (
+    TenantSpec,
+    TimeoutBatch,
+    make_plan,
+    poisson_trace,
+    simulate,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=300,
+                        help="trace length in requests")
+    parser.add_argument("--rate", type=float, default=22.0,
+                        help="arrival rate in requests per mega-cycle")
+    parser.add_argument("--seed", type=int, default=0, help="trace seed")
+    args = parser.parse_args()
+
+    arch = isaac_flash()
+    tenants = [
+        TenantSpec("resnet18", "resnet18", weight=4.0),
+        TenantSpec("mobilenet", "mobilenet", weight=1.0),
+    ]
+    trace = poisson_trace(tenants, rate=args.rate * 1e-6,
+                          num_requests=args.requests, seed=args.seed)
+    policy = TimeoutBatch(max_size=8, timeout=50_000.0)
+
+    print(f"chip: {arch}")
+    print(f"workload: {args.requests} requests at {args.rate:g} req/Mcycle "
+          f"(resnet18:mobilenet = 4:1)\n")
+
+    reports = {}
+    for mode in ("spatial", "temporal"):
+        plan = make_plan(mode, arch, tenants)
+        if mode == "spatial":
+            shares = ", ".join(f"{t.spec.name}={len(t.cores)}"
+                               for t in plan.tenants)
+            print(f"spatial partition (latency water-filling): {shares}\n")
+        reports[mode] = simulate(plan, trace, policy=policy)
+        print(reports[mode].table())
+        print()
+
+    spatial, temporal = reports["spatial"], reports["temporal"]
+    print(f"p99 speedup of partitioning: "
+          f"{temporal.p99 / spatial.p99:.2f}x "
+          f"(SLO attainment {spatial.slo_attainment:.0%} vs "
+          f"{temporal.slo_attainment:.0%}); the baseline spent "
+          f"{temporal.switch_cycles:,.0f} cycles reprogramming crossbars.")
+
+
+if __name__ == "__main__":
+    main()

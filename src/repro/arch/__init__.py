@@ -9,6 +9,7 @@ from .presets import (
     functional_testbed,
     get_preset,
     isaac_baseline,
+    isaac_flash,
     jain2021,
     jia2021,
     puma,
@@ -34,6 +35,7 @@ __all__ = [
     "get_preset",
     "htree",
     "isaac_baseline",
+    "isaac_flash",
     "jain2021",
     "jia2021",
     "matrix_noc",

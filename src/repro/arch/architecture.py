@@ -110,6 +110,12 @@ class CIMArchitecture:
         """Vary the simultaneously-activated wordline count (Fig. 22(d))."""
         return replace(self, xb=replace(self.xb, parallel_row=parallel_row))
 
+    def with_cell_type(self, cell_type: CellType,
+                       name: Optional[str] = None) -> "CIMArchitecture":
+        """Same tiers on a different memory device (write-cost studies)."""
+        return replace(self, name=name or self.name,
+                       xb=replace(self.xb, cell_type=cell_type))
+
     # ------------------------------------------------------------------
 
     def describe(self) -> Dict[str, Dict[str, Any]]:

@@ -165,9 +165,19 @@ def functional_testbed(mode: ComputingMode = ComputingMode.XBM) -> CIMArchitectu
     )
 
 
+def isaac_flash(mode: ComputingMode = ComputingMode.WLM) -> CIMArchitecture:
+    """The Table 3 baseline re-celled with FLASH devices: identical tiers
+    and timing, but weight writes cost 100x a read (Section 2.1's worst
+    case).  The serving scenarios use it to study time-multiplexed tenant
+    switching, where every switch reprograms the crossbars."""
+    arch = isaac_baseline(mode)
+    return arch.with_cell_type(CellType.FLASH, name="isaac-flash")
+
+
 #: All presets by name (handy for CLIs and parametrized tests).
 PRESETS = {
     "isaac-baseline": isaac_baseline,
+    "isaac-flash": isaac_flash,
     "jia2021": jia2021,
     "puma": puma,
     "jain2021": jain2021,

@@ -20,49 +20,18 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from .arch import PRESETS, get_preset
-from .models import (
-    conv_relu_example,
-    lenet,
-    mlp,
-    mobilenet_v1,
-    resnet18,
-    resnet34,
-    resnet50,
-    resnet101,
-    tiny_conv,
-    vgg7,
-    vgg11,
-    vgg13,
-    vgg16,
-    vgg19,
-    vit_base,
-    vit_small,
-    vit_tiny,
-)
+from .models import MODEL_ZOO, get_model
 from .sched import CIMMLC, CompilerOptions, no_optimization
 
-MODELS: Dict[str, Callable] = {
-    "resnet18": resnet18, "resnet34": resnet34, "resnet50": resnet50,
-    "resnet101": resnet101,
-    "vgg7": vgg7, "vgg11": vgg11, "vgg13": vgg13, "vgg16": vgg16,
-    "vgg19": vgg19,
-    "vit-tiny": vit_tiny, "vit-small": vit_small, "vit-base": vit_base,
-    "mobilenet": mobilenet_v1,
-    "lenet": lenet, "mlp": mlp, "tiny-conv": tiny_conv,
-    "conv-relu": conv_relu_example,
-}
+#: Kept as the public CLI alias of the zoo table.
+MODELS: Dict[str, Callable] = MODEL_ZOO
 
 
 def _model(name: str):
     try:
-        return MODELS[name]()
-    except KeyError:
-        # Accept underscore spellings (``vit_tiny`` == ``vit-tiny``).
-        normalized = name.replace("_", "-")
-        if normalized in MODELS:
-            return MODELS[normalized]()
-        raise SystemExit(
-            f"unknown model {name!r}; choose one of {sorted(MODELS)}")
+        return get_model(name)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
 
 
 def _preset(name: str):
@@ -197,6 +166,103 @@ def cmd_sweep(args) -> None:
               + ", ".join(frontier_labels(sweep)))
 
 
+def _tenant_specs(text: str):
+    from .serve import TenantSpec
+
+    specs = []
+    for term in text.split(","):
+        term = term.strip()
+        if not term:
+            continue
+        model, sep, weight = term.partition(":")
+        try:
+            w = float(weight) if sep else 1.0
+        except ValueError:
+            raise SystemExit(
+                f"bad tenant spec {term!r}; expected MODEL or MODEL:WEIGHT")
+        if model not in MODELS and model.replace("_", "-") not in MODELS:
+            raise SystemExit(
+                f"unknown model {model!r}; choose one of {sorted(MODELS)}")
+        name = model
+        suffix = 2
+        while any(s.name == name for s in specs):
+            name = f"{model}#{suffix}"
+            suffix += 1
+        specs.append(TenantSpec(name=name, model=model, weight=w))
+    if not specs:
+        raise SystemExit("--tenants needs at least one MODEL[:WEIGHT] term")
+    return specs
+
+
+def cmd_serve(args) -> None:
+    from .errors import CIMError
+    from .serve import (
+        MODES,
+        capacity_table,
+        make_plan,
+        make_trace,
+        parse_policy,
+        serve_sweep,
+        simulate,
+    )
+
+    arch = _preset(args.arch)
+    try:
+        specs = _tenant_specs(args.tenants)
+        policy = parse_policy(args.batch)
+        modes = list(MODES) if args.mode == "both" else [args.mode]
+
+        if args.rates:
+            from .explore import SweepRunner, default_cache_dir
+
+            cache_dir = None if args.no_cache else \
+                (args.cache_dir or default_cache_dir())
+            try:
+                rates = [float(r) * 1e-6 for r in args.rates.split(",")]
+            except ValueError:
+                raise SystemExit(
+                    f"--rates expects comma-separated numbers, got "
+                    f"{args.rates!r}")
+            points = serve_sweep(
+                arch, specs, rates, modes=modes, policies=[policy],
+                trace_kind=args.trace, num_requests=args.requests,
+                seed=args.seed, slo_factor=args.slo_factor,
+                max_queue=args.max_queue,
+                runner=SweepRunner(workers=args.workers,
+                                   cache_dir=cache_dir))
+            if args.format == "json":
+                print(json.dumps([
+                    {"rate_per_mcycle": p.rate_per_mcycle, "mode": p.mode,
+                     "policy": p.policy, **p.report.to_dict()}
+                    for p in points
+                ], indent=1))
+            else:
+                print(capacity_table(points))
+            return
+
+        trace = make_trace(args.trace, specs, args.rate * 1e-6,
+                           args.requests, seed=args.seed)
+        reports = {}
+        for mode in modes:
+            plan = make_plan(mode, arch, specs)
+            reports[mode] = simulate(plan, trace, policy=policy,
+                                     max_queue=args.max_queue,
+                                     slo_factor=args.slo_factor)
+    except CIMError as exc:
+        raise SystemExit(str(exc))
+    if args.format == "json":
+        print(json.dumps({m: r.to_dict() for m, r in reports.items()},
+                         indent=1))
+        return
+    for mode, report in reports.items():
+        print(report.table())
+    if len(reports) == 2:
+        spatial, temporal = reports["spatial"], reports["temporal"]
+        print(f"p99: spatial {spatial.p99:,.0f} vs temporal "
+              f"{temporal.p99:,.0f} "
+              f"({temporal.p99 / max(spatial.p99, 1e-9):.2f}x)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -259,6 +325,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pareto", action="store_true",
                    help="report the Pareto frontier (cycles vs. peak power)")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="simulate multi-tenant serving under a request stream",
+        description="Serve a seeded request trace over co-resident models "
+                    "on one chip, either spatially partitioned (each tenant "
+                    "owns a core region; weights stay resident) or "
+                    "time-multiplexed (full chip per tenant, crossbars "
+                    "reprogrammed on every tenant switch), and report "
+                    "p50/p95/p99 latency, throughput, utilization, and SLO "
+                    "attainment.  With --rates, run a capacity sweep whose "
+                    "compilations ride the explore result cache.")
+    p.add_argument("--arch", "--preset", dest="arch", default="isaac-flash",
+                   help="architecture preset (unique prefixes accepted)")
+    p.add_argument("--tenants", default="resnet18:4,mobilenet:1",
+                   metavar="MODEL[:WEIGHT],...",
+                   help="co-resident models with traffic weights")
+    p.add_argument("--mode", choices=("spatial", "temporal", "both"),
+                   default="both")
+    p.add_argument("--trace", choices=("poisson", "bursty", "diurnal"),
+                   default="poisson", help="arrival process")
+    p.add_argument("--rate", type=float, default=22.0,
+                   help="arrival rate in requests per mega-cycle")
+    p.add_argument("--rates", default=None, metavar="R1,R2,...",
+                   help="capacity sweep over these rates (req/Mcycle) "
+                        "instead of a single --rate run")
+    p.add_argument("--requests", type=int, default=400,
+                   help="trace length in requests")
+    p.add_argument("--seed", type=int, default=0, help="trace seed")
+    p.add_argument("--batch", default="timeout:8:50000",
+                   help="dynamic batching policy: fixed:N or "
+                        "timeout:N:CYCLES")
+    p.add_argument("--slo-factor", type=float, default=10.0,
+                   help="per-tenant SLO = factor x isolated latency")
+    p.add_argument("--max-queue", type=int, default=None,
+                   help="per-tenant queue bound (arrivals beyond it are "
+                        "rejected)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="compile workers for --rates sweeps")
+    p.add_argument("--cache-dir", default=None,
+                   help="explore result-cache root for --rates sweeps")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache for --rates sweeps")
+    p.add_argument("--format", choices=("table", "json"), default="table")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("codegen",
                        help="emit a meta-operator program (small models)")

@@ -21,8 +21,8 @@ from .runner import PointResult, SweepResult
 #: Summary keys exported as CSV columns / JSON metric fields.
 METRIC_KEYS = (
     "total_cycles", "compute_cycles", "reconfiguration_cycles",
-    "noc_cycles", "steady_state_interval", "peak_power", "avg_power",
-    "peak_active_crossbars",
+    "noc_cycles", "steady_state_interval", "weight_load_cycles",
+    "peak_power", "avg_power", "peak_active_crossbars",
 )
 
 

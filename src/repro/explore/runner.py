@@ -28,7 +28,7 @@ from ..sim.performance import PerformanceReport
 from .space import SweepPoint, SweepSpace
 
 #: Cache layout version; bump when the summary schema changes.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 def default_cache_dir() -> str:
@@ -55,6 +55,8 @@ def summarize_report(report: PerformanceReport,
         "reconfiguration_cycles": report.reconfiguration_cycles,
         "noc_cycles": noc_cycles,
         "steady_state_interval": report.steady_state_interval,
+        "segment_intervals": list(report.segment_intervals),
+        "weight_load_cycles": report.weight_load_cycles,
         "peak_power": report.power.peak_power,
         "avg_power": report.power.avg_power,
         "peak_active_crossbars": report.power.peak_active_crossbars,

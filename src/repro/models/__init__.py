@@ -6,7 +6,34 @@ from .small import conv_relu_example, lenet, mlp, residual_toy, tiny_conv
 from .vgg import vgg, vgg7, vgg11, vgg13, vgg16, vgg19
 from .vit import vit, vit_base, vit_small, vit_tiny
 
+#: Named zoo entries (the CLI and the serving simulator resolve model
+#: strings through this table; dashed spellings are canonical).
+MODEL_ZOO = {
+    "resnet18": resnet18, "resnet34": resnet34, "resnet50": resnet50,
+    "resnet101": resnet101,
+    "vgg7": vgg7, "vgg11": vgg11, "vgg13": vgg13, "vgg16": vgg16,
+    "vgg19": vgg19,
+    "vit-tiny": vit_tiny, "vit-small": vit_small, "vit-base": vit_base,
+    "mobilenet": mobilenet_v1,
+    "lenet": lenet, "mlp": mlp, "tiny-conv": tiny_conv,
+    "conv-relu": conv_relu_example,
+}
+
+
+def get_model(name):
+    """Build a zoo model by name (underscore spellings accepted)."""
+    key = name if name in MODEL_ZOO else name.replace("_", "-")
+    try:
+        return MODEL_ZOO[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; choose one of {sorted(MODEL_ZOO)}"
+        ) from None
+
+
 __all__ = [
+    "MODEL_ZOO",
+    "get_model",
     "conv_relu_example",
     "lenet",
     "mlp",

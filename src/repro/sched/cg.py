@@ -152,6 +152,67 @@ def duplicate_min_total(profiles: Sequence[OpProfile], budget: int) -> Dict[str,
         dups[name] = d_to
         remaining -= cost
         push(p)
+    return _refine_exchange(cim, budget, dups)
+
+
+def _refine_exchange(cim: List[OpProfile], budget: int,
+                     dups: Dict[str, int]) -> Dict[str, int]:
+    """Pairwise-exchange hill climbing after the jump greedy.
+
+    The greedy is exchange-optimal on each operator's convex
+    (cores, latency) hull, but with *non-uniform* core costs it can strand
+    budget between operators (a knapsack integrality gap): the leftover
+    cores are too few for the best next jump, while a cheaper operator
+    holds cores it barely uses.  This pass repeatedly raises one operator
+    to its next useful duplication, funding the cores from slack budget
+    plus (when needed) lowering a single donor operator, accepting the
+    best strictly-improving move until none remains.
+    """
+    levels = {p.name: _useful_dups(p, budget) for p in cim}
+    free = budget - sum(p.cores_per_replica * dups[p.name] for p in cim)
+    # Each accepted move strictly lowers total latency; the cap only
+    # guards against float-epsilon cycling.
+    for _ in range(8 * max(1, sum(len(v) for v in levels.values()))):
+        best: Optional[Tuple[float, str, int, Optional[str], Optional[int]]] = None
+        for p in cim:
+            ups = [lv for lv in levels[p.name] if lv > dups[p.name]]
+            if not ups:
+                continue
+            d_up = min(ups)
+            need = (d_up - dups[p.name]) * p.cores_per_replica
+            gain = p.latency(dups[p.name]) - p.latency(d_up)
+            if gain <= 1e-12:
+                continue
+            if need <= free:
+                cand = (-gain, p.name, d_up, None, None)
+                best = cand if best is None or cand < best else best
+                continue
+            for q in cim:
+                if q.name == p.name:
+                    continue
+                downs = [lv for lv in levels[q.name] if lv < dups[q.name]]
+                # Walk down one useful level at a time: losses grow
+                # monotonically, so the first level that frees enough
+                # cores is the cheapest sufficient donation.
+                for d_down in sorted(downs, reverse=True):
+                    if free + (dups[q.name] - d_down) * q.cores_per_replica \
+                            < need:
+                        continue
+                    loss = q.latency(d_down) - q.latency(dups[q.name])
+                    if gain - loss > 1e-9:
+                        cand = (-(gain - loss), p.name, d_up, q.name, d_down)
+                        best = cand if best is None or cand < best else best
+                    break
+        if best is None:
+            return dups
+        _, up_name, d_up, down_name, d_down = best
+        up = next(p for p in cim if p.name == up_name)
+        free -= (d_up - dups[up_name]) * up.cores_per_replica
+        dups[up_name] = d_up
+        if down_name is not None:
+            down = next(p for p in cim if p.name == down_name)
+            free += (dups[down_name] - d_down) * down.cores_per_replica
+            dups[down_name] = d_down
     return dups
 
 

@@ -34,6 +34,45 @@ from .schedule import Schedule
 Placement = Dict[str, List[int]]
 
 
+def _resolve_region(schedule: Schedule,
+                    region: Optional[Sequence[int]]) -> List[int]:
+    """Validate a physical-core region (default: the whole chip).
+
+    A *region* lets a schedule compiled for a ``k``-core sub-chip land on
+    ``k`` specific cores of a larger die (multi-tenant spatial
+    partitioning): core ids may exceed the sub-chip's ``core_number`` as
+    long as they are distinct and non-negative.
+    """
+    n = schedule.arch.chip.core_number
+    if region is None:
+        return list(range(n))
+    cores = list(region)
+    if len(set(cores)) != len(cores):
+        raise ScheduleError(f"region has duplicate core ids: {cores}")
+    if any(c < 0 for c in cores):
+        raise ScheduleError(f"region has negative core ids: {cores}")
+    if len(cores) < n:
+        raise ScheduleError(
+            f"region supplies {len(cores)} cores; schedule was compiled "
+            f"for a {n}-core chip")
+    return cores
+
+
+def _hop_matrix(schedule: Schedule, cores: Sequence[int],
+                die_cores: Optional[int] = None) -> List[List[float]]:
+    """NoC hop costs covering every core id in ``cores``.
+
+    ``die_cores`` is the *physical* die's core count: topology generators
+    derive their geometry from it (e.g. a mesh's grid shape), so a region
+    of a larger die must size the matrix by the die, not by the region's
+    highest id — otherwise cores 0..15 of an 8x8 mesh would be laid out
+    as a fictitious 4x4 grid.
+    """
+    n = max(schedule.arch.chip.core_number, max(cores, default=0) + 1,
+            die_cores or 0)
+    return schedule.arch.chip.core_noc.hop_matrix(n)
+
+
 def _segment_cim_nodes(schedule: Schedule, segment: int) -> List[str]:
     return [name for name in schedule.segments[segment]
             if schedule.decision(name).profile.is_cim]
@@ -86,14 +125,17 @@ def _edges(schedule: Schedule, segment: int) -> List[Tuple[str, str, int]]:
 
 
 def placement_cost(schedule: Schedule, placement: Placement,
-                   segment: int = 0) -> float:
+                   segment: int = 0,
+                   die_cores: Optional[int] = None) -> float:
     """Traffic-weighted NoC cost of a placement (lower is better).
 
     For each producer->consumer edge the cost is ``bits`` times the mean
-    pairwise hop cost between the two operators' core sets.
+    pairwise hop cost between the two operators' core sets.  Pass
+    ``die_cores`` when the placement sits on a region of a larger die so
+    hop geometry follows the physical chip.
     """
-    arch = schedule.arch
-    hop = arch.chip.core_noc.hop_matrix(arch.chip.core_number)
+    placed = [c for cores in placement.values() for c in cores]
+    hop = _hop_matrix(schedule, placed, die_cores)
     total = 0.0
     for producer, consumer, bits in _edges(schedule, segment):
         src = placement.get(producer)
@@ -105,34 +147,44 @@ def placement_cost(schedule: Schedule, placement: Placement,
     return total
 
 
-def place_linear(schedule: Schedule, segment: int = 0) -> Placement:
-    """Assign cores in plain index order (placement-oblivious baseline)."""
+def place_linear(schedule: Schedule, segment: int = 0,
+                 region: Optional[Sequence[int]] = None,
+                 die_cores: Optional[int] = None) -> Placement:
+    """Assign cores in plain region order (placement-oblivious baseline).
+
+    ``region`` restricts the placement to specific physical cores of a
+    (possibly larger) die; default is the whole chip in index order.
+    """
+    cores = _resolve_region(schedule, region)
     placement: Placement = {}
     cursor = 0
     for name in _segment_cim_nodes(schedule, segment):
         need = _cores_needed(schedule, name)
-        placement[name] = list(range(cursor, cursor + need))
+        if cursor + need > len(cores):
+            raise ScheduleError(
+                f"segment {segment} needs {cursor + need} cores; region "
+                f"has {len(cores)}"
+            )
+        placement[name] = cores[cursor:cursor + need]
         cursor += need
-    if cursor > schedule.arch.chip.core_number:
-        raise ScheduleError(
-            f"segment {segment} needs {cursor} cores; chip has "
-            f"{schedule.arch.chip.core_number}"
-        )
     return placement
 
 
-def place_greedy(schedule: Schedule, segment: int = 0) -> Placement:
+def place_greedy(schedule: Schedule, segment: int = 0,
+                 region: Optional[Sequence[int]] = None,
+                 die_cores: Optional[int] = None) -> Placement:
     """Communication-aware greedy placement.
 
     Operators are visited in topological order.  The first operator takes
     the lowest-numbered free cores; every subsequent operator takes the
     free cores with the smallest total NoC cost to the cores of its
-    already-placed producers (weighted by traffic).
+    already-placed producers (weighted by traffic).  ``region`` restricts
+    candidates to specific physical cores of a (possibly larger) die;
+    ``die_cores`` sizes the NoC geometry to that die.
     """
-    arch = schedule.arch
-    n = arch.chip.core_number
-    hop = arch.chip.core_noc.hop_matrix(n)
-    free = set(range(n))
+    cores = _resolve_region(schedule, region)
+    hop = _hop_matrix(schedule, cores, die_cores)
+    free = set(cores)
     placement: Placement = {}
     inbound: Dict[str, List[Tuple[str, int]]] = {}
     for producer, consumer, bits in _edges(schedule, segment):
@@ -149,8 +201,8 @@ def place_greedy(schedule: Schedule, segment: int = 0) -> Placement:
             for core in placement.get(producer, []):
                 anchors.append((core, bits))
         if anchors:
-            def attraction(core: int) -> float:
-                return sum(w * hop[a][core] for a, w in anchors)
+            def attraction(core: int) -> Tuple[float, int]:
+                return (sum(w * hop[a][core] for a, w in anchors), core)
 
             chosen = sorted(free, key=attraction)[:need]
         else:
@@ -161,15 +213,21 @@ def place_greedy(schedule: Schedule, segment: int = 0) -> Placement:
 
 
 def annotate_placement(schedule: Schedule, segment: int = 0,
-                       strategy: str = "greedy") -> Placement:
+                       strategy: str = "greedy",
+                       region: Optional[Sequence[int]] = None,
+                       die_cores: Optional[int] = None) -> Placement:
     """Compute a placement and write it into node annotations.
 
-    ``strategy`` is ``"greedy"`` or ``"linear"``.
+    ``strategy`` is ``"greedy"`` or ``"linear"``; ``region`` optionally
+    pins the placement to specific physical cores of a die with
+    ``die_cores`` cores.
     """
     if strategy == "greedy":
-        placement = place_greedy(schedule, segment)
+        placement = place_greedy(schedule, segment, region=region,
+                                 die_cores=die_cores)
     elif strategy == "linear":
-        placement = place_linear(schedule, segment)
+        placement = place_linear(schedule, segment, region=region,
+                                 die_cores=die_cores)
     else:
         raise ScheduleError(f"unknown placement strategy {strategy!r}")
     for name, cores in placement.items():

@@ -1,0 +1,294 @@
+"""Deterministic discrete-event serving engine.
+
+One :class:`Executor` models a hardware share: the whole chip (temporal
+plan) or one tenant's core region (spatial plan).  Requests land in
+per-tenant FIFO queues; a :class:`BatchPolicy` decides when a queue's
+head becomes a dispatchable batch; dispatch occupies the executor for
+``switch + latency + (B - 1) * interval`` cycles, where ``switch`` is the
+tenant's weight-(re)program cost paid only when the executor's resident
+tenant changes.
+
+Everything is driven off a single event heap keyed ``(time, seq)`` with a
+monotonically increasing sequence number, so simulation order — and
+therefore every reported number — is a pure function of the trace, the
+plan, and the policy.  No wall clock, no RNG.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ScheduleError
+from .partition import ServingPlan, TenantPlan
+from .report import ServeReport, build_report
+from .workload import Request
+
+_ARRIVAL, _TIMER, _COMPLETE = 0, 1, 2
+
+
+# ---------------------------------------------------------------------------
+# Batching policies
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixedBatch:
+    """Dispatch exactly ``size`` requests at a time.
+
+    A queue is ready once ``size`` requests wait; smaller remainders are
+    flushed only when no further arrival can top the queue up (the trace
+    is finite, so the tail never deadlocks).
+    """
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ScheduleError(f"batch size must be >= 1, got {self.size}")
+
+    @property
+    def max_size(self) -> int:
+        return self.size
+
+    def ready(self, queue_len: int, oldest_wait: float,
+              more_arrivals: bool) -> bool:
+        return queue_len >= self.size or (queue_len > 0 and not more_arrivals)
+
+    def deadline(self, oldest_arrival: float) -> Optional[float]:
+        return None
+
+    def describe(self) -> str:
+        return f"fixed:{self.size}"
+
+
+@dataclass(frozen=True)
+class TimeoutBatch:
+    """Dispatch up to ``max_size`` requests, or whatever has queued once
+    the oldest request has waited ``timeout`` cycles.
+
+    The classic dynamic-batching compromise: full batches under load,
+    bounded queueing delay when traffic is thin.
+    """
+
+    max_size: int
+    timeout: float
+
+    def __post_init__(self) -> None:
+        if self.max_size < 1:
+            raise ScheduleError(
+                f"batch size must be >= 1, got {self.max_size}")
+        if self.timeout < 0:
+            raise ScheduleError(
+                f"batch timeout must be >= 0, got {self.timeout}")
+
+    def ready(self, queue_len: int, oldest_wait: float,
+              more_arrivals: bool) -> bool:
+        if queue_len >= self.max_size:
+            return True
+        if queue_len > 0 and not more_arrivals:
+            return True
+        return queue_len > 0 and oldest_wait >= self.timeout
+
+    def deadline(self, oldest_arrival: float) -> Optional[float]:
+        return oldest_arrival + self.timeout
+
+    def describe(self) -> str:
+        return f"timeout:{self.max_size}:{self.timeout:g}"
+
+
+def parse_policy(text: str) -> "BatchPolicy":
+    """Parse a CLI policy spec: ``fixed:N`` or ``timeout:N:CYCLES``."""
+    parts = text.split(":")
+    try:
+        if parts[0] == "fixed" and len(parts) == 2:
+            return FixedBatch(int(parts[1]))
+        if parts[0] == "timeout" and len(parts) == 3:
+            return TimeoutBatch(int(parts[1]), float(parts[2]))
+    except ValueError:
+        pass
+    raise ScheduleError(
+        f"bad batch policy {text!r}; expected fixed:N or timeout:N:CYCLES")
+
+
+BatchPolicy = object  # duck-typed: FixedBatch | TimeoutBatch
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Executor:
+    """One hardware share serving one or more tenant queues."""
+
+    name: str
+    tenants: List[TenantPlan]
+    busy_until: float = 0.0
+    resident: Optional[str] = None   # tenant whose weights are loaded
+    busy_cycles: float = 0.0
+    switch_cycles: float = 0.0
+    switches: int = 0
+
+    def plan(self, tenant: str) -> TenantPlan:
+        for t in self.tenants:
+            if t.spec.name == tenant:
+                return t
+        raise ScheduleError(f"executor {self.name}: unknown tenant {tenant!r}")
+
+
+class ServingEngine:
+    """Runs one (plan, trace, policy) scenario to completion."""
+
+    def __init__(self, plan: ServingPlan, policy: BatchPolicy,
+                 max_queue: Optional[int] = None) -> None:
+        if max_queue is not None and max_queue < 1:
+            raise ScheduleError(f"max_queue must be >= 1, got {max_queue}")
+        self.plan = plan
+        self.policy = policy
+        self.max_queue = max_queue
+        if plan.shared_executor:
+            self.executors = [_Executor("chip", list(plan.tenants))]
+        else:
+            self.executors = [
+                _Executor(f"region:{t.spec.name}", [t])
+                for t in plan.tenants
+            ]
+        self._by_tenant = {
+            t.spec.name: ex
+            for ex in self.executors for t in ex.tenants
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Sequence[Request],
+            slo_factor: float = 10.0) -> ServeReport:
+        """Simulate the whole trace and build the report."""
+        queues: Dict[str, List[Request]] = {
+            t.spec.name: [] for t in self.plan.tenants
+        }
+        pending = {name: 0 for name in queues}
+        for req in trace:
+            if req.tenant not in queues:
+                raise ScheduleError(
+                    f"trace request for unknown tenant {req.tenant!r}")
+            pending[req.tenant] += 1
+
+        events: List[Tuple[float, int, int, object]] = []
+        seq = 0
+        for req in trace:
+            heapq.heappush(events, (req.arrival, seq, _ARRIVAL, req))
+            seq += 1
+
+        finished: Dict[str, List[Tuple[Request, float]]] = {
+            name: [] for name in queues
+        }
+        rejected = {name: 0 for name in queues}
+        batch_sizes: Dict[str, List[int]] = {name: [] for name in queues}
+        horizon = 0.0
+
+        def try_dispatch(ex: _Executor, now: float) -> None:
+            nonlocal seq, horizon
+            if ex.busy_until > now:
+                return
+            # Ready tenants on this executor, FIFO across queues: serve
+            # the earliest-waiting head; ties fall back to tenant order.
+            best: Optional[TenantPlan] = None
+            for t in ex.tenants:
+                q = queues[t.spec.name]
+                if not q:
+                    continue
+                wait = now - q[0].arrival
+                if self.policy.ready(len(q), wait,
+                                     pending[t.spec.name] > 0):
+                    if best is None or q[0].arrival < \
+                            queues[best.spec.name][0].arrival:
+                        best = t
+                else:
+                    deadline = self.policy.deadline(q[0].arrival)
+                    if deadline is not None and deadline > now:
+                        heapq.heappush(
+                            events, (deadline, seq, _TIMER, t.spec.name))
+                        seq += 1
+            if best is None:
+                return
+            q = queues[best.spec.name]
+            batch = q[:self.policy.max_size]
+            del q[:len(batch)]
+            switch = 0.0
+            if ex.resident != best.spec.name:
+                switch = best.service.switch_cycles
+                if ex.resident is not None or switch > 0:
+                    ex.switches += 1
+                ex.resident = best.spec.name
+            service = best.service.batch_cycles(len(batch))
+            done = now + switch + service
+            ex.busy_until = done
+            ex.busy_cycles += switch + service
+            ex.switch_cycles += switch
+            batch_sizes[best.spec.name].append(len(batch))
+            horizon = max(horizon, done)
+            heapq.heappush(events, (done, seq, _COMPLETE,
+                                    (ex.name, tuple(batch))))
+            seq += 1
+
+        by_name = {ex.name: ex for ex in self.executors}
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            horizon = max(horizon, now)
+            if kind == _ARRIVAL:
+                req = payload
+                pending[req.tenant] -= 1
+                q = queues[req.tenant]
+                if self.max_queue is not None and \
+                        len(q) >= self.max_queue:
+                    rejected[req.tenant] += 1
+                else:
+                    q.append(req)
+                try_dispatch(self._by_tenant[req.tenant], now)
+            elif kind == _TIMER:
+                try_dispatch(self._by_tenant[payload], now)
+            else:  # _COMPLETE
+                ex_name, batch = payload
+                ex = by_name[ex_name]
+                for req in batch:
+                    finished[req.tenant].append((req, now - req.arrival))
+                try_dispatch(ex, now)
+
+        for name, q in queues.items():
+            if q:  # pragma: no cover - defensive; flush rules drain queues
+                raise ScheduleError(
+                    f"engine finished with {len(q)} undispatched "
+                    f"requests for {name!r}")
+
+        return build_report(
+            plan=self.plan,
+            policy_label=self.policy.describe(),
+            finished=finished,
+            rejected=rejected,
+            batch_sizes=batch_sizes,
+            horizon=horizon,
+            executors=[
+                (ex.name, [t.spec.name for t in ex.tenants],
+                 ex.busy_cycles, ex.switch_cycles, ex.switches)
+                for ex in self.executors
+            ],
+            slo_factor=slo_factor,
+        )
+
+
+def simulate(plan: ServingPlan, trace: Sequence[Request],
+             policy: Optional[BatchPolicy] = None,
+             max_queue: Optional[int] = None,
+             slo_factor: float = 10.0) -> ServeReport:
+    """One-call facade: run ``trace`` through ``plan`` under ``policy``.
+
+    ``slo_factor`` derives each tenant's latency SLO as ``factor x`` its
+    isolated single-inference latency unless the spec pins an absolute
+    ``slo_cycles``.
+    """
+    policy = policy or TimeoutBatch(max_size=8, timeout=50_000.0)
+    return ServingEngine(plan, policy, max_queue=max_queue).run(
+        trace, slo_factor=slo_factor)

@@ -1,0 +1,277 @@
+"""Multi-tenant chip partitioning: spatial regions vs. time multiplexing.
+
+Two ways to share one chip among co-resident models:
+
+* **Spatial** (:func:`plan_spatial`) — the chip's cores are split into
+  disjoint regions, one per tenant, sized by traffic-weighted demand.
+  Each model is compiled for its sub-chip and placed onto its region with
+  the region-constrained NoC placement
+  (:func:`repro.sched.placement.annotate_placement`).  Weights stay
+  resident, so same-model requests never pay reconfiguration — the whole
+  point, given that a segment swap rewrites crossbars (Section 2.1).
+* **Temporal** (:func:`plan_temporal`) — the baseline: every tenant is
+  compiled for the full chip and the serving engine pays
+  ``weight_load_cycles`` (a full crossbar reprogram) whenever consecutive
+  batches belong to different tenants.
+
+Both planners return a :class:`ServingPlan` the engine consumes; the
+explore bridge (:mod:`repro.serve.sweep`) builds the same plans from
+cached performance summaries instead of live compilations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..arch import CIMArchitecture
+from ..errors import CapacityError, ScheduleError
+from ..graph import Graph
+from ..models import get_model
+from ..sched import CIMMLC, CompilerOptions
+from ..sched.costs import CostModel
+from ..sched.placement import annotate_placement
+from ..sched.schedule import Schedule
+from .workload import TenantSpec
+
+#: Serving plan modes.
+MODES = ("spatial", "temporal")
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Steady-state service behaviour of one compiled tenant.
+
+    ``latency_cycles`` is one isolated inference end to end;
+    ``interval_cycles`` the pipelined steady-state admission interval;
+    ``switch_cycles`` what the hardware pays to bring this tenant's
+    weights onto its crossbars (zero when the tenant owns its region).
+    """
+
+    latency_cycles: float
+    interval_cycles: float
+    switch_cycles: float = 0.0
+
+    def batch_cycles(self, n: int) -> float:
+        """Service cycles for ``n`` back-to-back inferences (no switch)."""
+        if n < 1:
+            return 0.0
+        return self.latency_cycles + (n - 1) * self.interval_cycles
+
+    @classmethod
+    def from_report(cls, report, switch_cycles: float = 0.0
+                    ) -> "ServiceProfile":
+        """From a live :class:`~repro.sim.performance.PerformanceReport`."""
+        return cls(latency_cycles=report.total_cycles,
+                   interval_cycles=report.steady_state_interval,
+                   switch_cycles=switch_cycles)
+
+    @classmethod
+    def from_summary(cls, summary: Dict,
+                     switch_cycles: Optional[float] = None
+                     ) -> "ServiceProfile":
+        """From a cached explore summary dict (sweep-bridge path).
+
+        ``switch_cycles`` defaults to the summary's ``weight_load_cycles``
+        (the temporal-baseline cost); pass ``0.0`` for resident tenants.
+        """
+        if switch_cycles is None:
+            switch_cycles = float(summary.get("weight_load_cycles", 0.0))
+        return cls(latency_cycles=float(summary["total_cycles"]),
+                   interval_cycles=float(summary["steady_state_interval"]),
+                   switch_cycles=switch_cycles)
+
+
+@dataclass(frozen=True)
+class TenantPlan:
+    """One tenant's share of the hardware plus its service profile."""
+
+    spec: TenantSpec
+    cores: Tuple[int, ...]            # physical core region
+    service: ServiceProfile
+    schedule: Optional[Schedule] = None   # live-compile path only
+
+
+@dataclass(frozen=True)
+class ServingPlan:
+    """Everything the engine needs: mode, tenants, and hardware shares.
+
+    ``shared_executor`` is True for the temporal baseline (one chip-wide
+    executor multiplexes all tenants) and False for spatial partitioning
+    (one executor per region, running concurrently).
+    """
+
+    mode: str
+    arch_name: str
+    tenants: Tuple[TenantPlan, ...]
+
+    @property
+    def shared_executor(self) -> bool:
+        return self.mode == "temporal"
+
+    def tenant(self, name: str) -> TenantPlan:
+        for t in self.tenants:
+            if t.spec.name == name:
+                return t
+        raise KeyError(f"no tenant {name!r} in plan")
+
+
+def resolve_graphs(specs: Sequence[TenantSpec]) -> Dict[str, Graph]:
+    """Model-zoo graphs per tenant name."""
+    return {spec.name: get_model(spec.model) for spec in specs}
+
+
+def min_cores(graph: Graph, arch: CIMArchitecture) -> int:
+    """Smallest core count keeping the whole model resident (duplication
+    1, single segment) — the floor a spatial region must clear."""
+    profiles = CostModel(arch).profiles(graph)
+    return sum(p.cores_per_replica for p in profiles.values() if p.is_cim)
+
+
+def partition_cores(arch: CIMArchitecture, specs: Sequence[TenantSpec],
+                    floors: Dict[str, int],
+                    latency_fn: Callable[[TenantSpec, int], float],
+                    blocks: int = 8) -> Dict[str, int]:
+    """Split ``core_number`` among tenants by min-max water-filling.
+
+    Every tenant starts at its residency floor; the surplus is granted in
+    ``blocks`` equal chunks, each to the tenant with the highest *traffic-
+    weighted isolated latency* — share of requests times
+    ``latency_fn(spec, cores)``.  Tail latency rides on the slowest
+    tenant's single-inference latency, so equalizing this quantity is the
+    p99-oriented split; it also discovers parallelism saturation (a model
+    whose latency stops improving stops attracting cores), which a
+    demand-proportional split cannot.
+
+    ``latency_fn`` is measured, so each grant costs one compilation of
+    the receiving tenant; callers memoize (and the sweep bridge routes it
+    through the explore disk cache).
+    """
+    total_floor = sum(floors[s.name] for s in specs)
+    budget = arch.chip.core_number
+    if total_floor > budget:
+        raise CapacityError(
+            f"tenants need {total_floor} cores resident but "
+            f"{arch.name} has {budget}; use temporal multiplexing")
+    alloc = {s.name: floors[s.name] for s in specs}
+    surplus = budget - total_floor
+    block = max(1, surplus // max(1, blocks))
+    total_weight = sum(s.weight for s in specs)
+    while surplus > 0:
+        needy = None
+        needy_load = -1.0
+        for s in specs:
+            load = s.weight / total_weight * latency_fn(s, alloc[s.name])
+            if load > needy_load:
+                needy, needy_load = s, load
+        grant = min(block, surplus)
+        alloc[needy.name] += grant
+        surplus -= grant
+    return alloc
+
+
+def _regions(specs: Sequence[TenantSpec],
+             alloc: Dict[str, int]) -> Dict[str, Tuple[int, ...]]:
+    """Contiguous physical-core blocks in tenant order (adjacent ids are
+    adjacent on the mesh/H-tree generators, keeping regions compact)."""
+    regions: Dict[str, Tuple[int, ...]] = {}
+    cursor = 0
+    for spec in specs:
+        n = alloc[spec.name]
+        regions[spec.name] = tuple(range(cursor, cursor + n))
+        cursor += n
+    return regions
+
+
+def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
+                 options: Optional[CompilerOptions] = None,
+                 place: bool = True,
+                 alloc: Optional[Dict[str, int]] = None,
+                 blocks: int = 8) -> ServingPlan:
+    """Compile every tenant onto its own region of the chip.
+
+    Region sizes come from :func:`partition_cores` (min-max water-filling
+    on measured service intervals) unless ``alloc`` pins them explicitly;
+    each tenant is compiled for its region's core count and (optionally)
+    placed onto the region's physical cores with the communication-aware
+    greedy placement.
+    """
+    graphs = resolve_graphs(specs)
+    floors = {s.name: min_cores(graphs[s.name], arch) for s in specs}
+    results: Dict[Tuple[str, int], "CompilationResult"] = {}
+
+    def compiled(spec: TenantSpec, cores: int):
+        key = (spec.name, cores)
+        if key not in results:
+            results[key] = CIMMLC(arch.with_cores(cores),
+                                  options).compile(graphs[spec.name])
+        return results[key]
+
+    if alloc is None:
+        alloc = partition_cores(
+            arch, specs, floors,
+            lambda spec, cores: compiled(spec, cores).report.total_cycles,
+            blocks=blocks)
+    else:
+        used = sum(alloc[s.name] for s in specs)
+        if used > arch.chip.core_number:
+            raise CapacityError(
+                f"allocation uses {used} cores; {arch.name} has "
+                f"{arch.chip.core_number}")
+        for s in specs:
+            if alloc[s.name] < floors[s.name]:
+                raise CapacityError(
+                    f"tenant {s.name!r} needs {floors[s.name]} cores "
+                    f"resident, allocated {alloc[s.name]}")
+    regions = _regions(specs, alloc)
+    tenants: List[TenantPlan] = []
+    for spec in specs:
+        result = compiled(spec, alloc[spec.name])
+        if place:
+            for seg in range(len(result.schedule.segments)):
+                annotate_placement(result.schedule, segment=seg,
+                                   region=regions[spec.name],
+                                   die_cores=arch.chip.core_number)
+        tenants.append(TenantPlan(
+            spec=spec,
+            cores=regions[spec.name],
+            service=ServiceProfile.from_report(result.report,
+                                               switch_cycles=0.0),
+            schedule=result.schedule,
+        ))
+    return ServingPlan(mode="spatial", arch_name=arch.name,
+                       tenants=tuple(tenants))
+
+
+def plan_temporal(arch: CIMArchitecture, specs: Sequence[TenantSpec],
+                  options: Optional[CompilerOptions] = None) -> ServingPlan:
+    """The time-multiplexed baseline: full chip per tenant, a complete
+    weight reprogram (``weight_load_cycles``) on every tenant switch."""
+    graphs = resolve_graphs(specs)
+    tenants: List[TenantPlan] = []
+    all_cores = tuple(range(arch.chip.core_number))
+    for spec in specs:
+        result = CIMMLC(arch, options).compile(graphs[spec.name])
+        tenants.append(TenantPlan(
+            spec=spec,
+            cores=all_cores,
+            service=ServiceProfile.from_report(
+                result.report,
+                switch_cycles=result.report.weight_load_cycles),
+            schedule=result.schedule,
+        ))
+    return ServingPlan(mode="temporal", arch_name=arch.name,
+                       tenants=tuple(tenants))
+
+
+def make_plan(mode: str, arch: CIMArchitecture, specs: Sequence[TenantSpec],
+              options: Optional[CompilerOptions] = None,
+              **kwargs) -> ServingPlan:
+    """Dispatch on ``mode`` (:data:`MODES`); ``kwargs`` reach the planner
+    (e.g. ``alloc=``/``blocks=`` for spatial)."""
+    if mode == "spatial":
+        return plan_spatial(arch, specs, options, **kwargs)
+    if mode == "temporal":
+        return plan_temporal(arch, specs, options)
+    raise ScheduleError(
+        f"unknown serving mode {mode!r}; choose one of {MODES}")

@@ -1,0 +1,269 @@
+"""Serving metrics: tail latency, throughput, utilization, SLO attainment.
+
+A :class:`ServeReport` is a plain frozen value object built once per
+simulation.  It keeps every per-request latency (traces are short), so
+``to_dict()`` round-trips the complete outcome — the determinism tests
+assert bit-identical dicts across runs — and renders the classic serving
+table (per-tenant p50/p95/p99, throughput in requests per mega-cycle,
+executor utilization, reconfiguration share).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def percentile(latencies: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not latencies:
+        return 0.0
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(latencies)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """Serving outcome of one tenant."""
+
+    tenant: str
+    model: str
+    arrived: int
+    completed: int
+    rejected: int
+    throughput_per_mcycle: float
+    p50: float
+    p95: float
+    p99: float
+    mean_latency: float
+    max_latency: float
+    slo_cycles: float
+    slo_attainment: float
+    batches: int
+    mean_batch: float
+    latencies: Tuple[float, ...]   # per-request, completion order
+
+    def to_dict(self) -> Dict:
+        return {
+            "tenant": self.tenant,
+            "model": self.model,
+            "arrived": self.arrived,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "throughput_per_mcycle": self.throughput_per_mcycle,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "mean_latency": self.mean_latency,
+            "max_latency": self.max_latency,
+            "slo_cycles": self.slo_cycles,
+            "slo_attainment": self.slo_attainment,
+            "batches": self.batches,
+            "mean_batch": self.mean_batch,
+            "latencies": list(self.latencies),
+        }
+
+
+@dataclass(frozen=True)
+class ExecutorStats:
+    """Occupancy of one hardware share."""
+
+    name: str
+    tenants: Tuple[str, ...]
+    busy_cycles: float
+    switch_cycles: float
+    switches: int
+    utilization: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "tenants": list(self.tenants),
+            "busy_cycles": self.busy_cycles,
+            "switch_cycles": self.switch_cycles,
+            "switches": self.switches,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Complete outcome of one serving scenario."""
+
+    mode: str
+    arch: str
+    policy: str
+    horizon_cycles: float
+    tenants: Tuple[TenantStats, ...]
+    executors: Tuple[ExecutorStats, ...]
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return sum(t.completed for t in self.tenants)
+
+    @property
+    def rejected(self) -> int:
+        return sum(t.rejected for t in self.tenants)
+
+    @property
+    def throughput_per_mcycle(self) -> float:
+        if self.horizon_cycles <= 0:
+            return 0.0
+        return self.completed * 1e6 / self.horizon_cycles
+
+    def _all_latencies(self) -> List[float]:
+        return [lat for t in self.tenants for lat in t.latencies]
+
+    @property
+    def p50(self) -> float:
+        return percentile(self._all_latencies(), 50)
+
+    @property
+    def p95(self) -> float:
+        return percentile(self._all_latencies(), 95)
+
+    @property
+    def p99(self) -> float:
+        return percentile(self._all_latencies(), 99)
+
+    @property
+    def slo_attainment(self) -> float:
+        arrived = sum(t.arrived for t in self.tenants)
+        if arrived == 0:
+            return 1.0
+        met = sum(
+            sum(1 for lat in t.latencies if lat <= t.slo_cycles)
+            for t in self.tenants
+        )
+        return met / arrived
+
+    @property
+    def utilization(self) -> float:
+        """Mean executor occupancy (a spatial plan averages regions)."""
+        if not self.executors:
+            return 0.0
+        return sum(e.utilization for e in self.executors) / \
+            len(self.executors)
+
+    @property
+    def switch_cycles(self) -> float:
+        return sum(e.switch_cycles for e in self.executors)
+
+    # -- export --------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "arch": self.arch,
+            "policy": self.policy,
+            "horizon_cycles": self.horizon_cycles,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "throughput_per_mcycle": self.throughput_per_mcycle,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "slo_attainment": self.slo_attainment,
+            "utilization": self.utilization,
+            "switch_cycles": self.switch_cycles,
+            "tenants": [t.to_dict() for t in self.tenants],
+            "executors": [e.to_dict() for e in self.executors],
+        }
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def table(self) -> str:
+        """Readable serving summary."""
+        lines = [
+            f"serve {self.arch} mode={self.mode} policy={self.policy}",
+            f"horizon: {self.horizon_cycles:,.0f} cycles | "
+            f"completed {self.completed} | rejected {self.rejected} | "
+            f"throughput {self.throughput_per_mcycle:.2f} req/Mcycle",
+            f"latency p50/p95/p99: {self.p50:,.0f} / {self.p95:,.0f} / "
+            f"{self.p99:,.0f} cycles | SLO attainment "
+            f"{self.slo_attainment:.1%}",
+            f"utilization {self.utilization:.1%} | reconfiguration "
+            f"{self.switch_cycles:,.0f} cycles",
+        ]
+        header = (f"  {'tenant':<14} {'done':>6} {'rej':>5} {'p50':>10} "
+                  f"{'p99':>12} {'req/Mcyc':>9} {'SLO':>7} {'batch':>6}")
+        lines.append(header)
+        for t in self.tenants:
+            lines.append(
+                f"  {t.tenant:<14} {t.completed:>6} {t.rejected:>5} "
+                f"{t.p50:>10,.0f} {t.p99:>12,.0f} "
+                f"{t.throughput_per_mcycle:>9.2f} "
+                f"{t.slo_attainment:>6.1%} {t.mean_batch:>6.1f}"
+            )
+        return "\n".join(lines)
+
+
+def build_report(plan, policy_label: str,
+                 finished: Dict[str, List[Tuple]],
+                 rejected: Dict[str, int],
+                 batch_sizes: Dict[str, List[int]],
+                 horizon: float,
+                 executors: Sequence[Tuple],
+                 slo_factor: float = 10.0) -> ServeReport:
+    """Assemble a :class:`ServeReport` from raw engine tallies.
+
+    Each tenant's SLO is its spec's absolute ``slo_cycles`` when set,
+    otherwise ``slo_factor`` times its isolated single-inference latency
+    under this plan.
+    """
+    tenant_stats: List[TenantStats] = []
+    for tp in plan.tenants:
+        name = tp.spec.name
+        lats = [lat for _, lat in finished[name]]
+        completed = len(lats)
+        slo = tp.spec.slo_cycles if tp.spec.slo_cycles is not None \
+            else slo_factor * tp.service.latency_cycles
+        sizes = batch_sizes[name]
+        tenant_stats.append(TenantStats(
+            tenant=name,
+            model=tp.spec.model,
+            arrived=completed + rejected[name],
+            completed=completed,
+            rejected=rejected[name],
+            throughput_per_mcycle=(completed * 1e6 / horizon
+                                   if horizon > 0 else 0.0),
+            p50=percentile(lats, 50),
+            p95=percentile(lats, 95),
+            p99=percentile(lats, 99),
+            mean_latency=sum(lats) / completed if completed else 0.0,
+            max_latency=max(lats) if lats else 0.0,
+            slo_cycles=slo,
+            slo_attainment=(sum(1 for lat in lats if lat <= slo)
+                            / (completed + rejected[name])
+                            if completed + rejected[name] else 1.0),
+            batches=len(sizes),
+            mean_batch=sum(sizes) / len(sizes) if sizes else 0.0,
+            latencies=tuple(lats),
+        ))
+    exec_stats = tuple(
+        ExecutorStats(
+            name=name,
+            tenants=tuple(tenant_names),
+            busy_cycles=busy,
+            switch_cycles=switch,
+            switches=switches,
+            utilization=busy / horizon if horizon > 0 else 0.0,
+        )
+        for name, tenant_names, busy, switch, switches in executors
+    )
+    return ServeReport(
+        mode=plan.mode,
+        arch=plan.arch_name,
+        policy=policy_label,
+        horizon_cycles=horizon,
+        tenants=tuple(tenant_stats),
+        executors=exec_stats,
+    )

@@ -43,10 +43,28 @@ class PerformanceReport:
     segments: Tuple[SegmentTiming, ...]
     op_latency: Dict[str, float]
     power: PowerReport
+    #: Cycles to program *every* segment's weights into crossbars from
+    #: scratch — the cost a serving system pays to (re)deploy this model
+    #: onto the chip, e.g. when a time-multiplexed chip switches tenants.
+    weight_load_cycles: float = 0.0
 
     def speedup_over(self, other: "PerformanceReport") -> float:
         """``other.total / self.total`` — how much faster this run is."""
         return other.total_cycles / self.total_cycles
+
+    @property
+    def segment_intervals(self) -> Tuple[float, ...]:
+        """Per-segment steady-state service interval under streaming.
+
+        Pipelined: each segment re-admits an input every
+        ``max(bottleneck, reconfiguration)`` cycles.  Sequential: a segment
+        holds the chip for its full latency (plus its swap-in stall).
+        """
+        if not self.pipelined:
+            return tuple(seg.cycles + seg.reconfiguration
+                         for seg in self.segments)
+        return tuple(max(seg.bottleneck_cycles, seg.reconfiguration)
+                     for seg in self.segments)
 
     @property
     def steady_state_interval(self) -> float:
@@ -58,11 +76,7 @@ class PerformanceReport:
         """
         if not self.pipelined:
             return self.total_cycles
-        interval = 0.0
-        for seg in self.segments:
-            interval = max(interval, seg.bottleneck_cycles)
-            interval = max(interval, seg.reconfiguration)
-        return max(interval, 1.0)
+        return max(1.0, *self.segment_intervals) if self.segments else 1.0
 
     @property
     def throughput(self) -> float:
@@ -103,15 +117,17 @@ class PerformanceSimulator:
         compute_total = 0.0
         reconf_total = 0.0
         multi_segment = len(schedule.segments) > 1
+        weight_load = 0.0
         for seg_idx in range(len(schedule.segments)):
             decisions = schedule.segment_decisions(seg_idx)
             for d in decisions:
                 op_latency[d.profile.name] = d.latency()
             cycles = (pipelined_latency(decisions) if schedule.pipelined
                       else sequential_latency(decisions))
+            seg_profiles = {d.profile.name: d.profile for d in decisions}
+            weight_load += reconfiguration_cycles(seg_profiles, self.arch)
             reconf = 0.0
             if multi_segment:
-                seg_profiles = {d.profile.name: d.profile for d in decisions}
                 reconf = reconfiguration_cycles(seg_profiles, self.arch)
                 if schedule.pipelined and self.arch.xb.cell_type.cheap_writes:
                     # SRAM chips stream the next segment's weights into
@@ -139,6 +155,7 @@ class PerformanceSimulator:
             segments=tuple(segments),
             op_latency=op_latency,
             power=power,
+            weight_load_cycles=weight_load,
         )
 
 

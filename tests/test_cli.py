@@ -135,3 +135,62 @@ class TestSweep:
         with pytest.raises(SystemExit, match="unknown preset"):
             main(["sweep", "--model", "mlp", "--preset", "j",
                   "--no-cache"])
+
+
+class TestServe:
+    ARGS = ["serve", "--arch", "functional-testbed",
+            "--tenants", "lenet:2,mlp", "--rate", "500",
+            "--requests", "80", "--batch", "timeout:4:2000"]
+
+    def test_serve_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--tenants", "--mode", "--trace", "--rate", "--rates",
+                     "--batch", "--slo-factor", "--max-queue"):
+            assert flag in out
+
+    def test_both_modes_table(self, capsys):
+        main(self.ARGS)
+        out = capsys.readouterr().out
+        assert "mode=spatial" in out and "mode=temporal" in out
+        assert "p99: spatial" in out
+        assert "lenet" in out and "mlp" in out
+
+    def test_single_mode_json(self, capsys):
+        main(self.ARGS + ["--mode", "temporal", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"temporal"}
+        report = doc["temporal"]
+        assert report["completed"] == 80
+        assert report["switch_cycles"] > 0
+        assert {t["tenant"] for t in report["tenants"]} == {"lenet", "mlp"}
+
+    def test_duplicate_models_get_unique_names(self, capsys):
+        main(["serve", "--arch", "functional-testbed",
+              "--tenants", "mlp,mlp", "--mode", "temporal", "--rate", "500",
+              "--requests", "40", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        names = {t["tenant"] for t in doc["temporal"]["tenants"]}
+        assert names == {"mlp", "mlp#2"}
+
+    def test_rates_capacity_sweep(self, tmp_path, capsys):
+        main(self.ARGS + ["--rates", "200,500",
+                          "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "spatial p99" in out and "temporal p99" in out
+        assert "200.00" in out and "500.00" in out
+
+    def test_bad_batch_policy(self):
+        with pytest.raises(SystemExit, match="bad batch policy"):
+            main(self.ARGS[:-2] + ["--batch", "warp:9"])
+
+    def test_bad_tenant_spec(self):
+        with pytest.raises(SystemExit, match="bad tenant spec"):
+            main(["serve", "--tenants", "mlp:heavy"])
+
+    def test_unknown_model_in_tenants(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["serve", "--arch", "functional-testbed",
+                  "--tenants", "skynet", "--requests", "10"])

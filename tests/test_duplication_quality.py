@@ -1,7 +1,7 @@
 """Large-budget greedy duplication vs the exact DP: quality guarantee."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.sched.cg import _min_total_exact, duplicate_min_total
@@ -17,6 +17,7 @@ medium_instances = st.lists(
 
 @settings(max_examples=25, deadline=None)
 @given(instance=medium_instances)
+@example(instance=[(9, 8, 4), (45, 4, 2)])  # stranded-budget regression
 def test_greedy_close_to_exact(instance):
     """The jump greedy (used for real chip budgets) stays within 15% of the
     exact DP optimum on budgets just above the exact-DP threshold.

@@ -20,6 +20,15 @@ def test_example_runs(script, capsys, monkeypatch):
     assert out.strip()   # produced some report
 
 
+def test_serve_example_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/serve_multi_tenant.py",
+                                      "--requests", "120"])
+    runpy.run_path("examples/serve_multi_tenant.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "p99 speedup of partitioning" in out
+    assert "mode=spatial" in out and "mode=temporal" in out
+
+
 def test_quickstart_runs(capsys, monkeypatch):
     monkeypatch.setattr(sys, "argv", ["examples/quickstart.py"])
     runpy.run_path("examples/quickstart.py", run_name="__main__")

@@ -113,7 +113,7 @@ class TestRunnerCache:
     def test_corrupt_cache_entry_recomputed(self, tmp_path):
         runner = SweepRunner(cache_dir=str(tmp_path))
         runner.run(small_space(core_numbers=(8,)))
-        for f in (tmp_path / "v1").glob("*.json"):
+        for f in (tmp_path / f"v{runner_mod.CACHE_VERSION}").glob("*.json"):
             f.write_text("{not json")
         again = SweepRunner(cache_dir=str(tmp_path)).run(
             small_space(core_numbers=(8,)))

@@ -66,6 +66,64 @@ class TestMechanics:
             place_linear(sched)
 
 
+class TestRegions:
+    """Region-constrained placement (multi-tenant spatial partitioning)."""
+
+    @pytest.fixture(scope="class")
+    def sub_schedule(self):
+        # A schedule compiled for a 16-core sub-chip of a 64-core die.
+        return CIMMLC(mesh_arch(cores=16)).schedule(tiny_conv())
+
+    def test_region_confines_placement(self, sub_schedule):
+        region = list(range(40, 56))
+        for strategy in (place_linear, place_greedy):
+            placement = strategy(sub_schedule, region=region)
+            used = [c for cores in placement.values() for c in cores]
+            assert used and set(used) <= set(region)
+            assert len(used) == len(set(used))
+
+    def test_region_cost_uses_physical_hop_matrix(self, sub_schedule):
+        # The same sub-chip placed on spread-out cores of a 64-core die
+        # must cost more than on one compact block, with both costs
+        # computed on the physical 8x8 mesh geometry.
+        compact = place_greedy(sub_schedule, region=list(range(16)),
+                               die_cores=64)
+        spread = place_greedy(sub_schedule,
+                              region=[4 * i for i in range(16)],
+                              die_cores=64)
+        assert placement_cost(sub_schedule, spread, die_cores=64) > \
+            placement_cost(sub_schedule, compact, die_cores=64)
+
+    def test_die_geometry_changes_hops(self, sub_schedule):
+        # Cores 0..15 on an 8x8 die are two mesh rows, not a 4x4 block:
+        # the die-aware cost must differ from the naive 4x4 reading.
+        placement = place_linear(sub_schedule, region=list(range(16)))
+        naive = placement_cost(sub_schedule, placement)
+        physical = placement_cost(sub_schedule, placement, die_cores=64)
+        assert naive != physical
+
+    def test_region_validation(self, sub_schedule):
+        with pytest.raises(ScheduleError):
+            place_linear(sub_schedule, region=[1, 1, 2])      # duplicate
+        with pytest.raises(ScheduleError):
+            place_linear(sub_schedule, region=[-1, 0, 1])     # negative
+        with pytest.raises(ScheduleError):
+            place_linear(sub_schedule, region=list(range(4)))  # too small
+
+    def test_default_region_matches_legacy(self, sub_schedule):
+        assert place_greedy(sub_schedule) == \
+            place_greedy(sub_schedule, region=list(range(16)))
+
+    def test_annotate_with_region(self, sub_schedule):
+        region = list(range(8, 24))
+        placement = annotate_placement(sub_schedule, strategy="linear",
+                                       region=region)
+        for name, cores in placement.items():
+            assert sub_schedule.graph.node(name).annotations[
+                "cores_placed"] == cores
+            assert set(cores) <= set(region)
+
+
 class TestQuality:
     def test_greedy_beats_or_ties_linear(self, schedule):
         linear = placement_cost(schedule, place_linear(schedule))
