@@ -1,0 +1,51 @@
+"""Shard resnet18 across a multi-chip system and watch throughput scale.
+
+The single-chip compiler maxes out one die: duplication is limited by the
+core budget and resident weights by crossbar capacity.  This example
+takes a capacity-constrained ISAAC-like chip (200 cores), shards resnet18
+across 1..4 chips joined by a ring of explicit inter-chip links, and
+prints how the pipelined steady-state interval improves until the
+movement-bound first convolution saturates the pipeline.
+
+Run:  PYTHONPATH=src python examples/shard_pipeline.py
+"""
+
+from repro import CIMMLC
+from repro.arch import ChipLink, MultiChipSystem, isaac_baseline
+from repro.models import resnet18
+from repro.scale import link_table, pipeline_summary, placement_table, shard
+
+
+def main() -> None:
+    chip = isaac_baseline().with_cores(200)
+    link = ChipLink(bandwidth_bits=512.0, latency_cycles=100.0)
+    single = CIMMLC(chip).compile(resnet18())
+    print(f"single chip ({chip.chip.core_number} cores): interval "
+          f"{single.report.steady_state_interval:,.0f} cycles\n")
+
+    plans = {}
+    for chips in (1, 2, 3, 4):
+        system = MultiChipSystem(chip, chips, link=link, topology="ring")
+        plans[chips] = shard(resnet18(), system)
+        report = plans[chips].report
+        speedup = report.speedup_over(single.report)
+        print(f"chips={chips}: interval "
+              f"{report.steady_state_interval:>8,.0f} cycles  "
+              f"latency {report.total_cycles:>8,.0f}  "
+              f"throughput {speedup:5.2f}x vs 1 chip")
+
+    best = plans[3]
+    print("\n--- 3-chip plan ---")
+    print(placement_table(best))
+    print()
+    print(link_table(best))
+    print()
+    print(pipeline_summary(best, single.report))
+    print("\nthe first conv's data movement floor paces the pipeline; "
+          "past it, extra chips only shorten stages that no longer "
+          "matter — the saturation point `repro sweep --vary chips=...` "
+          "finds automatically.")
+
+
+if __name__ == "__main__":
+    main()

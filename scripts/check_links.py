@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo markdown links (the docs-rot guard).
+
+Scans every tracked ``*.md`` file for inline links/images
+``[text](target)`` and reference definitions ``[ref]: target``, and
+verifies that each *relative* target resolves to an existing file or
+directory (anchors and external ``http(s)``/``mailto`` targets are
+skipped; ``#section`` anchors within a file are not validated — only
+the file part).
+
+Run:  python scripts/check_links.py [ROOT]
+Exit status 1 with one line per broken link otherwise 0.
+"""
+
+import os
+import re
+import sys
+
+#: Inline [text](target) — target up to the first closing paren or space
+#: (titles like [t](x "y") are handled by splitting on whitespace).
+_INLINE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+#: Directories never scanned for markdown.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+              ".cache"}
+
+
+def markdown_files(root):
+    """All ``*.md`` paths under ``root`` (skipping VCS/cache dirs)."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def link_targets(text):
+    """Every link target appearing in a markdown document."""
+    targets = []
+    for pattern in (_INLINE, _IMAGE, _REFDEF):
+        targets.extend(pattern.findall(text))
+    return targets
+
+
+def is_external(target):
+    """True for links this checker does not validate."""
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+def broken_links(root):
+    """``(markdown file, target)`` pairs whose targets do not resolve."""
+    broken = []
+    for path in sorted(markdown_files(root)):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        base = os.path.dirname(path)
+        for target in link_targets(text):
+            if is_external(target):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:          # pure in-page anchor
+                continue
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), target))
+    return broken
+
+
+def main(argv=None):
+    """CLI entry point; prints broken links and sets the exit status."""
+    args = argv if argv is not None else sys.argv[1:]
+    root = args[0] if args else os.getcwd()
+    broken = broken_links(root)
+    for path, target in broken:
+        print(f"{path}: broken link -> {target}")
+    if broken:
+        print(f"{len(broken)} broken intra-repo link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(list(markdown_files(root)))} markdown files: "
+          f"all intra-repo links resolve", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,16 +18,22 @@ Packages
 ``repro.sim``         Functional (value-exact) and performance simulators.
 ``repro.explore``     Design-space sweeps: parallel runner, result cache,
                       Pareto/bottleneck analysis.
+``repro.serve``       Multi-tenant serving simulator: traces, partitioning,
+                      dynamic batching, SLO analysis.
+``repro.scale``       Multi-chip sharding: layer partitioning, inter-chip
+                      links, pipelined multi-chip estimation.
 ``repro.experiments`` One driver per paper table/figure.
 """
 
 from .arch import (
+    ChipLink,
     CIMArchitecture,
     CellType,
     ChipTier,
     ComputingMode,
     CoreTier,
     CrossbarTier,
+    MultiChipSystem,
     functional_testbed,
     isaac_baseline,
     jain2021,
@@ -60,15 +66,17 @@ from .sched import (
     no_optimization,
     poly_schedule,
 )
-from .sim import PerformanceReport, PerformanceSimulator
+from .sim import MultiChipReport, PerformanceReport, PerformanceSimulator
 from .explore import SweepPoint, SweepResult, SweepRunner, SweepSpace
+from .scale import ShardPlan, shard
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CIMArchitecture",
     "CIMMLC",
     "CellType",
+    "ChipLink",
     "ChipTier",
     "CompilationResult",
     "CompilerOptions",
@@ -77,10 +85,13 @@ __all__ = [
     "CrossbarTier",
     "Graph",
     "GraphBuilder",
+    "MultiChipReport",
+    "MultiChipSystem",
     "Node",
     "PerformanceReport",
     "PerformanceSimulator",
     "Schedule",
+    "ShardPlan",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
@@ -101,6 +112,7 @@ __all__ = [
     "resnet18",
     "resnet34",
     "resnet50",
+    "shard",
     "table2_example",
     "tiny_conv",
     "vgg",

@@ -1,6 +1,7 @@
 """Hardware abstraction (Abs-arch + Abs-com, Section 3.2)."""
 
 from .architecture import CIMArchitecture
+from .link import CHIP_TOPOLOGIES, ChipLink, MultiChipSystem
 from .modes import ComputingMode
 from .noc import IDEAL_NOC, NocSpec, htree, matrix_noc, mesh, shared_bus
 from .params import CellType, ChipTier, CoreTier, CrossbarTier
@@ -19,13 +20,16 @@ from .vxb import BitBinding, VXBShape, bind, cores_per_vxb, vxbs_per_core
 
 __all__ = [
     "BitBinding",
+    "CHIP_TOPOLOGIES",
     "CIMArchitecture",
     "CellType",
+    "ChipLink",
     "ChipTier",
     "ComputingMode",
     "CoreTier",
     "CrossbarTier",
     "IDEAL_NOC",
+    "MultiChipSystem",
     "functional_testbed",
     "NocSpec",
     "PRESETS",

@@ -187,7 +187,13 @@ PRESETS = {
 
 
 def get_preset(name: str) -> CIMArchitecture:
-    """Instantiate a preset by name."""
+    """Instantiate a preset by name.
+
+    Example
+    -------
+    >>> get_preset("puma").chip.core_number
+    138
+    """
     try:
         factory = PRESETS[name]
     except KeyError:

@@ -6,6 +6,10 @@ Commands
               performance report (optionally per-level ablation).
 ``sweep``     Design-space sweep: vary preset parameters over a grid, run
               (optionally parallel + cached), print table/CSV/JSON.
+``shard``     Shard a model across a multi-chip system; print per-chip
+              placement, the link schedule, and the pipeline estimate.
+``serve``     Multi-tenant serving simulation (spatial / temporal /
+              sharded multi-chip plans) under a request trace.
 ``describe``  Print the Abs-arch abstraction of a preset (Figs. 17-19 style).
 ``codegen``   Emit the meta-operator program for a small model.
 ``presets``   List architecture presets.
@@ -166,6 +170,72 @@ def cmd_sweep(args) -> None:
               + ", ".join(frontier_labels(sweep)))
 
 
+def _system(args):
+    """Build a :class:`~repro.arch.MultiChipSystem` from CLI link flags."""
+    from .arch import ChipLink, MultiChipSystem
+    from .errors import CIMError
+
+    arch = _preset(args.arch)
+    try:
+        link = ChipLink(bandwidth_bits=args.link_bw,
+                        latency_cycles=args.link_latency)
+        return MultiChipSystem(arch, args.chips, link=link,
+                               topology=args.topology)
+    except CIMError as exc:
+        raise SystemExit(str(exc))
+
+
+def _add_system_args(parser, default_chips: int) -> None:
+    """Attach the shared multi-chip flags (shard + serve --mode sharded)."""
+    from .arch import CHIP_TOPOLOGIES, ChipLink
+
+    default_link = ChipLink()
+    parser.add_argument("--chips", type=int, default=default_chips,
+                        help="number of chips in the system")
+    parser.add_argument("--topology", choices=CHIP_TOPOLOGIES,
+                        default="ring", help="inter-chip wiring")
+    parser.add_argument("--link-bw", type=float,
+                        default=default_link.bandwidth_bits,
+                        help="inter-chip link bandwidth (bits/cycle)")
+    parser.add_argument("--link-latency", type=float,
+                        default=default_link.latency_cycles,
+                        help="per-hop link latency (cycles)")
+
+
+def cmd_shard(args) -> None:
+    from .errors import CIMError
+    from .sched import CIMMLC
+    from .scale import link_table, pipeline_summary, placement_table, shard
+
+    system = _system(args)
+    graph = _model(args.model)
+    try:
+        plan = shard(graph, system)
+    except CIMError as exc:
+        raise SystemExit(str(exc))
+    single = None
+    if args.baseline:
+        try:
+            single = CIMMLC(system.chip).compile(graph).report
+        except CIMError:
+            print("(model does not compile on one chip; no baseline)",
+                  file=sys.stderr)
+    if args.format == "json":
+        doc = plan.to_dict()
+        if single is not None:
+            doc["single_chip"] = {
+                "total_cycles": single.total_cycles,
+                "steady_state_interval": single.steady_state_interval,
+            }
+        print(json.dumps(doc, indent=1))
+        return
+    print(placement_table(plan))
+    print()
+    print(link_table(plan))
+    print()
+    print(pipeline_summary(plan, single))
+
+
 def _tenant_specs(text: str):
     from .serve import TenantSpec
 
@@ -212,6 +282,11 @@ def cmd_serve(args) -> None:
         policy = parse_policy(args.batch)
         modes = list(MODES) if args.mode == "both" else [args.mode]
 
+        if args.mode == "sharded" and args.rates:
+            raise SystemExit(
+                "--rates capacity sweeps support spatial/temporal modes; "
+                "run sharded mode with a single --rate")
+
         if args.rates:
             from .explore import SweepRunner, default_cache_dir
 
@@ -244,7 +319,10 @@ def cmd_serve(args) -> None:
                            args.requests, seed=args.seed)
         reports = {}
         for mode in modes:
-            plan = make_plan(mode, arch, specs)
+            if mode == "sharded":
+                plan = make_plan(mode, arch, specs, system=_system(args))
+            else:
+                plan = make_plan(mode, arch, specs)
             reports[mode] = simulate(plan, trace, policy=policy,
                                      max_queue=args.max_queue,
                                      slo_factor=args.slo_factor)
@@ -308,8 +386,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="architecture preset (unique prefixes accepted, "
                         "e.g. 'isaac')")
     p.add_argument("--vary", action="append", metavar="PARAM=V1,V2,...",
-                   help="sweep axis, e.g. cores=256,512,1024 or "
-                        "xb_size=64x512,128x256; repeat for a grid")
+                   help="sweep axis, e.g. cores=256,512,1024, "
+                        "xb_size=64x512,128x256, chips=1,2,4, or "
+                        "link_bw=256,1024; repeat for a grid")
     p.add_argument("--levels", default="baseline,CG,MVM,VVM",
                    help="comma list of series to run per point "
                         "(baseline,CG,MVM,VVM)")
@@ -327,6 +406,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
+        "shard",
+        help="shard a model across a multi-chip system",
+        description="Partition a model graph into resident stages across "
+                    "N chips (min-cut layer partitioning under weight-"
+                    "capacity and compute-balance constraints), compile "
+                    "every stage with the multi-level scheduler, and "
+                    "report the per-chip placement, the inter-chip link "
+                    "schedule, and the pipelined latency/throughput "
+                    "estimate.")
+    p.add_argument("--arch", "--preset", dest="arch",
+                   default="isaac-baseline",
+                   help="architecture preset for every chip (unique "
+                        "prefixes accepted)")
+    p.add_argument("--model", default="resnet18",
+                   help="model-zoo entry (underscores accepted)")
+    _add_system_args(p, default_chips=2)
+    p.add_argument("--baseline", action="store_true",
+                   help="also compile on one chip and report the "
+                        "throughput/latency ratio")
+    p.add_argument("--format", choices=("table", "json"), default="table")
+    p.set_defaults(fn=cmd_shard)
+
+    p = sub.add_parser(
         "serve",
         help="simulate multi-tenant serving under a request stream",
         description="Serve a seeded request trace over co-resident models "
@@ -342,8 +444,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenants", default="resnet18:4,mobilenet:1",
                    metavar="MODEL[:WEIGHT],...",
                    help="co-resident models with traffic weights")
-    p.add_argument("--mode", choices=("spatial", "temporal", "both"),
-                   default="both")
+    p.add_argument("--mode",
+                   choices=("spatial", "temporal", "both", "sharded"),
+                   default="both",
+                   help="hardware sharing plan; 'sharded' spans each "
+                        "tenant across chips of a multi-chip system "
+                        "(see --chips/--topology/--link-bw)")
+    _add_system_args(p, default_chips=2)
     p.add_argument("--trace", choices=("poisson", "bursty", "diurnal"),
                    default="poisson", help="arrival process")
     p.add_argument("--rate", type=float, default=22.0,

@@ -43,10 +43,12 @@ from .runner import (
     SweepRunner,
     default_cache_dir,
     evaluate_point,
+    summarize_multichip,
     summarize_report,
 )
 from .space import (
     LEVEL_SERIES,
+    SCALE_AXES,
     VARIATIONS,
     SweepPoint,
     SweepSpace,
@@ -60,6 +62,7 @@ __all__ = [
     "LEVEL_SERIES",
     "PointResult",
     "ResultCache",
+    "SCALE_AXES",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
@@ -78,6 +81,7 @@ __all__ = [
     "pareto_frontier",
     "resolve_variation",
     "speedup_result",
+    "summarize_multichip",
     "summarize_report",
     "to_csv",
     "to_json",

@@ -78,11 +78,71 @@ def summarize_report(report: PerformanceReport,
     }
 
 
+def summarize_multichip(report: "MultiChipReport",
+                        noc_cycles: float = 0.0) -> Dict:
+    """Flatten a :class:`~repro.sim.performance.MultiChipReport` into the
+    same summary schema as :func:`summarize_report` (so tables, Pareto
+    extraction, and the serve bridge work unchanged), plus a ``scale``
+    block with per-stage and per-link detail.
+
+    ``noc_cycles`` carries the stages' total on-die data-movement budget
+    (same convention as :func:`summarize_report`) so bottleneck
+    attribution treats multi-chip points like single-chip ones.
+    """
+    return {
+        "schedule_levels": list(report.stages[0].schedule_levels
+                                if report.stages else ()),
+        "pipelined": True,
+        "total_cycles": report.total_cycles,
+        "compute_cycles": sum(r.compute_cycles for r in report.stages),
+        "reconfiguration_cycles": sum(r.reconfiguration_cycles
+                                      for r in report.stages),
+        "noc_cycles": noc_cycles,
+        "steady_state_interval": report.steady_state_interval,
+        "segment_intervals": list(report.stage_intervals),
+        "weight_load_cycles": sum(r.weight_load_cycles
+                                  for r in report.stages),
+        "peak_power": report.peak_power,
+        "avg_power": sum(r.power.avg_power for r in report.stages),
+        "peak_active_crossbars": sum(r.power.peak_active_crossbars
+                                     for r in report.stages),
+        "energy": {
+            "crossbar": sum(r.power.energy_crossbar for r in report.stages),
+            "converter": sum(r.power.energy_converter for r in report.stages),
+            "movement": sum(r.power.energy_movement for r in report.stages),
+        },
+        "segments": [],
+        "scale": {
+            "num_chips": report.num_chips,
+            "stage_intervals": list(report.stage_intervals),
+            "stage_latencies": [r.total_cycles for r in report.stages],
+            "link_intervals": list(report.link_intervals),
+            "link_bits": [t.bits for t in report.transfers],
+        },
+    }
+
+
 def evaluate_point(point: SweepPoint) -> Dict:
     """Compile one point and summarize its performance report.
 
+    Multi-chip points (``point.chips > 1``) shard through
+    :func:`repro.scale.shard` instead of a single-chip compilation.
     Module-level so :class:`ProcessPoolExecutor` can pickle it.
     """
+    if point.chips < 1:
+        from ..errors import ArchitectureError
+
+        raise ArchitectureError(
+            f"point {point.label!r}: chips must be >= 1, got {point.chips}")
+    if point.chips > 1:
+        from ..scale import shard
+
+        plan = shard(point.graph, point.system(), options=point.options,
+                     optimize=point.options is not None)
+        noc = sum(d.profile.mov_cycles
+                  for sched in plan.schedules
+                  for d in sched.decisions.values())
+        return summarize_multichip(plan.report, noc_cycles=noc)
     if point.options is None:
         result = no_optimization(point.graph, point.arch)
     else:
@@ -105,6 +165,7 @@ class ResultCache:
         return os.path.join(self.root, f"{key}.json")
 
     def get(self, key: str) -> Optional[Dict]:
+        """Cached summary for ``key``, or ``None`` on miss/corruption."""
         try:
             with open(self._path(key)) as fh:
                 return json.load(fh)
@@ -112,6 +173,7 @@ class ResultCache:
             return None
 
     def put(self, key: str, summary: Dict) -> None:
+        """Store ``summary`` under ``key`` (atomic, best-effort)."""
         # Write-then-rename so concurrent sweeps never read a torn file.
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
@@ -138,18 +200,22 @@ class PointResult:
 
     @property
     def label(self) -> str:
+        """The design-point label (delegates to the point)."""
         return self.point.label
 
     @property
     def series(self) -> str:
+        """The measurement series label (delegates to the point)."""
         return self.point.series
 
     @property
     def total_cycles(self) -> float:
+        """End-to-end latency of the point, from the summary."""
         return self.summary["total_cycles"]
 
     @property
     def peak_power(self) -> float:
+        """Peak power of the point, from the summary."""
         return self.summary["peak_power"]
 
 
@@ -198,6 +264,7 @@ class SweepResult:
 
     @property
     def all_cached(self) -> bool:
+        """True when every point came from the disk cache."""
         return bool(self.results) and self.cache_misses == 0
 
 

@@ -66,14 +66,62 @@ VARIATION_ALIASES = {
     "pr": "parallel_row",
 }
 
+#: Multi-chip sweep axes (``repro.scale``): these do not transform the
+#: single-chip architecture but the :class:`SweepPoint` scale fields, so
+#: :class:`SweepSpace.grid` routes them separately from :data:`VARIATIONS`.
+SCALE_AXES = ("chips", "link_bw", "link_latency", "topology")
+
+#: Accepted spellings for the scale axes.
+SCALE_ALIASES = {
+    "num_chips": "chips",
+    "link_bandwidth": "link_bw",
+}
+
+
+def _scale_field(axis: str, value):
+    """``(SweepPoint field, coerced value)`` for one scale-axis setting.
+
+    Validates eagerly so a bad CLI value fails at grid construction
+    with a clean error rather than a traceback mid-sweep.
+    """
+    if axis == "chips":
+        chips = int(value)
+        if chips < 1:
+            raise ArchitectureError(f"chips must be >= 1, got {value}")
+        return "chips", chips
+    if axis == "link_bw":
+        bw = float(value)
+        if bw <= 0:
+            raise ArchitectureError(f"link_bw must be positive, got {value}")
+        return "link_bandwidth", bw
+    if axis == "link_latency":
+        latency = float(value)
+        if latency < 0:
+            raise ArchitectureError(
+                f"link_latency must be >= 0, got {value}")
+        return "link_latency", latency
+    from ..arch import CHIP_TOPOLOGIES
+
+    if value not in CHIP_TOPOLOGIES:
+        raise ArchitectureError(
+            f"unknown chip topology {value!r}; choose one of "
+            f"{CHIP_TOPOLOGIES}")
+    return "topology", str(value)
+
 
 def resolve_variation(name: str) -> str:
-    """Canonical axis name for ``name`` (raises on unknown axes)."""
+    """Canonical axis name for ``name`` (raises on unknown axes).
+
+    Resolves both single-chip architecture axes (:data:`VARIATIONS`) and
+    multi-chip scale axes (:data:`SCALE_AXES`).
+    """
     key = VARIATION_ALIASES.get(name, name)
-    if key not in VARIATIONS:
+    key = SCALE_ALIASES.get(key, key)
+    if key not in VARIATIONS and key not in SCALE_AXES:
         raise ArchitectureError(
             f"unknown sweep axis {name!r}; choose one of "
-            f"{sorted(VARIATIONS)} (aliases {sorted(VARIATION_ALIASES)})")
+            f"{sorted(VARIATIONS) + sorted(SCALE_AXES)} "
+            f"(aliases {sorted(VARIATION_ALIASES) + sorted(SCALE_ALIASES)})")
     return key
 
 
@@ -147,6 +195,12 @@ class SweepPoint:
     names the measurement within the point (e.g. ``"CG+MVM"``).  ``options``
     of ``None`` requests the un-optimized :func:`~repro.sched.no_optimization`
     baseline.
+
+    ``chips > 1`` turns the point into a multi-chip sharding evaluation
+    (:func:`repro.scale.shard`): ``arch`` describes each die and the
+    ``link_*`` / ``topology`` fields the
+    :class:`~repro.arch.MultiChipSystem` (``None`` = the
+    :class:`~repro.arch.ChipLink` defaults).
     """
 
     label: str
@@ -154,11 +208,32 @@ class SweepPoint:
     arch: CIMArchitecture
     graph: Graph
     options: Optional[CompilerOptions] = None
+    chips: int = 1
+    link_bandwidth: Optional[float] = None
+    link_latency: Optional[float] = None
+    topology: str = "ring"
+
+    def system(self) -> "MultiChipSystem":  # noqa: F821 - lazy import
+        """The :class:`~repro.arch.MultiChipSystem` this point describes
+        (valid for any ``chips >= 1``)."""
+        from ..arch import ChipLink, MultiChipSystem
+
+        link = ChipLink()
+        if self.link_bandwidth is not None:
+            link = dataclasses.replace(link,
+                                       bandwidth_bits=self.link_bandwidth)
+        if self.link_latency is not None:
+            link = dataclasses.replace(link,
+                                       latency_cycles=self.link_latency)
+        return MultiChipSystem(self.arch, self.chips, link=link,
+                               topology=self.topology)
 
     def fingerprint(self) -> str:
         """Content hash keying the disk cache: architecture parameters +
         graph signature + compiler options + package version (so cached
-        summaries never outlive a compiler/simulator release)."""
+        summaries never outlive a compiler/simulator release).  Multi-chip
+        points additionally hash their scale fields; single-chip points
+        keep the historical payload, so pre-scale caches stay valid."""
         from .. import __version__
 
         payload = {
@@ -169,6 +244,13 @@ class SweepPoint:
             "options": (None if self.options is None
                         else dataclasses.asdict(self.options)),
         }
+        if self.chips > 1:
+            payload["scale"] = {
+                "chips": self.chips,
+                "link_bandwidth": self.link_bandwidth,
+                "link_latency": self.link_latency,
+                "topology": self.topology,
+            }
         blob = json.dumps(payload, sort_keys=True, default=str,
                           separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -187,6 +269,7 @@ class SweepSpace:
     # -- construction --------------------------------------------------
 
     def add(self, point: SweepPoint) -> "SweepPoint":
+        """Append ``point`` and return it."""
         self.points.append(point)
         return point
 
@@ -228,20 +311,33 @@ class SweepSpace:
     ) -> "SweepSpace":
         """Cartesian product of variation axes x graphs x option series.
 
-        ``vary`` maps axis names (:data:`VARIATIONS`) to value lists; the
-        point label joins ``axis=value`` terms in axis order.
+        ``vary`` maps axis names (:data:`VARIATIONS` plus the multi-chip
+        :data:`SCALE_AXES`) to value lists; the point label joins
+        ``axis=value`` terms in axis order.
         """
         if isinstance(graphs, Graph):
             graphs = [graphs]
         axes = [(resolve_variation(name), list(values))
                 for name, values in vary.items()]
+        scale_used = [name for name, _ in axes if name in SCALE_AXES]
+        if any(a != "chips" for a in scale_used) \
+                and "chips" not in scale_used:
+            raise ArchitectureError(
+                "link_bw/link_latency/topology axes only affect "
+                "multi-chip points; add a chips axis too "
+                "(e.g. --vary chips=2,4)")
         series = list(series) or list(LEVEL_SERIES.items())
         space = cls()
         for combo in itertools.product(*(values for _, values in axes)):
             arch = base_arch
+            scale_fields: Dict[str, object] = {}
             terms = []
             for (name, _), value in zip(axes, combo):
-                arch = apply_variation(arch, name, value)
+                if name in SCALE_AXES:
+                    field, coerced = _scale_field(name, value)
+                    scale_fields[field] = coerced
+                else:
+                    arch = apply_variation(arch, name, value)
                 terms.append(f"{name}={value}")
             label = " ".join(terms) or base_arch.name
             for graph in graphs:
@@ -249,7 +345,7 @@ class SweepSpace:
                                if len(graphs) > 1 else label)
                 for series_label, options in series:
                     space.add(SweepPoint(point_label, series_label, arch,
-                                         graph, options))
+                                         graph, options, **scale_fields))
         return space
 
     # -- queries -------------------------------------------------------

@@ -1,0 +1,56 @@
+"""Multi-chip model sharding: scale one model beyond a single die.
+
+A single CIM chip bounds both resident weight capacity and duplication
+headroom; this package lifts both limits by pipelining a model across a
+:class:`~repro.arch.MultiChipSystem` — N identical chips joined by
+explicit :class:`~repro.arch.ChipLink` channels (ring, fully-connected,
+or mesh).  It is the layer every further scaling study (data-parallel
+replication, hierarchical NoCs) builds on:
+
+* :mod:`~repro.scale.partition` — min-cut style contiguous layer
+  partitioning under weight-capacity and compute-balance constraints.
+* :mod:`~repro.scale.shard` — :func:`shard`: partition, compile every
+  stage with the full multi-level scheduler, place cores around the
+  link port, and price inter-chip traffic into a
+  :class:`~repro.sim.performance.MultiChipReport`.
+* :mod:`~repro.scale.report` — CLI tables: per-chip placement, link
+  schedule, pipeline summary.
+
+Multi-chip sweep axes (``chips=...``, ``link_bw=...``) plug into
+:mod:`repro.explore`, and :func:`repro.serve.plan_sharded` serves
+tenants that each span several chips.
+
+Quickstart
+----------
+>>> from repro.arch import MultiChipSystem, isaac_baseline
+>>> from repro.models import resnet18
+>>> from repro.scale import shard
+>>> plan = shard(resnet18(), MultiChipSystem(isaac_baseline(), 2))
+>>> plan.num_stages
+2
+>>> plan.report.throughput > 0
+True
+"""
+
+from .partition import (
+    boundary_cut_bits,
+    min_chips,
+    partition_layers,
+    stage_transfers,
+)
+from .report import link_table, pipeline_summary, placement_table
+from .shard import LINK_PORT_CORE, ShardPlan, shard, stage_subgraph
+
+__all__ = [
+    "LINK_PORT_CORE",
+    "ShardPlan",
+    "boundary_cut_bits",
+    "link_table",
+    "min_chips",
+    "partition_layers",
+    "pipeline_summary",
+    "placement_table",
+    "shard",
+    "stage_subgraph",
+    "stage_transfers",
+]

@@ -1,0 +1,284 @@
+"""Min-cut style layer partitioning of a model graph across N chips.
+
+The partitioner splits the topological operator order into contiguous
+*stages*, one per chip, under two hard constraints and one objective:
+
+* **Weight capacity** — every stage's weights must be simultaneously
+  resident on its chip (cores at duplication 1, plus raw crossbar
+  capacity).  Residency is the whole point of sharding: a stage never
+  pays the Section 2.1 reconfiguration cost, unlike a single chip forced
+  to swap segments.
+* **Compute balance** — the maximum per-stage work is minimized, because
+  the slowest stage paces the inter-chip pipeline.
+* **Min cut** — among balanced partitions, the one moving the fewest
+  activation bits across chip boundaries wins (every crossing tensor pays
+  link serialization per inference).
+
+Contiguous splits keep stage ``i`` -> ``i+1`` traffic on adjacent chips of
+a ring, which is why the dynamic program optimizes boundary positions
+(exactly, in O(nodes^2 x chips)) rather than arbitrary node sets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch import CIMArchitecture
+from ..errors import CapacityError
+from ..graph import Graph
+from ..sched.costs import CostModel, OpProfile
+
+def _floor(p: OpProfile) -> float:
+    """Duplication-independent interval floor of one operator.
+
+    No amount of replication beats data movement (replicas re-read input
+    halos), one MVM wave, or the digital tail — the quantities a stage's
+    steady-state interval can never undercut on one chip.
+    """
+    if not p.is_cim:
+        return max(p.alu_cycles, p.mov_cycles)
+    return max(p.mov_cycles, float(p.mvm_cycles_base)) + p.alu_cycles
+
+
+def _load(p: OpProfile) -> float:
+    """Core-cycles of compute one inference demands of this operator.
+
+    Duplication spreads ``num_mvms`` windows over replicas, so an
+    operator targeted at interval ``T`` needs about ``load / T`` cores
+    (never fewer than one replica's worth) — the balance term of the
+    partition objective.
+    """
+    if not p.is_cim:
+        return 0.0
+    return float(p.num_mvms * p.mvm_cycles_base * p.cores_per_replica)
+
+
+def _predict_interval(ops: Sequence[OpProfile], floor: float,
+                      budget: int) -> float:
+    """Best steady-state interval a stage can reach on one chip.
+
+    Continuous relaxation of the duplication search
+    (:func:`repro.sched.cg.duplicate_min_bottleneck`): interval ``T`` is
+    feasible when ``sum(max(cores_i, load_i / T)) <= budget`` — every
+    operator keeps at least one replica and elastic operators take
+    ``load / T`` cores.  Feasibility is monotone in ``T``, so binary
+    search between the floor and the duplication-1 latency.
+    """
+    cim = [(float(p.cores_per_replica), _load(p)) for p in ops if p.is_cim]
+    if not cim:
+        return floor
+
+    def cores_at(target: float) -> float:
+        return sum(max(c, load / target) for c, load in cim)
+
+    lo = max(floor, 1.0)
+    if cores_at(lo) <= budget:
+        return lo
+    hi = max(lo, max(load / c for c, load in cim if c > 0))
+    for _ in range(48):
+        mid = (lo + hi) / 2
+        if cores_at(mid) <= budget:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def _prefix_sums(order: Sequence[str], profiles: Dict[str, OpProfile]
+                 ) -> Tuple[List[float], List[int], List[int]]:
+    """Cumulative (load, cores, weight_bits) over the topological order."""
+    loads = [0.0]
+    cores = [0]
+    weights = [0]
+    for name in order:
+        p = profiles[name]
+        loads.append(loads[-1] + _load(p))
+        cores.append(cores[-1] + (p.cores_per_replica if p.is_cim else 0))
+        weights.append(weights[-1] + (p.weight_bits if p.is_cim else 0))
+    return loads, cores, weights
+
+
+def boundary_cut_bits(graph: Graph, order: Sequence[str],
+                      position: int) -> int:
+    """Activation bits crossing a split after ``order[:position]``.
+
+    Counts every tensor produced by a node before the boundary and
+    consumed by a node at/after it (weights excluded — they are resident,
+    never streamed).  A tensor spanning several boundaries is counted at
+    each, matching the physical cost of relaying it through intermediate
+    chips on a ring.
+    """
+    before = set(order[:position])
+    after = set(order[position:])
+    bits = 0
+    for name in before:
+        node = graph.node(name)
+        for out in node.outputs:
+            if any(c.name in after for c in graph.consumers(out)):
+                spec = graph.tensors.get(out)
+                if spec is not None and not spec.is_weight:
+                    bits += spec.size_bits
+    return bits
+
+
+def _stage_fits(cores_used: int, weight_bits: int,
+                arch: CIMArchitecture) -> bool:
+    return (cores_used <= arch.chip.core_number
+            and weight_bits <= arch.chip_capacity_bits)
+
+
+def min_chips(graph: Graph, arch: CIMArchitecture,
+              cost_model: Optional[CostModel] = None) -> int:
+    """Fewest chips keeping the whole model resident (contiguous stages).
+
+    Greedy longest-prefix packing is optimal for minimizing the number of
+    contiguous stages under monotone per-stage constraints.
+
+    Example
+    -------
+    >>> from repro.arch import functional_testbed
+    >>> from repro.models import lenet
+    >>> min_chips(lenet(), functional_testbed())
+    1
+    """
+    profiles = (cost_model or CostModel(arch)).profiles(graph)
+    order = [n.name for n in graph.topological()]
+    chips = 1
+    cores = 0
+    weights = 0
+    for name in order:
+        p = profiles[name]
+        need_cores = p.cores_per_replica if p.is_cim else 0
+        need_bits = p.weight_bits if p.is_cim else 0
+        if not _stage_fits(need_cores, need_bits, arch):
+            raise CapacityError(
+                f"operator {name!r} alone exceeds one {arch.name} chip "
+                f"({need_cores} cores / {need_bits} weight bits)")
+        if not _stage_fits(cores + need_cores, weights + need_bits, arch):
+            chips += 1
+            cores, weights = need_cores, need_bits
+        else:
+            cores += need_cores
+            weights += need_bits
+    return chips
+
+
+def partition_layers(graph: Graph, num_chips: int, arch: CIMArchitecture,
+                     cost_model: Optional[CostModel] = None
+                     ) -> List[List[str]]:
+    """Split ``graph`` into ``num_chips`` contiguous resident stages.
+
+    Dynamic program over boundary positions: minimize the lexicographic
+    objective ``(max predicted stage interval, total boundary cut bits)``
+    subject to every stage fitting its chip (cores at duplication 1 and
+    weight capacity).  The predicted interval of a stage is
+    ``max(per-op floors, core-cycle load / core_number)`` — what the
+    duplication search can achieve at best, so balancing it balances the
+    *pipelined* stages rather than raw work.  Returns per-stage node-name
+    lists in topological order; raises
+    :class:`~repro.errors.CapacityError` when even ``num_chips`` stages
+    cannot hold the model resident.
+
+    Example
+    -------
+    >>> from repro.arch import isaac_baseline
+    >>> from repro.models import lenet
+    >>> stages = partition_layers(lenet(), 2, isaac_baseline())
+    >>> len(stages)
+    2
+    """
+    if num_chips < 1:
+        raise CapacityError(f"num_chips must be >= 1, got {num_chips}")
+    profiles = (cost_model or CostModel(arch)).profiles(graph)
+    order = [n.name for n in graph.topological()]
+    n = len(order)
+    if not order:
+        raise CapacityError("cannot partition an empty graph")
+    stages_wanted = min(num_chips, n)
+    needed = min_chips(graph, arch, cost_model)
+    if needed > num_chips:
+        raise CapacityError(
+            f"{graph.name} needs at least {needed} {arch.name} chips to "
+            f"stay resident ({graph.total_weight_bits():,} weight bits, "
+            f"chip capacity {arch.chip_capacity_bits:,}); got {num_chips}")
+
+    _, cores, weights = _prefix_sums(order, profiles)
+    floors = [_floor(profiles[name]) for name in order]
+    cuts = [0] + [boundary_cut_bits(graph, order, p) for p in range(1, n)] \
+        + [0]
+    budget = max(1, arch.chip.core_number)
+
+    # interval[j][i]: predicted optimized interval of stage order[j:i]
+    # (inf where the stage does not fit).  Computed once, reused by every
+    # DP layer.
+    interval = [[math.inf] * (n + 1) for _ in range(n)]
+    for i in range(1, n + 1):
+        floor = 0.0
+        for j in range(i - 1, -1, -1):
+            floor = max(floor, floors[j])
+            if not _stage_fits(cores[i] - cores[j],
+                               weights[i] - weights[j], arch):
+                break  # larger stages only get heavier
+            interval[j][i] = _predict_interval(
+                [profiles[name] for name in order[j:i]], floor, budget)
+
+    inf = (math.inf, math.inf)
+    # best[k][i]: minimal (max predicted interval, cut_bits) splitting
+    # order[:i] into k feasible stages; choice[k][i] the previous boundary.
+    best = [[inf] * (n + 1) for _ in range(stages_wanted + 1)]
+    choice = [[-1] * (n + 1) for _ in range(stages_wanted + 1)]
+    best[0][0] = (0.0, 0.0)
+    for k in range(1, stages_wanted + 1):
+        for i in range(k, n + 1):
+            for j in range(k - 1, i):
+                prev = best[k - 1][j]
+                if prev == inf or interval[j][i] == math.inf:
+                    continue
+                cand = (max(prev[0], interval[j][i]),
+                        prev[1] + (cuts[j] if j > 0 else 0))
+                if cand < best[k][i]:
+                    best[k][i] = cand
+                    choice[k][i] = j
+    if best[stages_wanted][n] == inf:
+        # Feasible with `needed` stages but not with exactly stages_wanted
+        # non-empty ones (can happen only when stages_wanted < needed —
+        # already raised — so this is defensive).
+        raise CapacityError(  # pragma: no cover
+            f"no feasible {stages_wanted}-stage partition of {graph.name}")
+
+    bounds: List[int] = []
+    i = n
+    for k in range(stages_wanted, 0, -1):
+        bounds.append(i)
+        i = choice[k][i]
+    bounds.append(0)
+    bounds.reverse()
+    return [order[bounds[s]:bounds[s + 1]] for s in range(stages_wanted)]
+
+
+def stage_transfers(graph: Graph, stages: Sequence[Sequence[str]]
+                    ) -> List[Tuple[int, int, int]]:
+    """Cross-stage activation traffic: ``(src_stage, dst_stage, bits)``.
+
+    One entry per directed stage pair with any crossing tensors; a tensor
+    consumed by several later stages contributes to each destination
+    (it is re-sent — stages share no memory).
+    """
+    stage_of: Dict[str, int] = {}
+    for idx, names in enumerate(stages):
+        for name in names:
+            stage_of[name] = idx
+    traffic: Dict[Tuple[int, int], int] = {}
+    for node in graph.nodes:
+        src = stage_of[node.name]
+        for out in node.outputs:
+            spec = graph.tensors.get(out)
+            if spec is None or spec.is_weight:
+                continue
+            dsts = {stage_of[c.name] for c in graph.consumers(out)}
+            for dst in sorted(dsts):
+                if dst != src:
+                    key = (src, dst)
+                    traffic[key] = traffic.get(key, 0) + spec.size_bits
+    return [(s, d, bits) for (s, d), bits in sorted(traffic.items())]

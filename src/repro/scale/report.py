@@ -1,0 +1,94 @@
+"""Text rendering of a :class:`~repro.scale.ShardPlan` for the CLI.
+
+Two tables: per-chip placement (ops, cores, resident weights, timings)
+and the link schedule (who sends what to whom, and what it costs), plus
+a one-line pipeline summary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.performance import PerformanceReport
+from .shard import ShardPlan
+
+
+def placement_table(plan: ShardPlan) -> str:
+    """Per-chip stage table: operators, core/weight occupancy, timings.
+
+    Example
+    -------
+    >>> from repro.arch import MultiChipSystem, isaac_baseline
+    >>> from repro.models import lenet
+    >>> from repro.scale import shard
+    >>> plan = shard(lenet(), MultiChipSystem(isaac_baseline(), 2))
+    >>> "chip 0" in placement_table(plan)
+    True
+    """
+    chip = plan.system.chip
+    lines = [f"{plan.graph.name} on {plan.system.name}"]
+    for i, names in enumerate(plan.stages):
+        used = plan.stage_cores_used(i)
+        bits = plan.stage_weight_bits(i)
+        rep = plan.report.stages[i]
+        lines.append(
+            f" chip {i}: {len(names)} ops, cores {used}/"
+            f"{chip.chip.core_number}, weights "
+            f"{bits / 8e6:.2f}/{chip.chip_capacity_bits / 8e6:.2f} MB, "
+            f"latency {rep.total_cycles:,.0f}, interval "
+            f"{rep.steady_state_interval:,.0f}")
+        lines.append(f"   {names[0]} ... {names[-1]}"
+                     if len(names) > 2 else f"   {', '.join(names)}")
+    return "\n".join(lines)
+
+
+def link_table(plan: ShardPlan) -> str:
+    """Link schedule: one row per inter-chip transfer.
+
+    Example
+    -------
+    >>> from repro.arch import MultiChipSystem, isaac_baseline
+    >>> from repro.models import lenet
+    >>> from repro.scale import shard
+    >>> plan = shard(lenet(), MultiChipSystem(isaac_baseline(), 2))
+    >>> "bits" in link_table(plan)
+    True
+    """
+    if not plan.report.transfers:
+        return "no inter-chip transfers (single stage)"
+    lines = [f"{'link':>10} {'stages':>10} {'bits':>12} {'hops':>5} "
+             f"{'cycles':>10} {'occupancy':>10}"]
+    for t in plan.report.transfers:
+        lines.append(
+            f"{t.src_chip:>4} -> {t.dst_chip:<3} "
+            f"{t.src_stage:>4}->{t.dst_stage:<4} {t.bits:>12,} "
+            f"{t.hops:>5} {t.cycles:>10,.0f} {t.occupancy:>10,.1f}")
+    return "\n".join(lines)
+
+
+def pipeline_summary(plan: ShardPlan,
+                     single: Optional[PerformanceReport] = None) -> str:
+    """One-block pipeline totals, optionally vs. a 1-chip compilation.
+
+    Example
+    -------
+    >>> from repro.arch import MultiChipSystem, isaac_baseline
+    >>> from repro.models import lenet
+    >>> from repro.scale import shard
+    >>> plan = shard(lenet(), MultiChipSystem(isaac_baseline(), 2))
+    >>> "steady-state interval" in pipeline_summary(plan)
+    True
+    """
+    rep = plan.report
+    lines = [
+        f"pipeline latency: {rep.total_cycles:,.0f} cycles "
+        f"(fill); steady-state interval: "
+        f"{rep.steady_state_interval:,.0f} cycles "
+        f"({rep.throughput * 1e6:.2f} inf/Mcycle)",
+        f"peak power (all chips): {rep.peak_power:,.1f}",
+    ]
+    if single is not None:
+        lines.append(
+            f"vs 1 chip: throughput {rep.speedup_over(single):.2f}x, "
+            f"latency {rep.total_cycles / single.total_cycles:.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Compile one model across a :class:`~repro.arch.MultiChipSystem`.
+
+:func:`shard` is the multi-chip analogue of
+:meth:`repro.sched.compiler.CIMMLC.compile`: partition the graph into
+resident stages (:mod:`repro.scale.partition`), compile every stage with
+the full multi-level scheduler onto its own chip, place each stage's
+cores with the link port as I/O anchor, price the inter-chip activation
+traffic with the system's :class:`~repro.arch.ChipLink`, and assemble a
+:class:`~repro.sim.performance.MultiChipReport` for the pipelined whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch import MultiChipSystem
+from ..graph import Graph
+from ..sched import CIMMLC, CompilerOptions, no_optimization
+from ..sched.placement import annotate_placement
+from ..sched.schedule import Schedule
+from ..sim.performance import (
+    LinkTransfer,
+    MultiChipReport,
+    PerformanceReport,
+    pipeline_multichip,
+)
+from .partition import partition_layers, stage_transfers
+
+#: Physical core where the inter-chip link attaches on every die.
+LINK_PORT_CORE = 0
+
+
+def stage_subgraph(graph: Graph, names: Sequence[str], index: int) -> Graph:
+    """Extract one stage as a standalone :class:`~repro.graph.Graph`.
+
+    Inputs are the tensors the stage consumes but does not produce
+    (weights stay weights); outputs are the tensors it produces that the
+    rest of the model — or the model output — consumes.  Node objects are
+    shared with the parent graph, so schedule annotations (placement,
+    duplication) written while compiling the stage remain visible on the
+    original model.
+    """
+    chosen = [graph.node(n) for n in names]
+    inside = set(names)
+    produced = {out for node in chosen for out in node.outputs}
+    tensors = {}
+    inputs: List[str] = []
+    outputs: List[str] = []
+    graph_outputs = set(graph.outputs)
+    for node in chosen:
+        for name in list(node.inputs) + list(node.outputs):
+            spec = graph.tensors.get(name)
+            if spec is not None:
+                tensors[name] = spec
+        for inp in node.inputs:
+            spec = graph.tensors.get(inp)
+            if inp in produced or (spec is not None and spec.is_weight):
+                continue
+            if inp not in inputs:
+                inputs.append(inp)
+    for node in chosen:
+        for out in node.outputs:
+            consumed_outside = any(
+                c.name not in inside for c in graph.consumers(out))
+            if (consumed_outside or out in graph_outputs) \
+                    and out not in outputs:
+                outputs.append(out)
+    return Graph(
+        name=f"{graph.name}@stage{index}",
+        inputs=inputs,
+        outputs=outputs,
+        tensors=tensors,
+        nodes=chosen,
+    )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The complete result of sharding one model across chips.
+
+    ``stages[i]`` (node names) runs on chip ``i`` under ``schedules[i]``;
+    ``report`` is the pipelined multi-chip estimate.  The plan is what
+    the ``repro shard`` CLI renders and what multi-chip serving tenants
+    consume.
+
+    Example
+    -------
+    >>> from repro.arch import MultiChipSystem, isaac_baseline
+    >>> from repro.models import lenet
+    >>> plan = shard(lenet(), MultiChipSystem(isaac_baseline(), 2))
+    >>> len(plan.stages) == 2 and plan.report.throughput > 0
+    True
+    """
+
+    system: MultiChipSystem
+    graph: Graph
+    stages: Tuple[Tuple[str, ...], ...]
+    schedules: Tuple[Schedule, ...]
+    report: MultiChipReport
+
+    @property
+    def num_stages(self) -> int:
+        """Stage (= active chip) count."""
+        return len(self.stages)
+
+    def stage_weight_bits(self, index: int) -> int:
+        """Resident weight footprint of one stage."""
+        sched = self.schedules[index]
+        return sum(d.profile.weight_bits
+                   for d in sched.decisions.values() if d.profile.is_cim)
+
+    def stage_cores_used(self, index: int) -> int:
+        """Cores the stage occupies on its chip (all replicas)."""
+        return self.schedules[index].cores_used(0)
+
+    def to_dict(self) -> Dict:
+        """JSON-able export: placement, link schedule, and timings."""
+        chip = self.system.chip
+        return {
+            "model": self.graph.name,
+            "system": self.system.describe(),
+            "stages": [
+                {
+                    "stage": i,
+                    "chip": i,
+                    "ops": list(names),
+                    "cores_used": self.stage_cores_used(i),
+                    "cores_available": chip.chip.core_number,
+                    "weight_bits": self.stage_weight_bits(i),
+                    "capacity_bits": chip.chip_capacity_bits,
+                    "latency_cycles": self.report.stages[i].total_cycles,
+                    "interval_cycles":
+                        self.report.stages[i].steady_state_interval,
+                }
+                for i, names in enumerate(self.stages)
+            ],
+            "links": [
+                {
+                    "src_chip": t.src_chip, "dst_chip": t.dst_chip,
+                    "src_stage": t.src_stage, "dst_stage": t.dst_stage,
+                    "bits": t.bits, "hops": t.hops,
+                    "cycles": t.cycles, "occupancy": t.occupancy,
+                }
+                for t in self.report.transfers
+            ],
+            "pipeline": {
+                "total_cycles": self.report.total_cycles,
+                "steady_state_interval": self.report.steady_state_interval,
+                "throughput": self.report.throughput,
+                "peak_power": self.report.peak_power,
+            },
+        }
+
+
+def _compile_stage(graph: Graph, system: MultiChipSystem,
+                   options: Optional[CompilerOptions],
+                   optimize: bool):
+    if not optimize:
+        return no_optimization(graph, system.chip)
+    return CIMMLC(system.chip, options).compile(graph)
+
+
+def shard(graph: Graph, system: MultiChipSystem,
+          options: Optional[CompilerOptions] = None,
+          optimize: bool = True,
+          place: bool = True) -> ShardPlan:
+    """Partition, compile, place, and price ``graph`` on ``system``.
+
+    ``options`` feed every stage's :class:`~repro.sched.CIMMLC`
+    compilation (``optimize=False`` uses the un-optimized baseline
+    scheduler instead, for ablations); ``place`` runs the greedy NoC
+    placement per stage with the link port (core 0) as I/O anchor.
+    Raises :class:`~repro.errors.CapacityError` when the model cannot
+    stay resident on ``system.num_chips`` chips.
+
+    Example
+    -------
+    >>> from repro.arch import MultiChipSystem, isaac_baseline
+    >>> from repro.models import resnet18
+    >>> one = shard(resnet18(), MultiChipSystem(isaac_baseline(), 1))
+    >>> two = shard(resnet18(), MultiChipSystem(isaac_baseline(), 2))
+    >>> two.report.throughput >= one.report.throughput
+    True
+    """
+    graph.infer_shapes()
+    stages = partition_layers(graph, system.num_chips, system.chip)
+    schedules: List[Schedule] = []
+    reports: List[PerformanceReport] = []
+    for idx, names in enumerate(stages):
+        sub = stage_subgraph(graph, names, idx)
+        result = _compile_stage(sub, system, options, optimize)
+        if place:
+            for seg in range(len(result.schedule.segments)):
+                annotate_placement(result.schedule, segment=seg,
+                                   io_anchor=LINK_PORT_CORE)
+        schedules.append(result.schedule)
+        reports.append(result.report)
+    transfers = [
+        LinkTransfer(
+            src_stage=src, dst_stage=dst, src_chip=src, dst_chip=dst,
+            bits=bits, hops=system.hops(src, dst),
+            cycles=system.transfer_cycles(src, dst, bits),
+            occupancy=system.link.serialization_cycles(bits),
+        )
+        for src, dst, bits in stage_transfers(graph, stages)
+    ]
+    report = pipeline_multichip(reports, list(range(len(stages))), transfers)
+    return ShardPlan(
+        system=system,
+        graph=graph,
+        stages=tuple(tuple(s) for s in stages),
+        schedules=tuple(schedules),
+        report=report,
+    )

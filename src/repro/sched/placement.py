@@ -170,9 +170,37 @@ def place_linear(schedule: Schedule, segment: int = 0,
     return placement
 
 
+def _io_traffic_bits(schedule: Schedule, name: str) -> int:
+    """Bits this operator exchanges with the outside of the graph: inputs
+    read from graph-level inputs plus outputs that are graph outputs.
+
+    Under multi-chip sharding (:mod:`repro.scale`) a stage subgraph's
+    inputs/outputs arrive/depart over the inter-chip link, which attaches
+    at one physical core — operators with off-chip traffic should sit near
+    it.
+    """
+    graph = schedule.graph
+    node = graph.node(name)
+    bits = 0
+    boundary_in = set(graph.inputs)
+    boundary_out = set(graph.outputs)
+    for inp in node.inputs:
+        if inp in boundary_in:
+            spec = graph.tensors.get(inp)
+            if spec is not None and not spec.is_weight:
+                bits += spec.size_bits
+    for out in node.outputs:
+        if out in boundary_out:
+            spec = graph.tensors.get(out)
+            if spec is not None:
+                bits += spec.size_bits
+    return bits
+
+
 def place_greedy(schedule: Schedule, segment: int = 0,
                  region: Optional[Sequence[int]] = None,
-                 die_cores: Optional[int] = None) -> Placement:
+                 die_cores: Optional[int] = None,
+                 io_anchor: Optional[int] = None) -> Placement:
     """Communication-aware greedy placement.
 
     Operators are visited in topological order.  The first operator takes
@@ -181,9 +209,15 @@ def place_greedy(schedule: Schedule, segment: int = 0,
     already-placed producers (weighted by traffic).  ``region`` restricts
     candidates to specific physical cores of a (possibly larger) die;
     ``die_cores`` sizes the NoC geometry to that die.
+
+    ``io_anchor`` names the physical core where off-chip I/O attaches
+    (the inter-chip link port under :mod:`repro.scale` sharding):
+    operators whose tensors cross the graph boundary are additionally
+    attracted to it, weighted by their boundary traffic.
     """
     cores = _resolve_region(schedule, region)
-    hop = _hop_matrix(schedule, cores, die_cores)
+    hop = _hop_matrix(schedule, cores if io_anchor is None
+                      else [*cores, io_anchor], die_cores)
     free = set(cores)
     placement: Placement = {}
     inbound: Dict[str, List[Tuple[str, int]]] = {}
@@ -200,6 +234,10 @@ def place_greedy(schedule: Schedule, segment: int = 0,
         for producer, bits in inbound.get(name, []):
             for core in placement.get(producer, []):
                 anchors.append((core, bits))
+        if io_anchor is not None:
+            io_bits = _io_traffic_bits(schedule, name)
+            if io_bits > 0:
+                anchors.append((io_anchor, io_bits))
         if anchors:
             def attraction(core: int) -> Tuple[float, int]:
                 return (sum(w * hop[a][core] for a, w in anchors), core)
@@ -215,16 +253,18 @@ def place_greedy(schedule: Schedule, segment: int = 0,
 def annotate_placement(schedule: Schedule, segment: int = 0,
                        strategy: str = "greedy",
                        region: Optional[Sequence[int]] = None,
-                       die_cores: Optional[int] = None) -> Placement:
+                       die_cores: Optional[int] = None,
+                       io_anchor: Optional[int] = None) -> Placement:
     """Compute a placement and write it into node annotations.
 
     ``strategy`` is ``"greedy"`` or ``"linear"``; ``region`` optionally
     pins the placement to specific physical cores of a die with
-    ``die_cores`` cores.
+    ``die_cores`` cores; ``io_anchor`` (greedy only) attracts
+    boundary-crossing operators toward the off-chip link port.
     """
     if strategy == "greedy":
         placement = place_greedy(schedule, segment, region=region,
-                                 die_cores=die_cores)
+                                 die_cores=die_cores, io_anchor=io_anchor)
     elif strategy == "linear":
         placement = place_linear(schedule, segment, region=region,
                                  die_cores=die_cores)

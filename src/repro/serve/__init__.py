@@ -12,7 +12,9 @@ dominant cost of weight movement on ReRAM/FLASH crossbars (Section 2.1)
 * :mod:`~repro.serve.partition` — spatial chip partitioning (per-tenant
   core regions, region-constrained placement, weights stay resident)
   versus the time-multiplexed baseline that reprograms crossbars on
-  every tenant switch.
+  every tenant switch; :func:`~repro.serve.partition.plan_sharded`
+  spans each tenant across several chips of a
+  :class:`~repro.arch.MultiChipSystem` (via :mod:`repro.scale`).
 * :mod:`~repro.serve.engine` — deterministic discrete-event loop with
   per-model queues and dynamic batching (fixed-size / timeout).
 * :mod:`~repro.serve.report` — p50/p95/p99 latency, throughput,
@@ -48,6 +50,7 @@ from .partition import (
     make_plan,
     min_cores,
     partition_cores,
+    plan_sharded,
     plan_spatial,
     plan_temporal,
     resolve_graphs,
@@ -90,6 +93,7 @@ __all__ = [
     "parse_policy",
     "partition_cores",
     "percentile",
+    "plan_sharded",
     "plan_spatial",
     "plan_temporal",
     "poisson_trace",

@@ -50,16 +50,20 @@ class FixedBatch:
 
     @property
     def max_size(self) -> int:
+        """Largest batch this policy ever dispatches."""
         return self.size
 
     def ready(self, queue_len: int, oldest_wait: float,
               more_arrivals: bool) -> bool:
+        """Whether the queue head can dispatch now."""
         return queue_len >= self.size or (queue_len > 0 and not more_arrivals)
 
     def deadline(self, oldest_arrival: float) -> Optional[float]:
+        """Fixed batching never forces a flush; no timer needed."""
         return None
 
     def describe(self) -> str:
+        """CLI-parsable policy label (``fixed:N``)."""
         return f"fixed:{self.size}"
 
 
@@ -85,6 +89,7 @@ class TimeoutBatch:
 
     def ready(self, queue_len: int, oldest_wait: float,
               more_arrivals: bool) -> bool:
+        """Whether the queue head can dispatch now."""
         if queue_len >= self.max_size:
             return True
         if queue_len > 0 and not more_arrivals:
@@ -92,9 +97,11 @@ class TimeoutBatch:
         return queue_len > 0 and oldest_wait >= self.timeout
 
     def deadline(self, oldest_arrival: float) -> Optional[float]:
+        """When the oldest request's timeout forces a flush."""
         return oldest_arrival + self.timeout
 
     def describe(self) -> str:
+        """CLI-parsable policy label (``timeout:N:CYCLES``)."""
         return f"timeout:{self.max_size}:{self.timeout:g}"
 
 

@@ -107,9 +107,11 @@ class ServingPlan:
 
     @property
     def shared_executor(self) -> bool:
+        """True when one chip-wide executor multiplexes all tenants."""
         return self.mode == "temporal"
 
     def tenant(self, name: str) -> TenantPlan:
+        """Look up one tenant's plan by name."""
         for t in self.tenants:
             if t.spec.name == name:
                 return t
@@ -131,28 +133,36 @@ def min_cores(graph: Graph, arch: CIMArchitecture) -> int:
 def partition_cores(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                     floors: Dict[str, int],
                     latency_fn: Callable[[TenantSpec, int], float],
-                    blocks: int = 8) -> Dict[str, int]:
-    """Split ``core_number`` among tenants by min-max water-filling.
+                    blocks: int = 8,
+                    budget: Optional[int] = None) -> Dict[str, int]:
+    """Split a hardware budget among tenants by min-max water-filling.
 
     Every tenant starts at its residency floor; the surplus is granted in
     ``blocks`` equal chunks, each to the tenant with the highest *traffic-
     weighted isolated latency* — share of requests times
-    ``latency_fn(spec, cores)``.  Tail latency rides on the slowest
+    ``latency_fn(spec, units)``.  Tail latency rides on the slowest
     tenant's single-inference latency, so equalizing this quantity is the
     p99-oriented split; it also discovers parallelism saturation (a model
-    whose latency stops improving stops attracting cores), which a
+    whose latency stops improving stops attracting units), which a
     demand-proportional split cannot.
+
+    The unit is ``arch``'s cores by default; pass ``budget`` to split a
+    different resource with the same policy — multi-chip serving
+    (:func:`plan_sharded`) water-fills whole *chips* among tenants.
 
     ``latency_fn`` is measured, so each grant costs one compilation of
     the receiving tenant; callers memoize (and the sweep bridge routes it
     through the explore disk cache).
     """
     total_floor = sum(floors[s.name] for s in specs)
-    budget = arch.chip.core_number
+    hint = ("add chips" if budget is not None
+            else "use temporal multiplexing")
+    if budget is None:
+        budget = arch.chip.core_number
     if total_floor > budget:
         raise CapacityError(
-            f"tenants need {total_floor} cores resident but "
-            f"{arch.name} has {budget}; use temporal multiplexing")
+            f"tenants need {total_floor} units resident but only "
+            f"{budget} are available; {hint}")
     alloc = {s.name: floors[s.name] for s in specs}
     surplus = budget - total_floor
     block = max(1, surplus // max(1, blocks))
@@ -264,14 +274,88 @@ def plan_temporal(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                        tenants=tuple(tenants))
 
 
+def plan_sharded(system: "MultiChipSystem", specs: Sequence[TenantSpec],
+                 options: Optional[CompilerOptions] = None,
+                 blocks: int = 4) -> ServingPlan:
+    """Serve tenants that each *span several chips* of a multi-chip system.
+
+    The system's chips are water-filled among tenants with the same
+    min-max policy as :func:`partition_cores` (budget = chips, floors =
+    each tenant's :func:`repro.scale.min_chips`); every tenant's model is
+    then sharded across its chip block with :func:`repro.scale.shard`,
+    giving a pipelined multi-chip service profile.  Weights stay resident
+    on every chip, so tenants never pay switch cost — the spatial story
+    one level up.
+
+    Each tenant's block is priced as :meth:`MultiChipSystem.block` — a
+    contiguous sub-block with no wraparound link and no shortcuts
+    through other tenants' chips.  ``TenantPlan.cores`` holds *global*
+    chip ids under this mode (stage/chip indices inside each tenant's
+    :class:`~repro.scale.ShardPlan` report are block-local).
+
+    Example
+    -------
+    >>> from repro.arch import MultiChipSystem, functional_testbed
+    >>> from repro.serve import TenantSpec, plan_sharded
+    >>> plan = plan_sharded(
+    ...     MultiChipSystem(functional_testbed(), 4),
+    ...     [TenantSpec("lenet", "lenet"), TenantSpec("mlp", "mlp")])
+    >>> plan.mode
+    'sharded'
+    """
+    from ..scale import min_chips, shard
+
+    graphs = resolve_graphs(specs)
+    floors = {s.name: min_chips(graphs[s.name], system.chip)
+              for s in specs}
+    plans: Dict[Tuple[str, int], "ShardPlan"] = {}
+
+    def sharded(spec: TenantSpec, chips: int):
+        key = (spec.name, chips)
+        if key not in plans:
+            plans[key] = shard(graphs[spec.name],
+                               system.block(chips), options)
+        return plans[key]
+
+    alloc = partition_cores(
+        system.chip, specs, floors,
+        lambda spec, chips: sharded(spec, chips).report.total_cycles,
+        blocks=blocks, budget=system.num_chips)
+    tenants: List[TenantPlan] = []
+    cursor = 0
+    for spec in specs:
+        n = alloc[spec.name]
+        plan = sharded(spec, n)
+        tenants.append(TenantPlan(
+            spec=spec,
+            cores=tuple(range(cursor, cursor + n)),   # chip ids
+            service=ServiceProfile(
+                latency_cycles=plan.report.total_cycles,
+                interval_cycles=plan.report.steady_state_interval,
+                switch_cycles=0.0),
+        ))
+        cursor += n
+    return ServingPlan(mode="sharded", arch_name=system.name,
+                       tenants=tuple(tenants))
+
+
 def make_plan(mode: str, arch: CIMArchitecture, specs: Sequence[TenantSpec],
               options: Optional[CompilerOptions] = None,
               **kwargs) -> ServingPlan:
-    """Dispatch on ``mode`` (:data:`MODES`); ``kwargs`` reach the planner
-    (e.g. ``alloc=``/``blocks=`` for spatial)."""
+    """Dispatch on ``mode`` (:data:`MODES`, or ``"sharded"`` with a
+    ``system=`` :class:`~repro.arch.MultiChipSystem` keyword); ``kwargs``
+    reach the planner (e.g. ``alloc=``/``blocks=`` for spatial)."""
     if mode == "spatial":
         return plan_spatial(arch, specs, options, **kwargs)
     if mode == "temporal":
         return plan_temporal(arch, specs, options)
+    if mode == "sharded":
+        system = kwargs.pop("system", None)
+        if system is None:
+            from ..arch import MultiChipSystem
+
+            system = MultiChipSystem(arch, kwargs.pop("chips", 2))
+        return plan_sharded(system, specs, options, **kwargs)
     raise ScheduleError(
-        f"unknown serving mode {mode!r}; choose one of {MODES}")
+        f"unknown serving mode {mode!r}; choose one of "
+        f"{MODES + ('sharded',)}")

@@ -49,6 +49,7 @@ class TenantStats:
     latencies: Tuple[float, ...]   # per-request, completion order
 
     def to_dict(self) -> Dict:
+        """JSON-able export of this tenant's statistics."""
         return {
             "tenant": self.tenant,
             "model": self.model,
@@ -81,6 +82,7 @@ class ExecutorStats:
     utilization: float
 
     def to_dict(self) -> Dict:
+        """JSON-able export of this executor's occupancy."""
         return {
             "name": self.name,
             "tenants": list(self.tenants),
@@ -106,14 +108,17 @@ class ServeReport:
 
     @property
     def completed(self) -> int:
+        """Requests finished across all tenants."""
         return sum(t.completed for t in self.tenants)
 
     @property
     def rejected(self) -> int:
+        """Requests dropped by queue bounds across all tenants."""
         return sum(t.rejected for t in self.tenants)
 
     @property
     def throughput_per_mcycle(self) -> float:
+        """Completed requests per mega-cycle of simulated time."""
         if self.horizon_cycles <= 0:
             return 0.0
         return self.completed * 1e6 / self.horizon_cycles
@@ -123,18 +128,22 @@ class ServeReport:
 
     @property
     def p50(self) -> float:
+        """Median end-to-end latency over every completed request."""
         return percentile(self._all_latencies(), 50)
 
     @property
     def p95(self) -> float:
+        """95th-percentile end-to-end latency."""
         return percentile(self._all_latencies(), 95)
 
     @property
     def p99(self) -> float:
+        """99th-percentile (tail) end-to-end latency."""
         return percentile(self._all_latencies(), 99)
 
     @property
     def slo_attainment(self) -> float:
+        """Share of arrivals finishing within their tenant's SLO."""
         arrived = sum(t.arrived for t in self.tenants)
         if arrived == 0:
             return 1.0
@@ -154,11 +163,13 @@ class ServeReport:
 
     @property
     def switch_cycles(self) -> float:
+        """Total cycles burnt reprogramming weights on tenant switches."""
         return sum(e.switch_cycles for e in self.executors)
 
     # -- export --------------------------------------------------------
 
     def to_dict(self) -> Dict:
+        """JSON-able export of the whole scenario outcome."""
         return {
             "mode": self.mode,
             "arch": self.arch,
@@ -178,6 +189,7 @@ class ServeReport:
         }
 
     def to_json(self, indent: Optional[int] = 1) -> str:
+        """The :meth:`to_dict` export as a JSON string."""
         return json.dumps(self.to_dict(), indent=indent)
 
     def table(self) -> str:

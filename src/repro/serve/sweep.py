@@ -44,6 +44,7 @@ class ServeSweepPoint:
 
     @property
     def rate_per_mcycle(self) -> float:
+        """Arrival rate in requests per mega-cycle (display units)."""
         return self.rate * 1e6
 
 

@@ -1,18 +1,24 @@
 """Simulators: functional (value-exact) and performance (latency/power)."""
 
 from .performance import (
+    LinkTransfer,
+    MultiChipReport,
     PerformanceReport,
     PerformanceSimulator,
     SegmentTiming,
     activity_timeline,
+    pipeline_multichip,
 )
 from .power import PowerModel, PowerReport
 
 __all__ = [
+    "LinkTransfer",
+    "MultiChipReport",
     "PerformanceReport",
     "PerformanceSimulator",
     "PowerModel",
     "PowerReport",
     "SegmentTiming",
     "activity_timeline",
+    "pipeline_multichip",
 ]

@@ -159,6 +159,186 @@ class PerformanceSimulator:
         )
 
 
+# ---------------------------------------------------------------------------
+# Multi-chip pipelined estimation (repro.scale)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LinkTransfer:
+    """One inter-chip activation transfer per inference.
+
+    ``cycles`` is the end-to-end latency of the message (head latency per
+    hop plus serialization) — the *fill* cost; ``occupancy`` is the cycles
+    the channel is busy — the *throughput* cost.  Built by
+    :func:`repro.scale.shard` from the stage-boundary tensors and the
+    system's :class:`~repro.arch.ChipLink`.
+    """
+
+    src_stage: int
+    dst_stage: int
+    src_chip: int
+    dst_chip: int
+    bits: int
+    hops: int
+    cycles: float
+    occupancy: float
+
+
+@dataclass(frozen=True)
+class MultiChipReport:
+    """Latency/throughput of one model pipelined across several chips.
+
+    Stage ``i`` runs on chip ``chips[i]`` with the single-chip
+    :class:`PerformanceReport` ``stages[i]``; activations cross chips via
+    ``transfers``.  The pipeline model: one inference traverses all stages
+    and consecutive-boundary links in order (fill), while in steady state
+    the slowest stage or link channel paces admissions (drain overlaps the
+    next inference's fill).
+
+    Example
+    -------
+    >>> from repro.arch import MultiChipSystem, isaac_baseline
+    >>> from repro.models import resnet18
+    >>> from repro.scale import shard
+    >>> plan = shard(resnet18(), MultiChipSystem(isaac_baseline(), 2))
+    >>> plan.report.throughput > 0
+    True
+    """
+
+    stages: Tuple[PerformanceReport, ...]
+    chips: Tuple[int, ...]
+    transfers: Tuple[LinkTransfer, ...]
+
+    @property
+    def num_chips(self) -> int:
+        """Chips the pipeline spans (max chip id + 1)."""
+        return max(self.chips) + 1 if self.chips else 0
+
+    @property
+    def stage_intervals(self) -> Tuple[float, ...]:
+        """Per-stage steady-state admission intervals (compute only)."""
+        return tuple(r.steady_state_interval for r in self.stages)
+
+    @property
+    def link_intervals(self) -> Tuple[float, ...]:
+        """Per-transfer channel occupancies (the link pipeline stages)."""
+        return tuple(t.occupancy for t in self.transfers)
+
+    @property
+    def channel_occupancies(self) -> Dict[Tuple[int, int], float]:
+        """Busy cycles per inference of each *physical* link channel.
+
+        Several transfers can share one wire — adjacent-stage traffic
+        plus multi-hop relays — so per-channel occupancy sums them.
+        The relay path follows the routing the transfer's hop count was
+        priced with: a single-hop transfer uses the direct ``(src, dst)``
+        channel; a multi-hop transfer steps around the ring in whichever
+        direction matches ``t.hops`` (so wraparound-routed traffic loads
+        the wrap wires, not the unused forward ones).  Topologies whose
+        hop count fits neither ring direction (mesh) fall back to the
+        forward chain — conservative for their shortcut wires.
+        """
+        n = self.num_chips
+        busy: Dict[Tuple[int, int], float] = {}
+
+        def charge(src: int, dst: int, step: int, modular: bool,
+                   occupancy: float) -> None:
+            c = src
+            while c != dst:
+                nxt = (c + step) % n if modular else c + step
+                busy[(c, nxt)] = busy.get((c, nxt), 0.0) + occupancy
+                c = nxt
+
+        for t in self.transfers:
+            if t.hops <= 1:
+                key = (t.src_chip, t.dst_chip)
+                busy[key] = busy.get(key, 0.0) + t.occupancy
+            elif t.hops == (t.dst_chip - t.src_chip) % n:
+                charge(t.src_chip, t.dst_chip, +1, True, t.occupancy)
+            elif t.hops == (t.src_chip - t.dst_chip) % n:
+                charge(t.src_chip, t.dst_chip, -1, True, t.occupancy)
+            else:
+                charge(t.src_chip, t.dst_chip,
+                       1 if t.dst_chip >= t.src_chip else -1, False,
+                       t.occupancy)
+        return busy
+
+    @property
+    def total_cycles(self) -> float:
+        """One inference end to end: every stage's latency plus the head
+        latency of each consecutive-stage link on the critical path (skip
+        transfers overlap the chain and never dominate a shortest path)."""
+        compute = sum(r.total_cycles for r in self.stages)
+        chain = sum(t.cycles for t in self.transfers
+                    if t.dst_stage == t.src_stage + 1)
+        return compute + chain
+
+    @property
+    def steady_state_interval(self) -> float:
+        """Cycles between completed inferences when images stream through
+        the chip pipeline: the slowest compute stage or physical link
+        channel (transfers sharing a wire pace it together — see
+        :attr:`channel_occupancies`)."""
+        paced = list(self.stage_intervals) \
+            + list(self.channel_occupancies.values())
+        return max(paced) if paced else 1.0
+
+    @property
+    def throughput(self) -> float:
+        """Inferences per cycle in steady state."""
+        return 1.0 / self.steady_state_interval
+
+    def batch_cycles(self, n: int) -> float:
+        """Cycles to push ``n`` inferences through: pipeline fill (one full
+        traversal) plus ``n - 1`` steady-state intervals."""
+        if n < 1:
+            return 0.0
+        return self.total_cycles + (n - 1) * self.steady_state_interval
+
+    def speedup_over(self, other: "PerformanceReport") -> float:
+        """Throughput gain over a single-chip report (interval ratio)."""
+        return other.steady_state_interval / self.steady_state_interval
+
+    @property
+    def peak_power(self) -> float:
+        """Chips compute concurrently, so peak power sums over stages."""
+        return sum(r.power.peak_power for r in self.stages)
+
+    def summary(self) -> str:
+        """Readable per-stage + per-link block."""
+        lines = [
+            f"{len(self.stages)} stages on {self.num_chips} chips: "
+            f"latency {self.total_cycles:,.0f} cycles, interval "
+            f"{self.steady_state_interval:,.0f} cycles",
+        ]
+        for i, (chip, rep) in enumerate(zip(self.chips, self.stages)):
+            lines.append(
+                f"  stage {i} @ chip {chip}: latency {rep.total_cycles:,.0f} "
+                f"interval {rep.steady_state_interval:,.0f}")
+        for t in self.transfers:
+            lines.append(
+                f"  link {t.src_chip}->{t.dst_chip} "
+                f"(stage {t.src_stage}->{t.dst_stage}): {t.bits:,} bits, "
+                f"{t.cycles:,.0f} cycles, occupancy {t.occupancy:,.1f}")
+        return "\n".join(lines)
+
+
+def pipeline_multichip(stages: Sequence[PerformanceReport],
+                       chips: Sequence[int],
+                       transfers: Sequence[LinkTransfer]) -> MultiChipReport:
+    """Assemble a :class:`MultiChipReport` from per-stage reports.
+
+    ``stages[i]`` must be the report of the subgraph running on chip
+    ``chips[i]``; ``transfers`` carry the inter-stage activation traffic.
+    """
+    if len(stages) != len(chips):
+        raise ValueError(
+            f"{len(stages)} stage reports but {len(chips)} chip ids")
+    return MultiChipReport(stages=tuple(stages), chips=tuple(chips),
+                           transfers=tuple(transfers))
+
+
 def activity_timeline(schedule: Schedule) -> List[Tuple[float, float, int]]:
     """Coarse (start, end, active_crossbars) intervals for plotting.
 

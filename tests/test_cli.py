@@ -1,6 +1,8 @@
 """CLI: every subcommand runs and prints sensible output."""
 
 import json
+import os
+import re
 
 import pytest
 
@@ -31,6 +33,25 @@ class TestParser:
         for flag in ("--model", "--preset", "--vary", "--workers",
                      "--cache-dir", "--format"):
             assert flag in out
+
+    def test_help_names_every_documented_subcommand(self, capsys):
+        """Docs-drift guard: the `## repro X` sections of docs/CLI.md and
+        the subcommand list `repro --help` advertises must coincide."""
+        doc_path = os.path.join(os.path.dirname(__file__), os.pardir,
+                                "docs", "CLI.md")
+        with open(doc_path) as fh:
+            documented = set(re.findall(r"^## `repro (\w+)`", fh.read(),
+                                        re.MULTILINE))
+        assert documented, "docs/CLI.md lists no subcommands"
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        help_text = capsys.readouterr().out
+        match = re.search(r"\{([\w,]+)\}", help_text)
+        assert match, "repro --help shows no subcommand list"
+        actual = set(match.group(1).split(","))
+        assert actual == documented, \
+            f"docs/CLI.md drift: undocumented {sorted(actual - documented)}, " \
+            f"stale {sorted(documented - actual)}"
 
 
 class TestCommands:
@@ -137,6 +158,50 @@ class TestSweep:
                   "--no-cache"])
 
 
+class TestShard:
+    ARGS = ["shard", "--arch", "isaac-baseline", "--model", "lenet",
+            "--chips", "2"]
+
+    def test_shard_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["shard", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--chips", "--topology", "--link-bw", "--link-latency",
+                     "--baseline", "--format"):
+            assert flag in out
+
+    def test_table_output(self, capsys):
+        main(self.ARGS)
+        out = capsys.readouterr().out
+        assert "chip 0" in out and "chip 1" in out
+        assert "steady-state interval" in out
+
+    def test_baseline_comparison(self, capsys):
+        main(self.ARGS + ["--baseline"])
+        assert "vs 1 chip" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        main(self.ARGS + ["--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["system"]["num_chips"] == 2
+        assert len(doc["stages"]) == 2
+        assert doc["pipeline"]["throughput"] > 0
+
+    def test_infeasible_sharding_exits(self):
+        # vgg7's conv2 alone exceeds a jain2021 macro — a clean CLI error,
+        # not a traceback.
+        with pytest.raises(SystemExit, match="exceeds one jain2021 chip"):
+            main(["shard", "--arch", "jain2021", "--model", "vgg7",
+                  "--chips", "1"])
+
+    def test_sweep_chips_axis(self, capsys):
+        main(["sweep", "--model", "lenet", "--preset", "isaac-baseline",
+              "--vary", "chips=1,2", "--levels", "CG", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "chips=1 CG" in out and "chips=2 CG" in out
+
+
 class TestServe:
     ARGS = ["serve", "--arch", "functional-testbed",
             "--tenants", "lenet:2,mlp", "--rate", "500",
@@ -194,3 +259,19 @@ class TestServe:
         with pytest.raises(SystemExit, match="unknown model"):
             main(["serve", "--arch", "functional-testbed",
                   "--tenants", "skynet", "--requests", "10"])
+
+    def test_sharded_mode(self, capsys):
+        main(["serve", "--arch", "functional-testbed",
+              "--tenants", "lenet:2,mlp", "--mode", "sharded",
+              "--chips", "4", "--rate", "500", "--requests", "40",
+              "--batch", "timeout:4:2000", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        report = doc["sharded"]
+        assert report["completed"] == 40
+        assert report["switch_cycles"] == 0
+
+    def test_sharded_rejects_rates_sweep(self):
+        with pytest.raises(SystemExit, match="spatial/temporal"):
+            main(["serve", "--arch", "functional-testbed",
+                  "--tenants", "lenet", "--mode", "sharded",
+                  "--rates", "100,200"])

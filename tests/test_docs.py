@@ -1,0 +1,56 @@
+"""Documentation guards: links resolve, public API documented, no drift.
+
+CI runs the same checks as standalone jobs; running them here too makes
+``pytest`` the single local gate.
+"""
+
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "scripts"))
+
+import check_docstrings  # noqa: E402
+import check_links  # noqa: E402
+
+
+def test_no_broken_markdown_links():
+    broken = check_links.broken_links(REPO)
+    assert broken == [], f"broken intra-repo links: {broken}"
+
+
+def test_public_api_docstrings():
+    problems = []
+    src = os.path.join(REPO, "src")
+    for path in check_docstrings.scoped_files(src):
+        for lineno, kind, name in check_docstrings.missing_docstrings(path):
+            problems.append(f"{os.path.relpath(path, src)}:{lineno} "
+                            f"{kind} {name}")
+    assert problems == [], f"undocumented public API: {problems}"
+
+
+def test_architecture_md_names_every_package():
+    """The module table in ARCHITECTURE.md must cover the real packages."""
+    with open(os.path.join(REPO, "docs", "ARCHITECTURE.md")) as fh:
+        text = fh.read()
+    pkg_root = os.path.join(REPO, "src", "repro")
+    packages = sorted(
+        name for name in os.listdir(pkg_root)
+        if os.path.isdir(os.path.join(pkg_root, name))
+        and not name.startswith("__"))
+    for name in packages:
+        assert f"repro.{name}" in text, \
+            f"docs/ARCHITECTURE.md does not mention repro.{name}"
+
+
+def test_readme_links_docs():
+    with open(os.path.join(REPO, "README.md")) as fh:
+        text = fh.read()
+    assert "docs/ARCHITECTURE.md" in text
+    assert "docs/CLI.md" in text
+
+
+# The CLI docs-drift guard (docs/CLI.md sections == `repro --help`
+# subcommands, both directions) lives in
+# tests/test_cli.py::TestParser::test_help_names_every_documented_subcommand
+# next to the other CLI contract tests.

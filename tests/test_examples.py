@@ -29,6 +29,14 @@ def test_serve_example_runs(capsys, monkeypatch):
     assert "mode=spatial" in out and "mode=temporal" in out
 
 
+def test_shard_example_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/shard_pipeline.py"])
+    runpy.run_path("examples/shard_pipeline.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "chips=2" in out and "chips=3" in out
+    assert "steady-state interval" in out
+
+
 def test_quickstart_runs(capsys, monkeypatch):
     monkeypatch.setattr(sys, "argv", ["examples/quickstart.py"])
     runpy.run_path("examples/quickstart.py", run_name="__main__")
