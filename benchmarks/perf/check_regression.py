@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Fail CI when a fresh ``repro bench`` run regresses vs. the baseline.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py FRESH.json BASELINE.json
+
+Compares ``speedup_vs_reference`` per benchmark — a *ratio* of two runs
+on the same machine, so it transfers across hardware far better than
+absolute wall clock.  A benchmark regresses when its fresh speedup drops
+more than ``--tolerance`` (default 20%) below the committed baseline.
+Only benchmarks whose baseline speedup is at least ``--min-speedup``
+(default 2x) are *enforced*: ratios near 1x sit inside run-to-run timer
+noise, so they are reported informationally instead of failing shared
+CI runners.  Benchmarks present in only one file are reported but do
+not fail the check (adding/removing a benchmark is a reviewed code
+change, not a regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    """``{benchmark name: speedup}`` from a bench JSON file."""
+    with open(path) as fh:
+        entries = json.load(fh)
+    return {e["name"]: float(e["speedup_vs_reference"]) for e in entries}
+
+
+def main(argv=None) -> int:
+    """Compare fresh vs. baseline speedups; return a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="JSON from the fresh bench run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional speedup drop (default 0.2)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="only enforce benchmarks whose baseline "
+                             "speedup is at least this (near-1x ratios "
+                             "sit inside run-to-run timer noise and are "
+                             "reported informationally)")
+    args = parser.parse_args(argv)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = []
+    for name in sorted(set(fresh) | set(baseline)):
+        if name not in fresh or name not in baseline:
+            print(f"note: benchmark {name!r} present in only one file")
+            continue
+        floor = baseline[name] * (1.0 - args.tolerance)
+        enforced = baseline[name] >= args.min_speedup
+        if fresh[name] >= floor:
+            status = "ok"
+        elif enforced:
+            status = "REGRESSED"
+        else:
+            status = "below floor (informational: baseline < "
+            status += f"{args.min_speedup:g}x, inside timer noise)"
+        print(f"{name:<16} baseline {baseline[name]:>8.2f}x  "
+              f"fresh {fresh[name]:>8.2f}x  floor {floor:>8.2f}x  {status}")
+        if enforced and fresh[name] < floor:
+            failures.append(name)
+    if failures:
+        print(f"FAIL: speedup regression in {failures}", file=sys.stderr)
+        return 1
+    print("all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

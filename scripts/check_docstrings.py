@@ -27,6 +27,7 @@ SCOPED = [
     "repro/explore",
     "repro/serve",
     "repro/scale",
+    "repro/perf",
 ]
 
 

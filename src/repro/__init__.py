@@ -68,9 +68,10 @@ from .sched import (
 )
 from .sim import MultiChipReport, PerformanceReport, PerformanceSimulator
 from .explore import SweepPoint, SweepResult, SweepRunner, SweepSpace
+from .perf import CompileCache, fastpath, fastpath_enabled
 from .scale import ShardPlan, shard
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CIMArchitecture",
@@ -79,6 +80,7 @@ __all__ = [
     "ChipLink",
     "ChipTier",
     "CompilationResult",
+    "CompileCache",
     "CompilerOptions",
     "ComputingMode",
     "CoreTier",
@@ -98,6 +100,8 @@ __all__ = [
     "SweepSpace",
     "TensorSpec",
     "conv_relu_example",
+    "fastpath",
+    "fastpath_enabled",
     "functional_testbed",
     "isaac_baseline",
     "jain2021",

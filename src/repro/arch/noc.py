@@ -11,23 +11,43 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ArchitectureError
+from ..perf import fastpath_enabled
+from ..perf.kernels import (
+    htree_hop_array,
+    mesh_hop_array,
+    seq_sum,
+    shared_bus_hop_array,
+)
 
 #: NoC topology names accepted by :class:`NocSpec`.
 TOPOLOGIES = ("mesh", "h-tree", "shared-bus", "ideal", "matrix")
 
 
-def mesh_hops(n: int, grid: Optional[Tuple[int, int]] = None) -> List[List[int]]:
-    """Manhattan hop counts on a (near-)square 2-D mesh of ``n`` units."""
+def _mesh_grid(n: int, grid: Optional[Tuple[int, int]]) -> Tuple[int, int]:
+    """(rows, cols) of the mesh layout: given, or near-square for ``n``.
+
+    Shared by the reference :func:`mesh_hops` and the vectorized
+    :meth:`NocSpec.cost_array`, so the two can never disagree on the
+    geometry.
+    """
     if grid is None:
         rows = int(math.sqrt(n)) or 1
-        cols = (n + rows - 1) // rows
-    else:
-        rows, cols = grid
-        if rows * cols < n:
-            raise ArchitectureError(f"grid {grid} too small for {n} units")
+        return rows, (n + rows - 1) // rows
+    rows, cols = grid
+    if rows * cols < n:
+        raise ArchitectureError(f"grid {grid} too small for {n} units")
+    return rows, cols
+
+
+def mesh_hops(n: int, grid: Optional[Tuple[int, int]] = None) -> List[List[int]]:
+    """Manhattan hop counts on a (near-)square 2-D mesh of ``n`` units."""
+    rows, cols = _mesh_grid(n, grid)
     coords = [(i // cols, i % cols) for i in range(n)]
     return [
         [abs(ra - rb) + abs(ca - cb) for (rb, cb) in coords]
@@ -108,19 +128,71 @@ class NocSpec:
             hops = shared_bus_hops(n)
         return [[h * self.cycles_per_hop for h in row] for row in hops]
 
+    def cost_array(self, n: int) -> np.ndarray:
+        """Vectorized :meth:`hop_matrix`: the n x n pairwise cost as a
+        float64 array, entry-for-entry identical to the list form (each
+        entry is the same single ``hop * cycles_per_hop`` multiply)."""
+        if self.topology == "ideal":
+            return np.zeros((n, n), dtype=np.float64)
+        if self.topology == "matrix":
+            return np.array(self.hop_matrix(n), dtype=np.float64)
+        if self.topology == "mesh":
+            rows, cols = _mesh_grid(n, self.grid)
+            hops = mesh_hop_array(n, rows, cols)
+        elif self.topology == "h-tree":
+            hops = htree_hop_array(n)
+        else:  # shared-bus
+            hops = shared_bus_hop_array(n)
+        return hops.astype(np.float64) * self.cycles_per_hop
+
     def average_cost(self, n: int) -> float:
-        """Mean pairwise cost between distinct units (0 for n <= 1)."""
+        """Mean pairwise cost between distinct units (0 for n <= 1).
+
+        The fast path computes the identical value through the
+        vectorized hop kernels and memoizes it per ``(spec, n)`` — this
+        is the single hottest quantity of the whole compiler
+        (``CostModel._mov_cycles`` asks for it once per operator, and a
+        naive evaluation walks all ``n**2`` core pairs each time).
+        """
         if n <= 1:
             return 0.0
+        if fastpath_enabled():
+            return _average_cost_fast(self, n)
         matrix = self.hop_matrix(n)
         total = sum(matrix[i][j] for i in range(n) for j in range(n) if i != j)
         return total / (n * (n - 1))
 
     def max_cost(self, n: int) -> float:
         """Worst-case pairwise cost (network diameter in cycles)."""
+        if fastpath_enabled():
+            return _max_cost_fast(self, n)
         matrix = self.hop_matrix(n)
         return max((matrix[i][j] for i in range(n) for j in range(n)),
                    default=0.0)
+
+
+@lru_cache(maxsize=None)
+def _average_cost_fast(spec: NocSpec, n: int) -> float:
+    """Memoized vectorized :meth:`NocSpec.average_cost`.
+
+    Bit-identical to the reference loop: entries are the same per-pair
+    multiplies, the diagonal contributes exact zeros (the reference
+    skips it; adding ``0.0`` to a non-negative running sum is the same
+    float), and :func:`~repro.perf.kernels.seq_sum` applies the
+    reference's left-to-right addition order.  Keyed by the frozen spec
+    *value*, so every preset sharing a topology shares the entry.
+    """
+    costs = spec.cost_array(n)
+    np.fill_diagonal(costs, 0.0)
+    return seq_sum(costs.ravel()) / (n * (n - 1))
+
+
+@lru_cache(maxsize=None)
+def _max_cost_fast(spec: NocSpec, n: int) -> float:
+    """Memoized vectorized :meth:`NocSpec.max_cost`."""
+    if n <= 0:
+        return 0.0
+    return float(spec.cost_array(n).max())
 
 
 #: Convenience instances.

@@ -6,6 +6,8 @@ Commands
               performance report (optionally per-level ablation).
 ``sweep``     Design-space sweep: vary preset parameters over a grid, run
               (optionally parallel + cached), print table/CSV/JSON.
+``bench``     Time the compile→simulate hot path with the fast path off
+              and on; verify identical results; report speedups.
 ``shard``     Shard a model across a multi-chip system; print per-chip
               placement, the link schedule, and the pipeline estimate.
 ``serve``     Multi-tenant serving simulation (spatial / temporal /
@@ -91,6 +93,24 @@ def cmd_compile(args) -> None:
                   f"{baseline.total_cycles / run.total_cycles:8.2f}x")
     if args.schedule:
         print(result.schedule.summary())
+
+
+def cmd_bench(args) -> None:
+    from .perf import bench
+
+    names = args.only.split(",") if args.only else None
+    try:
+        results = bench.run_bench(names, quick=args.quick)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    if args.format == "json":
+        print(bench.to_json(results))
+    else:
+        print(bench.table(results))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(bench.to_json(results) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
 
 
 def cmd_codegen(args) -> None:
@@ -477,6 +497,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the result cache for --rates sweeps")
     p.add_argument("--format", choices=("table", "json"), default="table")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the compile→simulate hot path, reference vs fast",
+        description="Run the performance benchmarks: each workload "
+                    "(compile, duplication search, placement, performance "
+                    "sim, the fig22 sensitivity sweep, a 2-tenant serve "
+                    "capacity sweep) is timed with the fast path disabled "
+                    "and enabled, the two result digests are verified "
+                    "identical, and the speedups are reported "
+                    "({name, wall_s, points, speedup_vs_reference}).")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workloads (CI smoke)")
+    p.add_argument("--only", default=None, metavar="NAME,...",
+                   help="run a subset of benchmarks")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON to PATH (e.g. BENCH_PR4.json)")
+    p.add_argument("--format", choices=("table", "json"), default="table")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("codegen",
                        help="emit a meta-operator program (small models)")

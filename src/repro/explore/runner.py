@@ -16,19 +16,27 @@ independent compilations and the map preserves input order.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
+import pickle
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from ..perf import CompileCache, fastpath_enabled, set_fastpath
 from ..sched import CIMMLC, no_optimization
 from ..sim.performance import PerformanceReport
 from .space import SweepPoint, SweepSpace
 
 #: Cache layout version; bump when the summary schema changes.
 CACHE_VERSION = 2
+
+#: Cap on the worker-pool graph registry: beyond this many distinct
+#: graphs the registry resets on pool re-creation instead of growing
+#: (and re-pickling) forever in long sessions.
+_MAX_POOL_GRAPHS = 32
 
 
 def default_cache_dir() -> str:
@@ -122,13 +130,28 @@ def summarize_multichip(report: "MultiChipReport",
     }
 
 
-def evaluate_point(point: SweepPoint) -> Dict:
+#: Per-process compile cache shared by every point this process
+#: evaluates (sweep workers and serial runs alike).  Content-addressed,
+#: so sharing across unrelated sweeps is safe; only consulted while the
+#: fast path is enabled.
+_PROCESS_CACHE = CompileCache()
+
+
+def evaluate_point(point: SweepPoint,
+                   cache: Optional[CompileCache] = None) -> Dict:
     """Compile one point and summarize its performance report.
 
     Multi-chip points (``point.chips > 1``) shard through
     :func:`repro.scale.shard` instead of a single-chip compilation.
     Module-level so :class:`ProcessPoolExecutor` can pickle it.
+
+    ``cache`` defaults to the process-wide :class:`CompileCache` while
+    the fast path is enabled, so per-op profiles and duplication
+    searches are shared across every point (and series) that agrees on
+    the quantities they depend on.
     """
+    if cache is None and fastpath_enabled():
+        cache = _PROCESS_CACHE
     if point.chips < 1:
         from ..errors import ArchitectureError
 
@@ -138,20 +161,79 @@ def evaluate_point(point: SweepPoint) -> Dict:
         from ..scale import shard
 
         plan = shard(point.graph, point.system(), options=point.options,
-                     optimize=point.options is not None)
+                     optimize=point.options is not None, cache=cache)
         noc = sum(d.profile.mov_cycles
                   for sched in plan.schedules
                   for d in sched.decisions.values())
         return summarize_multichip(plan.report, noc_cycles=noc)
     if point.options is None:
-        result = no_optimization(point.graph, point.arch)
+        result = no_optimization(point.graph, point.arch, cache=cache)
     else:
-        result = CIMMLC(point.arch, point.options).compile(point.graph)
+        result = CIMMLC(point.arch, point.options,
+                        cache=cache).compile(point.graph)
     sched = result.schedule
     noc = sum(d.profile.mov_cycles
               for i in range(len(sched.segments))
               for d in sched.segment_decisions(i))
     return summarize_report(result.report, noc_cycles=noc)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing
+# ---------------------------------------------------------------------------
+
+#: Graphs registered in this worker, keyed by content signature.  Filled
+#: by :func:`_worker_init` when the pool starts, so each distinct graph
+#: crosses the process boundary once per pool instead of once per point.
+_WORKER_GRAPHS: Dict[str, "Graph"] = {}  # noqa: F821 - forward name
+
+
+def _worker_init(graph_blob: bytes, fast: bool = True) -> None:
+    """Pool initializer: unpickle the sweep's graphs into this worker
+    and seed the parent's fast-path switch state (a spawned worker
+    would otherwise re-read only the environment)."""
+    set_fastpath(fast)
+    _WORKER_GRAPHS.update(pickle.loads(graph_blob))
+
+
+@dataclass(frozen=True)
+class _PointTask:
+    """A :class:`SweepPoint` minus its graph (referenced by signature).
+
+    What actually crosses the process boundary per point on the fast
+    path: the architecture and options pickle in microseconds, while
+    the graph — the heavy part — is resolved from the worker-side
+    registry populated by :func:`_worker_init`.
+    """
+
+    label: str
+    series: str
+    arch: "CIMArchitecture"  # noqa: F821 - forward name
+    options: Optional["CompilerOptions"]  # noqa: F821 - forward name
+    chips: int
+    link_bandwidth: Optional[float]
+    link_latency: Optional[float]
+    topology: str
+    graph_sig: str
+
+    @classmethod
+    def from_point(cls, point: SweepPoint) -> "_PointTask":
+        """Strip the graph off ``point``, keeping its signature."""
+        return cls(point.label, point.series, point.arch, point.options,
+                   point.chips, point.link_bandwidth, point.link_latency,
+                   point.topology, point.graph.signature())
+
+    def to_point(self, graph: "Graph") -> SweepPoint:  # noqa: F821
+        """Rebuild the full point around the registry ``graph``."""
+        return SweepPoint(self.label, self.series, self.arch, graph,
+                          self.options, self.chips, self.link_bandwidth,
+                          self.link_latency, self.topology)
+
+
+def _evaluate_task(task: _PointTask) -> Dict:
+    """Worker-side entry: resolve the graph, evaluate with the
+    process-wide compile cache."""
+    return evaluate_point(task.to_point(_WORKER_GRAPHS[task.graph_sig]))
 
 
 class ResultCache:
@@ -221,11 +303,17 @@ class PointResult:
 
 @dataclass
 class SweepResult:
-    """All point results of one sweep, in space order, plus cache stats."""
+    """All point results of one sweep, in space order, plus cache stats.
+
+    ``deduped`` counts points that were *identical* to another point of
+    the same sweep (same content fingerprint) and therefore shared its
+    evaluation instead of dispatching their own.
+    """
 
     results: List[PointResult] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    deduped: int = 0
 
     def __iter__(self) -> Iterator[PointResult]:
         return iter(self.results)
@@ -277,6 +365,16 @@ class SweepRunner:
         Process count.  ``1`` (default) runs serially in-process.
     cache_dir:
         Root of the disk cache.  ``None`` disables caching entirely.
+
+    On the fast path the runner additionally (a) *deduplicates*
+    identical points (same content fingerprint) before dispatch, (b)
+    keeps one :class:`ProcessPoolExecutor` alive across :meth:`run`
+    calls — re-created only when a sweep introduces a graph the pool's
+    workers have not seen — and (c) ships each distinct graph to the
+    workers once, through the pool initializer, instead of re-pickling
+    it with every point.  Workers keep a process-wide
+    :class:`~repro.perf.CompileCache`, so points sharing an
+    architecture reuse per-op profiles and duplication searches.
     """
 
     def __init__(self, workers: int = 1,
@@ -285,36 +383,115 @@ class SweepRunner:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_graphs: Dict[str, "Graph"] = {}  # noqa: F821
+
+    # -- worker-pool lifecycle -----------------------------------------
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _pooled_summaries(self, todo: List[SweepPoint]) -> List[Dict]:
+        """Fan ``todo`` out over the (persistent) worker pool."""
+        if not fastpath_enabled():
+            # Reference behaviour: fresh pool, full points per task.
+            # Close any persistent fast-path pool (don't leave its idle
+            # workers resident), and seed the fresh workers with the
+            # parent's switch state — on spawn/forkserver platforms a
+            # worker would otherwise re-read only the environment.
+            self.close()
+            with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=set_fastpath,
+                    initargs=(False,)) as pool:
+                return list(pool.map(evaluate_point, todo))
+        needed = {}
+        for p in todo:
+            needed.setdefault(p.graph.signature(), p.graph)
+        if self._pool is None or any(s not in self._pool_graphs
+                                     for s in needed):
+            self.close()
+            if len(self._pool_graphs) + len(needed) > _MAX_POOL_GRAPHS:
+                # Bound the initializer payload in long sessions: drop
+                # the accumulated registry and re-ship only this run's
+                # graphs (older graphs just trigger a later re-create).
+                self._pool_graphs = {}
+            self._pool_graphs.update(needed)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_worker_init,
+                initargs=(pickle.dumps(self._pool_graphs),
+                          fastpath_enabled()))
+        tasks = [_PointTask.from_point(p) for p in todo]
+        return list(self._pool.map(_evaluate_task, tasks))
+
+    # -- evaluation ----------------------------------------------------
 
     def run(self, space: SweepSpace) -> SweepResult:
-        """Evaluate every point, consulting/filling the cache."""
+        """Evaluate every point, consulting/filling the cache.
+
+        Results come back in space order regardless of worker count,
+        disk-cache state, or dedup — points are independent
+        compilations and every dispatch path preserves input order.
+        """
         points = list(space)
         slots: List[Optional[PointResult]] = [None] * len(points)
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(points)
+        fast = fastpath_enabled()
+        first_of: Dict[str, int] = {}      # fingerprint -> pending index
+        dup_of: Dict[int, int] = {}        # duplicate -> canonical index
         for i, point in enumerate(points):
-            if self.cache is not None:
+            if self.cache is not None or fast:
                 keys[i] = point.fingerprint()
+            if self.cache is not None:
                 summary = self.cache.get(keys[i])
                 if summary is not None:
                     slots[i] = PointResult(point, summary, cached=True)
                     continue
+            if fast:
+                if keys[i] in first_of:
+                    dup_of[i] = first_of[keys[i]]
+                    continue
+                first_of[keys[i]] = i
             pending.append(i)
 
         if pending:
             todo = [points[i] for i in pending]
             if self.workers > 1 and len(todo) > 1:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    summaries = list(pool.map(evaluate_point, todo))
+                summaries = self._pooled_summaries(todo)
             else:
                 summaries = [evaluate_point(p) for p in todo]
             for i, summary in zip(pending, summaries):
                 slots[i] = PointResult(points[i], summary, cached=False)
                 if self.cache is not None and keys[i] is not None:
                     self.cache.put(keys[i], summary)
+        for i, canonical in dup_of.items():
+            # A fingerprint collision within the sweep: reuse the
+            # canonical evaluation (deep-copied; summaries are mutable).
+            source = slots[canonical]
+            slots[i] = PointResult(points[i],
+                                   copy.deepcopy(source.summary),
+                                   cached=source.cached)
 
         return SweepResult(
             results=[r for r in slots if r is not None],
-            cache_hits=len(points) - len(pending),
+            cache_hits=len(points) - len(pending) - len(dup_of),
             cache_misses=len(pending),
+            deduped=len(dup_of),
         )

@@ -170,21 +170,13 @@ def level_series(names: Sequence[str]) -> List[Tuple[str, Optional[CompilerOptio
 
 
 def graph_signature(graph: Graph) -> str:
-    """Deterministic content hash of a graph (topology + shapes + bits)."""
-    payload = {
-        "name": graph.name,
-        "inputs": list(graph.inputs),
-        "outputs": list(graph.outputs),
-        "tensors": sorted(
-            (t.name, list(t.shape), t.bits, t.is_weight)
-            for t in graph.tensors.values()),
-        "nodes": [
-            (n.name, n.op_type, list(n.inputs), list(n.outputs),
-             sorted((k, repr(v)) for k, v in n.attrs.items()))
-            for n in graph.nodes],
-    }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()
+    """Deterministic content hash of a graph (topology + shapes + bits).
+
+    Delegates to :meth:`repro.graph.Graph.signature`, which caches the
+    hash on the graph (invalidated on mutation) — the payload and
+    therefore every historical fingerprint value are unchanged.
+    """
+    return graph.signature()
 
 
 @dataclass(frozen=True, eq=False)

@@ -8,6 +8,8 @@ operators, and edges denote the data dependency between each operator."
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -48,7 +50,9 @@ class Graph:
         self.nodes: List[Node] = list(nodes or [])
         self._producer: Dict[str, Node] = {}
         self._consumers: Dict[str, List[Node]] = {}
+        self._by_name: Dict[str, Node] = {}
         self._topo_cache: Optional[List[Node]] = None
+        self._sig_cache: Optional[str] = None
         self._reindex()
 
     # ------------------------------------------------------------------
@@ -62,6 +66,7 @@ class Graph:
             raise GraphError(f"tensor {spec.name!r} registered twice with "
                              f"conflicting specs")
         self.tensors[spec.name] = spec
+        self._sig_cache = None
         return spec
 
     def add_node(self, node: Node) -> Node:
@@ -73,12 +78,15 @@ class Graph:
     def _reindex(self) -> None:
         self._producer.clear()
         self._consumers.clear()
+        self._by_name = {}
         self._topo_cache = None
+        self._sig_cache = None
         names = set()
         for node in self.nodes:
             if node.name in names:
                 raise GraphError(f"duplicate node name {node.name!r}")
             names.add(node.name)
+            self._by_name[node.name] = node
             for out in node.outputs:
                 if out in self._producer:
                     raise GraphError(f"tensor {out!r} produced by two nodes")
@@ -91,11 +99,11 @@ class Graph:
     # ------------------------------------------------------------------
 
     def node(self, name: str) -> Node:
-        """Look up a node by name."""
-        for n in self.nodes:
-            if n.name == name:
-                return n
-        raise GraphError(f"no node named {name!r}")
+        """Look up a node by name (indexed; O(1))."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise GraphError(f"no node named {name!r}") from None
 
     def producer(self, tensor: str) -> Optional[Node]:
         """The node producing ``tensor`` (None for graph inputs / weights)."""
@@ -207,6 +215,36 @@ class Graph:
         self._topo_cache = order
         return list(order)
 
+    def signature(self) -> str:
+        """Deterministic content hash (topology + shapes + bits + attrs).
+
+        Keys the explore disk cache and the in-process
+        :class:`~repro.perf.CompileCache`.  The hash is computed once
+        and invalidated by the structural mutation points
+        (:meth:`add_node` / :meth:`add_tensor` / :meth:`infer_shapes`);
+        scheduler-written :attr:`~repro.graph.node.Node.annotations` are
+        deliberately excluded, so compiling never changes a graph's
+        identity.  Code mutating ``nodes`` / ``tensors`` directly must
+        re-run ``_reindex()`` (as the transform passes do).
+        """
+        if self._sig_cache is not None:
+            return self._sig_cache
+        payload = {
+            "name": self.name,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "tensors": sorted(
+                (t.name, list(t.shape), t.bits, t.is_weight)
+                for t in self.tensors.values()),
+            "nodes": [
+                (n.name, n.op_type, list(n.inputs), list(n.outputs),
+                 sorted((k, repr(v)) for k, v in n.attrs.items()))
+                for n in self.nodes],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        self._sig_cache = hashlib.sha256(blob.encode()).hexdigest()
+        return self._sig_cache
+
     def validate(self) -> None:
         """Check edge consistency: every consumed tensor is produced by a
         node, is a graph input, or is a registered weight/initializer."""
@@ -249,6 +287,7 @@ class Graph:
                     )
                 if existing is None:
                     self.tensors[name] = inferred
+                    self._sig_cache = None
         return self
 
     # ------------------------------------------------------------------

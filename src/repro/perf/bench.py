@@ -1,0 +1,273 @@
+"""``repro bench``: time the hot path, reference vs. fast, prove equality.
+
+Each benchmark runs its workload twice — once with the fast path
+disabled (:func:`~repro.perf.fastpath` context, reference kernels, no
+implicit memoization) and once enabled from *cold* in-process caches —
+and then verifies that both runs produced identical result digests.  A
+digest mismatch raises, so a speedup can never be reported for a
+computation that changed its answer.
+
+The emitted JSON is a list of ``{name, wall_s, points,
+speedup_vs_reference}`` objects (``wall_s`` is the fast-path wall
+clock); ``benchmarks/perf/check_regression.py`` compares a fresh run
+against the committed ``BENCH_PR4.json`` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .fastpath import fastpath
+
+#: Benchmark registry: name -> factory(quick) -> (workload, points).
+#: Each workload() call performs one full measurement and returns a
+#: JSON-able digest of everything it computed.
+_BENCHES: Dict[str, Callable] = {}
+
+
+def _bench(name: str):
+    def register(factory):
+        _BENCHES[name] = factory
+        return factory
+    return register
+
+
+def bench_names() -> List[str]:
+    """Registered benchmark names, in definition order."""
+    return list(_BENCHES)
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark outcome (the committed-JSON schema plus context)."""
+
+    name: str
+    wall_s: float                 # fast-path wall clock
+    points: int                   # workload size (compiles / cells / ops)
+    speedup_vs_reference: float   # reference wall / fast wall
+    ref_wall_s: float             # kept out of the JSON schema
+
+    def to_dict(self) -> Dict:
+        """The committed schema: name, wall_s, points, speedup."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "points": self.points,
+            "speedup_vs_reference": self.speedup_vs_reference,
+        }
+
+
+def clear_process_caches() -> None:
+    """Reset every implicit fast-path memo so a timed run starts cold.
+
+    Covers the process-wide explore compile cache and the memoized NoC
+    cost aggregates; explicit caches owned by callers are untouched.
+    """
+    from ..arch.noc import _average_cost_fast, _max_cost_fast
+    from ..explore import runner as runner_mod
+
+    runner_mod._PROCESS_CACHE.clear()
+    _average_cost_fast.cache_clear()
+    _max_cost_fast.cache_clear()
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+def _compile_inputs(quick: bool):
+    from ..arch import isaac_baseline
+    from ..models import resnet18, vit_tiny
+
+    graph = vit_tiny() if quick else resnet18()
+    return graph, isaac_baseline().with_xb_size((128, 256))
+
+
+@_bench("compile")
+def _bench_compile(quick: bool) -> Tuple[Callable, int]:
+    """One full multi-level compile (schedule + simulate)."""
+    from ..sched import CIMMLC
+
+    graph, arch = _compile_inputs(quick)
+
+    def workload():
+        result = CIMMLC(arch).compile(graph)
+        return {"total_cycles": result.report.total_cycles,
+                "op_latency": result.report.op_latency,
+                "peak_power": result.report.power.peak_power}
+
+    return workload, len(graph)
+
+
+@_bench("duplication")
+def _bench_duplication(quick: bool) -> Tuple[Callable, int]:
+    """The two CG duplication searches over the whole model."""
+    from ..sched.cg import duplicate_min_bottleneck, duplicate_min_total
+    from ..sched.costs import CostModel
+
+    graph, arch = _compile_inputs(quick)
+    profiles = list(CostModel(arch).profiles(graph).values())
+    repeats = 3 if quick else 5
+
+    def workload():
+        digest = []
+        for _ in range(repeats):
+            digest.append(duplicate_min_bottleneck(
+                profiles, arch.chip.core_number))
+            digest.append(duplicate_min_total(
+                profiles, arch.chip.core_number))
+        return digest
+
+    return workload, repeats * 2
+
+
+@_bench("placement")
+def _bench_placement(quick: bool) -> Tuple[Callable, int]:
+    """Greedy NoC placement of every segment of a compiled schedule.
+
+    Repeated a few times so the timed sample is large enough that a
+    single scheduler hiccup on a shared CI runner cannot swing the
+    measured ratio across the regression floor.
+    """
+    from ..sched import CIMMLC
+    from ..sched.placement import annotate_placement
+
+    graph, arch = _compile_inputs(quick)
+    schedule = CIMMLC(arch).schedule(graph)
+    repeats = 5 if quick else 10
+
+    def workload():
+        placements = {}
+        for _ in range(repeats):
+            for seg in range(len(schedule.segments)):
+                placements.update(annotate_placement(schedule, segment=seg))
+        return {name: list(cores) for name, cores in placements.items()}
+
+    return workload, len(schedule.segments)
+
+
+@_bench("perf_sim")
+def _bench_perf_sim(quick: bool) -> Tuple[Callable, int]:
+    """The performance simulator alone, on a prebuilt schedule."""
+    from ..sched import CIMMLC
+    from ..sim.performance import PerformanceSimulator
+
+    graph, arch = _compile_inputs(quick)
+    schedule = CIMMLC(arch).schedule(graph)
+    repeats = 20 if quick else 50
+
+    def workload():
+        report = None
+        for _ in range(repeats):
+            report = PerformanceSimulator(arch).run(schedule)
+        return {"total_cycles": report.total_cycles,
+                "op_latency": report.op_latency,
+                "intervals": list(report.segment_intervals)}
+
+    return workload, repeats
+
+
+@_bench("sweep_fig22")
+def _bench_sweep_fig22(quick: bool) -> Tuple[Callable, int]:
+    """The Fig. 22(a) sensitivity sweep (ViT-Tiny, all four series)."""
+    from ..experiments.fig22 import fig22a_cores
+    from ..explore import SweepRunner
+    from ..models import vit_tiny
+
+    cores = (256, 512) if quick else (256, 512, 768, 1024)
+    graph = vit_tiny()
+
+    def workload():
+        result = fig22a_cores(core_numbers=cores, graph=graph,
+                              runner=SweepRunner())
+        return result.as_dict()
+
+    return workload, len(cores) * 4
+
+
+@_bench("serve_capacity")
+def _bench_serve_capacity(quick: bool) -> Tuple[Callable, int]:
+    """A 2-tenant serve capacity sweep riding the explore bridge."""
+    from ..arch import get_preset
+    from ..explore import SweepRunner
+    from ..serve import TenantSpec, serve_sweep
+
+    arch = get_preset("isaac-flash")
+    specs = [TenantSpec("resnet18", "resnet18", 4.0),
+             TenantSpec("mobilenet", "mobilenet", 1.0)]
+    rates = [10e-6] if quick else [5e-6, 10e-6, 22e-6]
+    requests = 100 if quick else 300
+
+    def workload():
+        points = serve_sweep(arch, specs, rates, num_requests=requests,
+                             runner=SweepRunner())
+        return [{"rate": p.rate, "mode": p.mode, "policy": p.policy,
+                 **p.report.to_dict()} for p in points]
+
+    return workload, len(rates) * 2
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def run_bench(names: Optional[Sequence[str]] = None,
+              quick: bool = False) -> List[BenchResult]:
+    """Run the selected benchmarks; raise if any fast digest deviates.
+
+    Both timings start from cold in-process caches
+    (:func:`clear_process_caches`), so the reported speedup reflects the
+    vectorized kernels plus the *within-workload* memoization — not a
+    previously warmed process.
+    """
+    chosen = list(names) if names else bench_names()
+    unknown = [n for n in chosen if n not in _BENCHES]
+    if unknown:
+        raise KeyError(f"unknown benchmarks {unknown}; "
+                       f"choose from {bench_names()}")
+    results: List[BenchResult] = []
+    for name in chosen:
+        workload, points = _BENCHES[name](quick)
+        clear_process_caches()
+        with fastpath(False):
+            t0 = time.perf_counter()
+            ref_digest = workload()
+            ref_wall = time.perf_counter() - t0
+        clear_process_caches()
+        with fastpath(True):
+            t0 = time.perf_counter()
+            fast_digest = workload()
+            fast_wall = time.perf_counter() - t0
+        if ref_digest != fast_digest:
+            raise RuntimeError(
+                f"benchmark {name!r}: fast path diverged from the "
+                f"reference — refusing to report a speedup")
+        results.append(BenchResult(
+            name=name,
+            wall_s=fast_wall,
+            points=points,
+            speedup_vs_reference=ref_wall / max(fast_wall, 1e-9),
+            ref_wall_s=ref_wall,
+        ))
+    return results
+
+
+def to_json(results: Sequence[BenchResult]) -> str:
+    """The committed ``BENCH_*.json`` payload (list of schema objects)."""
+    return json.dumps([r.to_dict() for r in results], indent=1)
+
+
+def table(results: Sequence[BenchResult]) -> str:
+    """Readable fixed-width report."""
+    lines = [f"{'benchmark':<16} {'points':>6} {'reference':>11} "
+             f"{'fast':>9} {'speedup':>9}"]
+    for r in results:
+        lines.append(
+            f"{r.name:<16} {r.points:>6} {r.ref_wall_s:>10.3f}s "
+            f"{r.wall_s:>8.3f}s {r.speedup_vs_reference:>8.1f}x")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""In-process memoization for the compile→simulate hot path.
+
+A :class:`CompileCache` stores the expensive intermediates of a
+compilation, keyed by *content* so that any two evaluations with equal
+inputs share work no matter where they originate — sweep points of a
+:class:`~repro.explore.runner.SweepRunner`, tenants of a serving plan,
+or stages of a multi-chip shard:
+
+* **per-op profiles** (``CostModel.profiles``) keyed by
+  ``(architecture, bit binding, graph signature)`` — the architecture is
+  a frozen dataclass, so value equality *is* content equality, and the
+  graph signature is the cached content hash of
+  :meth:`repro.graph.Graph.signature`;
+* **duplication searches** (``duplicate_min_total`` /
+  ``duplicate_min_bottleneck``) keyed by the profile tuple and core
+  budget — profiles are frozen dataclasses carrying every quantity the
+  search reads, so equal keys guarantee equal answers;
+* **useful-duplication curves** (``_useful_dups``) keyed per profile;
+* **graph segmentations** (``segment_graph``) keyed by architecture,
+  graph signature, and the pipeline/duplicate gates.
+
+The cache is deliberately in-process and unbounded: one sweep/serve/shard
+run holds a bounded universe of distinct keys, and entries are plain
+shared immutables (profiles) or copied-on-return containers (dup maps,
+segment lists), so sharing one cache across thousands of points is safe.
+Hit/miss counters make the reuse observable in tests and ``repro bench``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class CompileCache:
+    """Content-addressed memo shared across compilations.
+
+    Example
+    -------
+    >>> from repro.arch import functional_testbed
+    >>> from repro.models import lenet
+    >>> from repro.sched import CIMMLC
+    >>> cache = CompileCache()
+    >>> a = CIMMLC(functional_testbed(), cache=cache).compile(lenet())
+    >>> b = CIMMLC(functional_testbed(), cache=cache).compile(lenet())
+    >>> cache.profile_hits >= 1 and a.total_cycles == b.total_cycles
+    True
+    """
+
+    def __init__(self) -> None:
+        self._profiles: Dict[Tuple, Dict[str, Any]] = {}
+        self._dups: Dict[Tuple, Dict[str, int]] = {}
+        self._useful: Dict[Tuple, List[int]] = {}
+        self._segments: Dict[Tuple, List[List[str]]] = {}
+        self.profile_hits = 0
+        self.profile_misses = 0
+        self.dup_hits = 0
+        self.dup_misses = 0
+        self.segment_hits = 0
+        self.segment_misses = 0
+
+    # -- per-op profiles ----------------------------------------------
+
+    def get_profiles(self, key: Tuple) -> Optional[Dict[str, Any]]:
+        """Cached ``{node name: OpProfile}`` for ``key``, or ``None``.
+
+        Profiles are frozen dataclasses, so the cached dict is returned
+        as a shallow copy — entries are shared, the container is not.
+        """
+        hit = self._profiles.get(key)
+        if hit is None:
+            self.profile_misses += 1
+            return None
+        self.profile_hits += 1
+        return dict(hit)
+
+    def put_profiles(self, key: Tuple, profiles: Dict[str, Any]) -> None:
+        """Store a profile dict under ``key``."""
+        self._profiles[key] = dict(profiles)
+
+    # -- duplication searches -----------------------------------------
+
+    def get_dups(self, key: Tuple) -> Optional[Dict[str, int]]:
+        """Cached duplication map for one search key, or ``None``."""
+        hit = self._dups.get(key)
+        if hit is None:
+            self.dup_misses += 1
+            return None
+        self.dup_hits += 1
+        return dict(hit)
+
+    def put_dups(self, key: Tuple, dups: Dict[str, int]) -> None:
+        """Store a duplication map under ``key``."""
+        self._dups[key] = dict(dups)
+
+    # -- useful-duplication curves ------------------------------------
+
+    def get_useful_dups(self, key: Tuple) -> Optional[List[int]]:
+        """Cached useful-duplication levels for one (profile, budget)."""
+        hit = self._useful.get(key)
+        return None if hit is None else list(hit)
+
+    def put_useful_dups(self, key: Tuple, dups: List[int]) -> None:
+        """Store a useful-duplication curve under ``key``."""
+        self._useful[key] = list(dups)
+
+    # -- graph segmentations ------------------------------------------
+
+    def get_segments(self, key: Tuple) -> Optional[List[List[str]]]:
+        """Cached segmentation (lists of node names), or ``None``."""
+        hit = self._segments.get(key)
+        if hit is None:
+            self.segment_misses += 1
+            return None
+        self.segment_hits += 1
+        return [list(seg) for seg in hit]
+
+    def put_segments(self, key: Tuple, segments: List[List[str]]) -> None:
+        """Store a segmentation under ``key``."""
+        self._segments[key] = [list(seg) for seg in segments]
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (for tests, logs, and ``repro bench``)."""
+        return {
+            "profile_hits": self.profile_hits,
+            "profile_misses": self.profile_misses,
+            "dup_hits": self.dup_hits,
+            "dup_misses": self.dup_misses,
+            "segment_hits": self.segment_hits,
+            "segment_misses": self.segment_misses,
+            "profiles_stored": len(self._profiles),
+            "dups_stored": len(self._dups),
+            "segments_stored": len(self._segments),
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._profiles.clear()
+        self._dups.clear()
+        self._useful.clear()
+        self._segments.clear()
+        self.profile_hits = self.profile_misses = 0
+        self.dup_hits = self.dup_misses = 0
+        self.segment_hits = self.segment_misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (f"CompileCache(profiles={s['profiles_stored']}, "
+                f"dups={s['dups_stored']}, "
+                f"hits={s['profile_hits'] + s['dup_hits']})")

@@ -1,0 +1,54 @@
+"""Global fast-path switch for the compile→simulate pipeline.
+
+Every optimized kernel and implicit memo in the hot path (vectorized NoC
+cost aggregation, the duplication-search kernels, the sweep runner's
+dedup/pool-reuse machinery) consults :func:`fastpath_enabled` before
+taking the optimized route.  The reference route is always kept alive so
+``repro bench`` can time both and assert that they produce *identical*
+reports — the fast path changes how results are computed, never what they
+are.
+
+Disable globally with ``REPRO_FASTPATH=0`` in the environment, or locally
+with the :func:`fastpath` context manager::
+
+    from repro.perf import fastpath
+
+    with fastpath(False):      # reference timings
+        run_reference()
+
+Explicit caches passed by the caller (e.g. ``CIMMLC(arch, cache=...)``)
+are honoured regardless of the switch; the switch only gates the
+*implicit* acceleration layers.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = os.environ.get("REPRO_FASTPATH", "1") not in ("0", "false", "off")
+
+
+def fastpath_enabled() -> bool:
+    """True when the optimized kernels/memos should be used."""
+    return _ENABLED
+
+
+def set_fastpath(enabled: bool) -> bool:
+    """Set the global switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def fastpath(enabled: bool = True) -> Iterator[None]:
+    """Context manager scoping the global switch (used by ``repro bench``
+    to time the reference and optimized paths back to back)."""
+    previous = set_fastpath(enabled)
+    try:
+        yield
+    finally:
+        set_fastpath(previous)

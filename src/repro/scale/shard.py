@@ -12,9 +12,12 @@ traffic with the system's :class:`~repro.arch.ChipLink`, and assemble a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..arch import MultiChipSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf import CompileCache
 from ..graph import Graph
 from ..sched import CIMMLC, CompilerOptions, no_optimization
 from ..sched.placement import annotate_placement
@@ -155,22 +158,27 @@ class ShardPlan:
 
 def _compile_stage(graph: Graph, system: MultiChipSystem,
                    options: Optional[CompilerOptions],
-                   optimize: bool):
+                   optimize: bool,
+                   cache: Optional["CompileCache"] = None):
     if not optimize:
-        return no_optimization(graph, system.chip)
-    return CIMMLC(system.chip, options).compile(graph)
+        return no_optimization(graph, system.chip, cache=cache)
+    return CIMMLC(system.chip, options, cache=cache).compile(graph)
 
 
 def shard(graph: Graph, system: MultiChipSystem,
           options: Optional[CompilerOptions] = None,
           optimize: bool = True,
-          place: bool = True) -> ShardPlan:
+          place: bool = True,
+          cache: Optional["CompileCache"] = None) -> ShardPlan:
     """Partition, compile, place, and price ``graph`` on ``system``.
 
     ``options`` feed every stage's :class:`~repro.sched.CIMMLC`
     compilation (``optimize=False`` uses the un-optimized baseline
     scheduler instead, for ablations); ``place`` runs the greedy NoC
     placement per stage with the link port (core 0) as I/O anchor.
+    ``cache`` is shared across every stage compilation (all stages run
+    the same die architecture, so NoC averages, duplication curves, and
+    any stage-identical profiles are computed once).
     Raises :class:`~repro.errors.CapacityError` when the model cannot
     stay resident on ``system.num_chips`` chips.
 
@@ -189,7 +197,7 @@ def shard(graph: Graph, system: MultiChipSystem,
     reports: List[PerformanceReport] = []
     for idx, names in enumerate(stages):
         sub = stage_subgraph(graph, names, idx)
-        result = _compile_stage(sub, system, options, optimize)
+        result = _compile_stage(sub, system, options, optimize, cache)
         if place:
             for seg in range(len(result.schedule.segments)):
                 annotate_placement(result.schedule, segment=seg,

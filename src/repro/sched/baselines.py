@@ -22,22 +22,28 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..arch import CIMArchitecture
 from ..graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf import CompileCache
 from .cg import segment_graph
 from .compiler import CIMMLC, CompilationResult, CompilerOptions
 from .costs import CostModel
 from .schedule import OpDecision, Schedule
 
 
-def no_optimization(graph: Graph, arch: CIMArchitecture) -> CompilationResult:
+def no_optimization(graph: Graph, arch: CIMArchitecture,
+                    cache: Optional["CompileCache"] = None
+                    ) -> CompilationResult:
     """Sequential, duplication-free execution (the Fig. 20(d) "w/o
-    optimization" bar)."""
+    optimization" bar).  ``cache`` shares per-op profiles with the
+    optimized compilations of the same (graph, architecture)."""
     options = CompilerOptions(max_level="CG", pipeline=False, duplicate=False,
                               mvm_stagger=False, mvm_refine=False)
-    return CIMMLC(arch, options).compile(graph)
+    return CIMMLC(arch, options, cache=cache).compile(graph)
 
 
 def vendor_schedule(graph: Graph, arch: CIMArchitecture) -> CompilationResult:

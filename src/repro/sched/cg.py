@@ -23,13 +23,22 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..arch import CIMArchitecture
 from ..errors import CapacityError, ScheduleError
 from ..graph import Graph
+from ..perf import fastpath_enabled
+from ..perf.kernels import (
+    BottleneckSearch,
+    segment_cycles,
+    useful_dup_options,
+)
 from .costs import CostModel, OpProfile
 from .schedule import OpDecision, Schedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf import CompileCache
 
 
 # ---------------------------------------------------------------------------
@@ -43,15 +52,41 @@ from .schedule import OpDecision, Schedule
 _EXACT_DP_BUDGET = 64
 
 
-def _useful_dups(p: OpProfile, budget: int) -> List[int]:
+def _useful_dups(p: OpProfile, budget: int,
+                 cache: Optional["CompileCache"] = None) -> List[int]:
     """Duplication values where the latency actually changes.
 
     ``ceil(num_mvms / d)`` takes O(sqrt(num_mvms)) distinct values; only the
-    smallest ``d`` achieving each value matters.
+    smallest ``d`` achieving each value matters.  The fast path computes
+    the same set with one vectorized scan (the reference walks every
+    window count in Python) and memoizes the curve per
+    ``(num_mvms, cap)`` — the only two quantities it depends on.
     """
     cap = min(p.max_useful_dup, budget // p.cores_per_replica)
+    key = ("useful", p.num_mvms, cap)
+    if cache is not None:
+        hit = cache.get_useful_dups(key)
+        if hit is not None:
+            return hit
+    if fastpath_enabled() and p.num_mvms >= _VECTORIZE_MIN_MVMS:
+        result = useful_dup_options(p.num_mvms, cap).tolist()
+    else:
+        result = _useful_dups_scan(p.num_mvms, cap)
+    if cache is not None:
+        cache.put_useful_dups(key, result)
+    return result
+
+
+#: Below this window count the Python scan beats the numpy kernel (array
+#: setup dominates); both produce the identical set, so the cutoff is a
+#: pure tuning knob.
+_VECTORIZE_MIN_MVMS = 512
+
+
+def _useful_dups_scan(num_mvms: int, cap: int) -> List[int]:
+    """Reference scan over window counts (see :func:`_useful_dups`)."""
     options = {1}
-    windows = p.num_mvms
+    windows = num_mvms
     k = math.ceil(windows / 1)
     while k > 1:
         k -= 1
@@ -63,7 +98,8 @@ def _useful_dups(p: OpProfile, budget: int) -> List[int]:
     return sorted(options)
 
 
-def _min_total_exact(cim: List[OpProfile], budget: int) -> Dict[str, int]:
+def _min_total_exact(cim: List[OpProfile], budget: int,
+                     cache: Optional["CompileCache"] = None) -> Dict[str, int]:
     """Exact knapsack-style DP over (operator, cores-spent)."""
     inf = float("inf")
     dp = [0.0] + [inf] * budget
@@ -71,7 +107,7 @@ def _min_total_exact(cim: List[OpProfile], budget: int) -> Dict[str, int]:
     for p in cim:
         ndp = [inf] * (budget + 1)
         nchoice: List[Dict[str, int]] = [dict() for _ in range(budget + 1)]
-        for d in _useful_dups(p, budget):
+        for d in _useful_dups(p, budget, cache):
             cost = d * p.cores_per_replica
             lat = p.latency(d)
             for b in range(cost, budget + 1):
@@ -85,14 +121,37 @@ def _min_total_exact(cim: List[OpProfile], budget: int) -> Dict[str, int]:
     return {p.name: choice[best_b].get(p.name, 1) for p in cim}
 
 
-def duplicate_min_total(profiles: Sequence[OpProfile], budget: int) -> Dict[str, int]:
+def duplicate_min_total(profiles: Sequence[OpProfile], budget: int,
+                        cache: Optional["CompileCache"] = None
+                        ) -> Dict[str, int]:
     """Duplication counts minimizing total (un-pipelined) latency.
 
     Small instances solve exactly by dynamic programming; large instances
     use a marginal-gain greedy over *useful* duplication jumps (the latency
     curve restricted to those points is convex in spent cores, where greedy
     is optimal up to the final partial jump).
+
+    With a :class:`~repro.perf.CompileCache` the whole search result is
+    memoized on ``(profile tuple, budget)`` — profiles are frozen
+    dataclasses carrying every quantity the search reads, so equal keys
+    guarantee equal answers across segments, series, and sweep points.
     """
+    key = None
+    if cache is not None:
+        key = ("min_total", budget, tuple(profiles))
+        hit = cache.get_dups(key)
+        if hit is not None:
+            return hit
+    dups = _duplicate_min_total(profiles, budget, cache)
+    if key is not None:
+        cache.put_dups(key, dups)
+    return dups
+
+
+def _duplicate_min_total(profiles: Sequence[OpProfile], budget: int,
+                         cache: Optional["CompileCache"] = None
+                         ) -> Dict[str, int]:
+    """Uncached body of :func:`duplicate_min_total`."""
     dups = {p.name: 1 for p in profiles}
     cim = [p for p in profiles if p.is_cim]
     need = sum(p.cores_per_replica for p in cim)
@@ -103,7 +162,7 @@ def duplicate_min_total(profiles: Sequence[OpProfile], budget: int) -> Dict[str,
     if not cim:
         return dups
     if budget <= _EXACT_DP_BUDGET:
-        dups.update(_min_total_exact(cim, budget))
+        dups.update(_min_total_exact(cim, budget, cache))
         return dups
 
     remaining = budget - need
@@ -152,11 +211,13 @@ def duplicate_min_total(profiles: Sequence[OpProfile], budget: int) -> Dict[str,
         dups[name] = d_to
         remaining -= cost
         push(p)
-    return _refine_exchange(cim, budget, dups)
+    return _refine_exchange(cim, budget, dups, cache)
 
 
 def _refine_exchange(cim: List[OpProfile], budget: int,
-                     dups: Dict[str, int]) -> Dict[str, int]:
+                     dups: Dict[str, int],
+                     cache: Optional["CompileCache"] = None
+                     ) -> Dict[str, int]:
     """Pairwise-exchange hill climbing after the jump greedy.
 
     The greedy is exchange-optimal on each operator's convex
@@ -168,7 +229,7 @@ def _refine_exchange(cim: List[OpProfile], budget: int,
     plus (when needed) lowering a single donor operator, accepting the
     best strictly-improving move until none remains.
     """
-    levels = {p.name: _useful_dups(p, budget) for p in cim}
+    levels = {p.name: _useful_dups(p, budget, cache) for p in cim}
     free = budget - sum(p.cores_per_replica * dups[p.name] for p in cim)
     # Each accepted move strictly lowers total latency; the cap only
     # guards against float-epsilon cycling.
@@ -217,13 +278,34 @@ def _refine_exchange(cim: List[OpProfile], budget: int,
 
 
 def duplicate_min_bottleneck(profiles: Sequence[OpProfile],
-                             budget: int) -> Dict[str, int]:
+                             budget: int,
+                             cache: Optional["CompileCache"] = None
+                             ) -> Dict[str, int]:
     """Duplication counts minimizing the pipelined bottleneck stage latency.
 
     Binary search over the target bottleneck ``T``: the cheapest feasible
     duplication for a target is ``d_i = ceil(compute_i / T)``, so feasibility
-    is monotone in ``T``.
+    is monotone in ``T``.  On the fast path the ~60 bisection steps
+    evaluate the per-operator feasibility test as array expressions
+    (:class:`~repro.perf.kernels.BottleneckSearch`) instead of a Python
+    loop, and the whole result is memoized on ``(profile tuple, budget)``
+    when a :class:`~repro.perf.CompileCache` is attached.
     """
+    key = None
+    if cache is not None:
+        key = ("min_bottleneck", budget, tuple(profiles))
+        hit = cache.get_dups(key)
+        if hit is not None:
+            return hit
+    dups = _duplicate_min_bottleneck(profiles, budget)
+    if key is not None:
+        cache.put_dups(key, dups)
+    return dups
+
+
+def _duplicate_min_bottleneck(profiles: Sequence[OpProfile],
+                              budget: int) -> Dict[str, int]:
+    """Uncached body of :func:`duplicate_min_bottleneck`."""
     dups = {p.name: 1 for p in profiles}
     cim = [p for p in profiles if p.is_cim and p.num_mvms > 0]
     if not cim:
@@ -246,8 +328,13 @@ def duplicate_min_bottleneck(profiles: Sequence[OpProfile],
         return min(p.max_useful_dup,
                    math.ceil(p.num_mvms / max(1, windows_per_replica)))
 
-    def cost(target: float) -> int:
-        return sum(p.cores_per_replica * dup_for_target(p, target) for p in cim)
+    if fastpath_enabled():
+        search = BottleneckSearch(cim, budget)
+        cost = search.cost
+    else:
+        def cost(target: float) -> int:
+            return sum(p.cores_per_replica * dup_for_target(p, target)
+                       for p in cim)
 
     lo = max(p.mvm_cycles_base for p in cim)              # best possible
     hi = max(p.latency(1) for p in cim)                   # no duplication
@@ -333,9 +420,17 @@ def balance_for_bandwidth(graph: Graph, profiles: Dict[str, OpProfile],
 
 
 def pipelined_latency(decisions: Sequence[OpDecision]) -> float:
-    """Latency of one pipelined segment: bottleneck plus fills."""
+    """Latency of one pipelined segment: bottleneck plus fills.
+
+    The fast path evaluates every decision's latency/fill in one
+    vectorized pass; ``np.argmax`` keeps the reference's first-wins
+    bottleneck tie-breaking and :func:`~repro.perf.kernels.seq_sum` its
+    left-to-right fill summation, so the value is bit-identical.
+    """
     if not decisions:
         return 0.0
+    if fastpath_enabled():
+        return segment_cycles(decisions, pipelined=True)[2]
     lats = [d.latency() for d in decisions]
     bottleneck = max(lats)
     fills = sum(d.fill() for d in decisions) - \
@@ -345,20 +440,47 @@ def pipelined_latency(decisions: Sequence[OpDecision]) -> float:
 
 def sequential_latency(decisions: Sequence[OpDecision]) -> float:
     """Latency of one segment without the inter-operator pipeline."""
+    if fastpath_enabled() and decisions:
+        return segment_cycles(decisions, pipelined=False)[2]
     return sum(d.latency() for d in decisions)
 
 
 def segment_graph(graph: Graph, profiles: Dict[str, OpProfile],
                   arch: CIMArchitecture,
                   pipelined: bool = True,
-                  duplicate: bool = True) -> List[List[str]]:
+                  duplicate: bool = True,
+                  cache: Optional["CompileCache"] = None) -> List[List[str]]:
     """Resource-adaptive compute-graph segmentation (Fig. 9(b)).
 
     Greedily grows maximal topological prefixes that fit chip capacity, then
     refines each candidate by popping trailing nodes while the (pipelined)
     latency of the remaining subgraph keeps decreasing.
+
+    With a :class:`~repro.perf.CompileCache` the resulting segmentation
+    is memoized on the profile contents (frozen dataclasses in
+    topological order) plus the core budget and the two gates — the
+    only inputs the algorithm reads.
     """
     order = [n.name for n in graph.topological()]
+    key = None
+    if cache is not None:
+        key = ("segments", arch.chip.core_number, pipelined, duplicate,
+               tuple((n, profiles[n]) for n in order))
+        hit = cache.get_segments(key)
+        if hit is not None:
+            return hit
+    segments = _segment_graph(order, profiles, arch, pipelined, duplicate,
+                              cache)
+    if key is not None:
+        cache.put_segments(key, segments)
+    return segments
+
+
+def _segment_graph(order: List[str], profiles: Dict[str, OpProfile],
+                   arch: CIMArchitecture, pipelined: bool, duplicate: bool,
+                   cache: Optional["CompileCache"] = None
+                   ) -> List[List[str]]:
+    """Uncached body of :func:`segment_graph`."""
     budget = arch.chip.core_number
     segments: List[List[str]] = []
     start = 0
@@ -388,13 +510,13 @@ def segment_graph(graph: Graph, profiles: Dict[str, OpProfile],
             # improving (popping frees cores for duplicating the rest; the
             # popped work moves to the next segment).
             best_density = _segment_density(
-                segment, profiles, arch, pipelined)
+                segment, profiles, arch, pipelined, cache)
             while len(segment) > 1:
                 candidate = segment[:-1]
                 if not any(profiles[n].is_cim for n in candidate):
                     break  # never shrink to a CIM-free segment
                 density = _segment_density(
-                    candidate, profiles, arch, pipelined)
+                    candidate, profiles, arch, pipelined, cache)
                 if density < best_density:
                     best_density = density
                     best_segment = list(candidate)
@@ -407,21 +529,23 @@ def segment_graph(graph: Graph, profiles: Dict[str, OpProfile],
 
 
 def _segment_density(names: Sequence[str], profiles: Dict[str, OpProfile],
-                     arch: CIMArchitecture, pipelined: bool) -> float:
+                     arch: CIMArchitecture, pipelined: bool,
+                     cache: Optional["CompileCache"] = None) -> float:
     """Optimized segment latency per unit of un-duplicated work."""
     latency = _segment_latency(names, profiles, arch, pipelined,
-                               duplicate=True)
+                               duplicate=True, cache=cache)
     work = sum(profiles[n].latency(1) for n in names)
     return latency / max(1.0, work)
 
 
 def _segment_latency(names: Sequence[str], profiles: Dict[str, OpProfile],
                      arch: CIMArchitecture, pipelined: bool,
-                     duplicate: bool) -> float:
+                     duplicate: bool,
+                     cache: Optional["CompileCache"] = None) -> float:
     seg_profiles = [profiles[n] for n in names]
     if duplicate:
         search = duplicate_min_bottleneck if pipelined else duplicate_min_total
-        dups = search(seg_profiles, arch.chip.core_number)
+        dups = search(seg_profiles, arch.chip.core_number, cache)
     else:
         dups = {p.name: 1 for p in seg_profiles}
     decisions = [OpDecision(profiles[n], dup_cg=dups[n]) for n in names]
@@ -437,18 +561,26 @@ def _segment_latency(names: Sequence[str], profiles: Dict[str, OpProfile],
 
 def schedule_cg(graph: Graph, arch: CIMArchitecture,
                 pipelined: bool = True, duplicate: bool = True,
-                cost_model: Optional[CostModel] = None) -> Schedule:
-    """Run CG-grained optimization and return a CG-level :class:`Schedule`."""
-    cm = cost_model or CostModel(arch)
+                cost_model: Optional[CostModel] = None,
+                cache: Optional["CompileCache"] = None) -> Schedule:
+    """Run CG-grained optimization and return a CG-level :class:`Schedule`.
+
+    ``cache`` (or the cost model's attached cache) memoizes profiles,
+    segmentation, and duplication searches across compilations.
+    """
+    cm = cost_model or CostModel(arch, cache=cache)
+    if cache is None:
+        cache = cm.cache
     profiles = cm.profiles(graph)
-    segments = segment_graph(graph, profiles, arch, pipelined, duplicate)
+    segments = segment_graph(graph, profiles, arch, pipelined, duplicate,
+                             cache)
     decisions: Dict[str, OpDecision] = {}
     for seg_idx, seg in enumerate(segments):
         seg_profiles = [profiles[n] for n in seg]
         if duplicate:
             search = duplicate_min_bottleneck if pipelined \
                 else duplicate_min_total
-            dups = search(seg_profiles, arch.chip.core_number)
+            dups = search(seg_profiles, arch.chip.core_number, cache)
             dups = balance_for_bandwidth(graph, profiles, dups, arch)
         else:
             dups = {n: 1 for n in seg}

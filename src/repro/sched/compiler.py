@@ -11,7 +11,7 @@ optimization levels can be truncated (``max_level``) or feature-gated
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from ..arch import CIMArchitecture, ComputingMode
 from ..errors import ScheduleError
@@ -21,6 +21,9 @@ from .costs import CostModel
 from .mvm import schedule_mvm
 from .schedule import Schedule
 from .vvm import schedule_vvm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf import CompileCache
 
 _LEVEL_ORDER = ("CG", "MVM", "VVM")
 
@@ -78,10 +81,12 @@ class CIMMLC:
     """
 
     def __init__(self, arch: CIMArchitecture,
-                 options: Optional[CompilerOptions] = None) -> None:
+                 options: Optional[CompilerOptions] = None,
+                 cache: Optional["CompileCache"] = None) -> None:
         self.arch = arch
         self.options = options or CompilerOptions()
-        self.cost_model = CostModel(arch)
+        self.cache = cache
+        self.cost_model = CostModel(arch, cache=cache)
 
     # ------------------------------------------------------------------
 
@@ -103,6 +108,7 @@ class CIMMLC:
             pipelined=opts.pipeline,
             duplicate=opts.duplicate,
             cost_model=self.cost_model,
+            cache=self.cache,
         )
         if "MVM" in levels:
             sched = schedule_mvm(sched, stagger=opts.mvm_stagger,

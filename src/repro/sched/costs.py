@@ -27,11 +27,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..arch import BitBinding, CIMArchitecture, ComputingMode, VXBShape, bind
 from ..errors import ScheduleError
 from ..graph import Graph, Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf import CompileCache
 
 
 #: Digital ops that re-gather data (windows / global reductions) and so pay
@@ -113,12 +116,22 @@ class OpProfile:
 
 
 class CostModel:
-    """Derives :class:`OpProfile` objects for one (graph, architecture)."""
+    """Derives :class:`OpProfile` objects for one (graph, architecture).
+
+    Pass a :class:`~repro.perf.CompileCache` to share the derived
+    profile dicts across compilations: the cache key is the
+    architecture *value* (frozen dataclass), the bit binding, and the
+    graph's content signature, so any two evaluations with equal inputs
+    reuse the same frozen profiles no matter which subsystem (sweep
+    point, serve tenant, shard stage) asked first.
+    """
 
     def __init__(self, arch: CIMArchitecture,
-                 bit_binding: BitBinding = BitBinding.XBC) -> None:
+                 bit_binding: BitBinding = BitBinding.XBC,
+                 cache: Optional["CompileCache"] = None) -> None:
         self.arch = arch
         self.bit_binding = bit_binding
+        self.cache = cache
 
     # ------------------------------------------------------------------
 
@@ -207,8 +220,20 @@ class CostModel:
         )
 
     def profiles(self, graph: Graph) -> Dict[str, OpProfile]:
-        """Profiles for every node, keyed by node name."""
-        return {n.name: self.profile(graph, n) for n in graph.topological()}
+        """Profiles for every node, keyed by node name (memoized when a
+        :class:`~repro.perf.CompileCache` is attached)."""
+        key = None
+        if self.cache is not None:
+            key = ("profiles", self.arch, self.bit_binding,
+                   graph.signature())
+            hit = self.cache.get_profiles(key)
+            if hit is not None:
+                return hit
+        result = {n.name: self.profile(graph, n)
+                  for n in graph.topological()}
+        if key is not None:
+            self.cache.put_profiles(key, result)
+        return result
 
     # ------------------------------------------------------------------
 

@@ -25,9 +25,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..arch import CIMArchitecture
 from ..errors import ScheduleError
 from ..graph import Graph
+from ..perf import fastpath_enabled
 from .schedule import Schedule
 
 #: core assignment: node name -> list of physical core ids (all replicas).
@@ -218,6 +221,7 @@ def place_greedy(schedule: Schedule, segment: int = 0,
     cores = _resolve_region(schedule, region)
     hop = _hop_matrix(schedule, cores if io_anchor is None
                       else [*cores, io_anchor], die_cores)
+    hop_arr: Optional[np.ndarray] = None   # built lazily on the fast path
     free = set(cores)
     placement: Placement = {}
     inbound: Dict[str, List[Tuple[str, int]]] = {}
@@ -238,7 +242,21 @@ def place_greedy(schedule: Schedule, segment: int = 0,
             io_bits = _io_traffic_bits(schedule, name)
             if io_bits > 0:
                 anchors.append((io_anchor, io_bits))
-        if anchors:
+        if anchors and fastpath_enabled():
+            # Vectorized candidate scoring, bit-identical to the scalar
+            # `attraction` below: the accumulate applies the same
+            # anchor-order additions, and lexsort reproduces the
+            # (cost, core) tie-breaking of the tuple sort.
+            if hop_arr is None:
+                hop_arr = np.asarray(hop, dtype=np.float64)
+            candidates = sorted(free)
+            a_idx = [a for a, _ in anchors]
+            weights = np.asarray([float(w) for _, w in anchors])
+            weighted = weights[:, None] * hop_arr[a_idx][:, candidates]
+            costs = np.add.accumulate(weighted, axis=0)[-1]
+            order = np.lexsort((np.asarray(candidates), costs))
+            chosen = [candidates[i] for i in order[:need]]
+        elif anchors:
             def attraction(core: int) -> Tuple[float, int]:
                 return (sum(w * hop[a][core] for a, w in anchors), core)
 

@@ -28,6 +28,7 @@ from ..arch import CIMArchitecture
 from ..errors import CapacityError, ScheduleError
 from ..graph import Graph
 from ..models import get_model
+from ..perf import CompileCache, fastpath_enabled
 from ..sched import CIMMLC, CompilerOptions
 from ..sched.costs import CostModel
 from ..sched.placement import annotate_placement
@@ -36,6 +37,13 @@ from .workload import TenantSpec
 
 #: Serving plan modes.
 MODES = ("spatial", "temporal")
+
+
+def _implicit_cache() -> Optional[CompileCache]:
+    """A planner-owned :class:`~repro.perf.CompileCache` — an *implicit*
+    acceleration layer, so it is gated on the fast-path switch (an
+    explicit ``cache=`` argument is honoured regardless)."""
+    return CompileCache() if fastpath_enabled() else None
 
 
 @dataclass(frozen=True)
@@ -123,10 +131,11 @@ def resolve_graphs(specs: Sequence[TenantSpec]) -> Dict[str, Graph]:
     return {spec.name: get_model(spec.model) for spec in specs}
 
 
-def min_cores(graph: Graph, arch: CIMArchitecture) -> int:
+def min_cores(graph: Graph, arch: CIMArchitecture,
+              cache: Optional[CompileCache] = None) -> int:
     """Smallest core count keeping the whole model resident (duplication
     1, single segment) — the floor a spatial region must clear."""
-    profiles = CostModel(arch).profiles(graph)
+    profiles = CostModel(arch, cache=cache).profiles(graph)
     return sum(p.cores_per_replica for p in profiles.values() if p.is_cim)
 
 
@@ -197,24 +206,28 @@ def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                  options: Optional[CompilerOptions] = None,
                  place: bool = True,
                  alloc: Optional[Dict[str, int]] = None,
-                 blocks: int = 8) -> ServingPlan:
+                 blocks: int = 8,
+                 cache: Optional[CompileCache] = None) -> ServingPlan:
     """Compile every tenant onto its own region of the chip.
 
     Region sizes come from :func:`partition_cores` (min-max water-filling
     on measured service intervals) unless ``alloc`` pins them explicitly;
     each tenant is compiled for its region's core count and (optionally)
     placed onto the region's physical cores with the communication-aware
-    greedy placement.
+    greedy placement.  One :class:`~repro.perf.CompileCache` (supplied
+    or created here) is shared by every water-filling compilation.
     """
+    cache = cache or _implicit_cache()
     graphs = resolve_graphs(specs)
-    floors = {s.name: min_cores(graphs[s.name], arch) for s in specs}
+    floors = {s.name: min_cores(graphs[s.name], arch, cache=cache)
+              for s in specs}
     results: Dict[Tuple[str, int], "CompilationResult"] = {}
 
     def compiled(spec: TenantSpec, cores: int):
         key = (spec.name, cores)
         if key not in results:
-            results[key] = CIMMLC(arch.with_cores(cores),
-                                  options).compile(graphs[spec.name])
+            results[key] = CIMMLC(arch.with_cores(cores), options,
+                                  cache=cache).compile(graphs[spec.name])
         return results[key]
 
     if alloc is None:
@@ -254,14 +267,16 @@ def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
 
 
 def plan_temporal(arch: CIMArchitecture, specs: Sequence[TenantSpec],
-                  options: Optional[CompilerOptions] = None) -> ServingPlan:
+                  options: Optional[CompilerOptions] = None,
+                  cache: Optional[CompileCache] = None) -> ServingPlan:
     """The time-multiplexed baseline: full chip per tenant, a complete
     weight reprogram (``weight_load_cycles``) on every tenant switch."""
+    cache = cache or _implicit_cache()
     graphs = resolve_graphs(specs)
     tenants: List[TenantPlan] = []
     all_cores = tuple(range(arch.chip.core_number))
     for spec in specs:
-        result = CIMMLC(arch, options).compile(graphs[spec.name])
+        result = CIMMLC(arch, options, cache=cache).compile(graphs[spec.name])
         tenants.append(TenantPlan(
             spec=spec,
             cores=all_cores,
@@ -276,7 +291,8 @@ def plan_temporal(arch: CIMArchitecture, specs: Sequence[TenantSpec],
 
 def plan_sharded(system: "MultiChipSystem", specs: Sequence[TenantSpec],
                  options: Optional[CompilerOptions] = None,
-                 blocks: int = 4) -> ServingPlan:
+                 blocks: int = 4,
+                 cache: Optional[CompileCache] = None) -> ServingPlan:
     """Serve tenants that each *span several chips* of a multi-chip system.
 
     The system's chips are water-filled among tenants with the same
@@ -305,8 +321,11 @@ def plan_sharded(system: "MultiChipSystem", specs: Sequence[TenantSpec],
     """
     from ..scale import min_chips, shard
 
+    cache = cache or _implicit_cache()
     graphs = resolve_graphs(specs)
-    floors = {s.name: min_chips(graphs[s.name], system.chip)
+    floor_cm = CostModel(system.chip, cache=cache)
+    floors = {s.name: min_chips(graphs[s.name], system.chip,
+                                cost_model=floor_cm)
               for s in specs}
     plans: Dict[Tuple[str, int], "ShardPlan"] = {}
 
@@ -314,7 +333,7 @@ def plan_sharded(system: "MultiChipSystem", specs: Sequence[TenantSpec],
         key = (spec.name, chips)
         if key not in plans:
             plans[key] = shard(graphs[spec.name],
-                               system.block(chips), options)
+                               system.block(chips), options, cache=cache)
         return plans[key]
 
     alloc = partition_cores(
@@ -348,7 +367,10 @@ def make_plan(mode: str, arch: CIMArchitecture, specs: Sequence[TenantSpec],
     if mode == "spatial":
         return plan_spatial(arch, specs, options, **kwargs)
     if mode == "temporal":
-        return plan_temporal(arch, specs, options)
+        # Forward only what plan_temporal accepts; spatial-only kwargs
+        # (alloc=/blocks=) stay ignored here, as they always were.
+        return plan_temporal(arch, specs, options,
+                             cache=kwargs.get("cache"))
     if mode == "sharded":
         system = kwargs.pop("system", None)
         if system is None:

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from ..arch import CIMArchitecture
+from ..perf import fastpath_enabled
+from ..perf.kernels import segment_cycles
 from ..sched.cg import pipelined_latency, sequential_latency
 from ..sched.costs import reconfiguration_cycles
 from ..sched.schedule import OpDecision, Schedule
@@ -111,19 +113,37 @@ class PerformanceSimulator:
         self.power_model = PowerModel(arch)
 
     def run(self, schedule: Schedule) -> PerformanceReport:
-        """Simulate one inference under ``schedule``."""
+        """Simulate one inference under ``schedule``.
+
+        On the fast path every operator's latency and fill are evaluated
+        in one vectorized pass per segment
+        (:func:`~repro.perf.kernels.segment_cycles`, the same kernel
+        behind :func:`~repro.sched.cg.pipelined_latency`); the reference
+        path evaluates them per-decision.  Both produce bit-identical
+        reports — the kernel preserves the reference's first-wins
+        bottleneck tie-breaking and left-to-right summation order.
+        """
         segments: List[SegmentTiming] = []
         op_latency: Dict[str, float] = {}
         compute_total = 0.0
         reconf_total = 0.0
         multi_segment = len(schedule.segments) > 1
         weight_load = 0.0
+        fast = fastpath_enabled()
         for seg_idx in range(len(schedule.segments)):
             decisions = schedule.segment_decisions(seg_idx)
-            for d in decisions:
-                op_latency[d.profile.name] = d.latency()
-            cycles = (pipelined_latency(decisions) if schedule.pipelined
-                      else sequential_latency(decisions))
+            if fast and decisions:
+                lats, b_idx, cycles = segment_cycles(
+                    decisions, schedule.pipelined)
+                for d, lat in zip(decisions, lats):
+                    op_latency[d.profile.name] = float(lat)
+            else:
+                for d in decisions:
+                    op_latency[d.profile.name] = d.latency()
+                cycles = (pipelined_latency(decisions) if schedule.pipelined
+                          else sequential_latency(decisions))
+                b_idx = max(range(len(decisions)),
+                            key=lambda i: decisions[i].latency())
             seg_profiles = {d.profile.name: d.profile for d in decisions}
             weight_load += reconfiguration_cycles(seg_profiles, self.arch)
             reconf = 0.0
@@ -134,13 +154,13 @@ class PerformanceSimulator:
                     # idle cores while the current segment computes; only
                     # the non-hidden part of the reload stalls.
                     reconf = max(0.0, reconf - cycles)
-            bottleneck = max(decisions, key=lambda d: d.latency())
+            bottleneck = decisions[b_idx]
             segments.append(SegmentTiming(
                 index=seg_idx,
                 cycles=cycles,
                 reconfiguration=reconf,
                 bottleneck=bottleneck.profile.name,
-                bottleneck_cycles=bottleneck.latency(),
+                bottleneck_cycles=op_latency[bottleneck.profile.name],
             ))
             compute_total += cycles
             reconf_total += reconf
