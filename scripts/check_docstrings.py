@@ -8,8 +8,8 @@ set of findings as ``ruff check --select D1`` with magic methods and
 offline container and in CI.
 
 Scope (the documented public surface): ``repro/__init__.py``,
-``repro/arch/presets.py``, and every module of ``repro.explore``,
-``repro.serve``, ``repro.scale``.
+``repro/arch/presets.py``, ``repro/sim/power.py``, and every module of
+``repro.explore``, ``repro.serve``, ``repro.scale``, ``repro.perf``.
 
 Run:  python scripts/check_docstrings.py [SRC_ROOT]
 """
@@ -24,6 +24,7 @@ SCOPED = [
     "repro/__init__.py",
     "repro/arch/presets.py",
     "repro/arch/link.py",
+    "repro/sim/power.py",
     "repro/explore",
     "repro/serve",
     "repro/scale",

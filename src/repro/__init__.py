@@ -71,7 +71,7 @@ from .explore import SweepPoint, SweepResult, SweepRunner, SweepSpace
 from .perf import CompileCache, fastpath, fastpath_enabled
 from .scale import ShardPlan, shard
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CIMArchitecture",

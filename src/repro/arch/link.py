@@ -50,6 +50,12 @@ class ChipLink:
     serialization_overhead:
         Multiplier >= 1 on the serialization term for framing/packet
         overhead (1.0 = ideal wire).
+    energy_per_bit:
+        Energy moving one payload bit across one hop (same arbitrary
+        units as :mod:`repro.sim.power`; the default is 100x the on-die
+        :data:`~repro.sim.power.E_MOVE_PER_BIT` — board-level SerDes
+        costs roughly two orders of magnitude more per bit than an
+        on-die wire).
 
     Example
     -------
@@ -58,11 +64,14 @@ class ChipLink:
     60.0
     >>> link.serialization_cycles(1280)   # occupancy, latency excluded
     10.0
+    >>> link.transfer_energy(1000, hops=2)  # 1000 * 0.015 * 2
+    30.0
     """
 
     bandwidth_bits: float = 512.0
     latency_cycles: float = 100.0
     serialization_overhead: float = 1.0
+    energy_per_bit: float = 0.015
 
     def __post_init__(self) -> None:
         """Validate positive bandwidth and non-negative overheads."""
@@ -76,6 +85,9 @@ class ChipLink:
             raise ArchitectureError(
                 f"serialization_overhead must be >= 1, got "
                 f"{self.serialization_overhead}")
+        if self.energy_per_bit < 0:
+            raise ArchitectureError(
+                f"energy_per_bit must be >= 0, got {self.energy_per_bit}")
 
     def serialization_cycles(self, bits: float) -> float:
         """Cycles the channel is *occupied* pushing ``bits`` through one
@@ -93,6 +105,16 @@ class ChipLink:
         if hops == 0 or bits <= 0:
             return 0.0
         return hops * self.latency_cycles + self.serialization_cycles(bits)
+
+    def transfer_energy(self, bits: float, hops: int = 1) -> float:
+        """Energy for one ``bits`` message over ``hops`` links — every
+        hop re-drives the wire, so energy (unlike serialization) scales
+        with the hop count."""
+        if hops < 0:
+            raise ArchitectureError(f"hops must be >= 0, got {hops}")
+        if hops == 0 or bits <= 0:
+            return 0.0
+        return bits * self.energy_per_bit * hops
 
 
 @dataclass(frozen=True)
@@ -172,6 +194,10 @@ class MultiChipSystem:
         """End-to-end cycles moving ``bits`` from chip ``src`` to ``dst``."""
         return self.link.transfer_cycles(bits, self.hops(src, dst))
 
+    def transfer_energy(self, src: int, dst: int, bits: float) -> float:
+        """Energy moving ``bits`` from chip ``src`` to ``dst``."""
+        return self.link.transfer_energy(bits, self.hops(src, dst))
+
     # -- variation helpers (sweep axes) --------------------------------
 
     def with_chips(self, num_chips: int) -> "MultiChipSystem":
@@ -212,6 +238,7 @@ class MultiChipSystem:
                 "bandwidth_bits": self.link.bandwidth_bits,
                 "latency_cycles": self.link.latency_cycles,
                 "serialization_overhead": self.link.serialization_overhead,
+                "energy_per_bit": self.link.energy_per_bit,
             },
             "total_cores": self.total_cores,
             "total_capacity_bits": self.total_capacity_bits,

@@ -11,7 +11,10 @@ Commands
 ``shard``     Shard a model across a multi-chip system; print per-chip
               placement, the link schedule, and the pipeline estimate.
 ``serve``     Multi-tenant serving simulation (spatial / temporal /
-              sharded multi-chip plans) under a request trace.
+              sharded multi-chip plans) under a request trace,
+              optionally under a chip-level peak-power budget.
+``power``     Per-model energy/power breakdown table (Section 4.2
+              components plus weight-write costs).
 ``describe``  Print the Abs-arch abstraction of a preset (Figs. 17-19 style).
 ``codegen``   Emit the meta-operator program for a small model.
 ``presets``   List architecture presets.
@@ -113,6 +116,50 @@ def cmd_bench(args) -> None:
         print(f"wrote {args.out}", file=sys.stderr)
 
 
+def cmd_power(args) -> None:
+    from .errors import CIMError
+
+    arch = _preset(args.arch)
+    rows = []
+    for name in args.models.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        graph = _model(name)
+        try:
+            report = CIMMLC(arch).compile(graph).report
+        except CIMError as exc:
+            raise SystemExit(str(exc))
+        p = report.power
+        rows.append({
+            "model": graph.name,
+            "energy_per_inference": report.energy_per_inference,
+            "peak_power": p.peak_power,
+            "avg_power": p.avg_power,
+            "peak_active_crossbars": p.peak_active_crossbars,
+            "weight_write_energy": report.weight_write_energy,
+            "breakdown": p.breakdown(),
+        })
+    if not rows:
+        raise SystemExit("--models needs at least one model name")
+    if args.format == "json":
+        print(json.dumps({"arch": arch.name, "models": rows}, indent=1))
+        return
+    print(f"power/energy on {arch.name} "
+          f"(cell {arch.xb.cell_type.value}, arbitrary units; "
+          f"see docs/ENERGY.md)")
+    print(f"{'model':<12} {'energy/inf':>14} {'peak':>10} {'avg':>9} "
+          f"{'xb%':>5} {'conv%':>6} {'move%':>6} {'reconf%':>8} "
+          f"{'write energy':>14}")
+    for r in rows:
+        b = r["breakdown"]
+        print(f"{r['model']:<12} {r['energy_per_inference']:>14,.0f} "
+              f"{r['peak_power']:>10,.1f} {r['avg_power']:>9,.2f} "
+              f"{b['crossbar']:>5.0%} {b['converter']:>6.0%} "
+              f"{b['movement']:>6.1%} {b['reconfiguration']:>8.1%} "
+              f"{r['weight_write_energy']:>14,.0f}")
+
+
 def cmd_codegen(args) -> None:
     from .mops import emit
     from .quant import random_weights
@@ -136,9 +183,10 @@ def cmd_sweep(args) -> None:
         SweepRunner,
         SweepSpace,
         default_cache_dir,
-        frontier_labels,
         level_series,
         metric_result,
+        pareto_frontier,
+        resolve_objectives,
         speedup_result,
         to_csv,
         to_json,
@@ -156,6 +204,8 @@ def cmd_sweep(args) -> None:
     try:
         series = level_series(args.levels.split(","))
         space = SweepSpace.grid(base, graph, vary, series=series)
+        objectives = resolve_objectives(
+            [o.strip() for o in args.objectives.split(",") if o.strip()])
     except Exception as exc:
         raise SystemExit(str(exc))
 
@@ -170,10 +220,12 @@ def cmd_sweep(args) -> None:
           f"{'' if cache_dir else ', cache disabled'})", file=sys.stderr)
 
     if args.format == "json":
-        print(to_json(sweep, pareto=args.pareto))
+        print(to_json(sweep, pareto=args.pareto, objectives=objectives,
+                      power_budget=args.power_budget))
         return
     if args.format == "csv":
-        print(to_csv(sweep, pareto=args.pareto), end="")
+        print(to_csv(sweep, pareto=args.pareto, objectives=objectives,
+                     power_budget=args.power_budget), end="")
         return
     has_baseline = any(p.series == "baseline" for p in space)
     if has_baseline:
@@ -185,9 +237,16 @@ def cmd_sweep(args) -> None:
             sweep, "sweep", f"{graph.name} on {base.name} (total cycles)",
             unit=" cyc")
     print(table.table())
+    results = list(sweep)
+    if args.power_budget is not None:
+        results = [r for r in results
+                   if r.peak_power <= args.power_budget]
+        print(f"power budget {args.power_budget:g}: {len(results)}/"
+              f"{len(sweep)} points feasible")
     if args.pareto:
-        print("pareto frontier (min cycles, min peak power): "
-              + ", ".join(frontier_labels(sweep)))
+        frontier = pareto_frontier(results, objectives)
+        print(f"pareto frontier (min {', '.join(objectives)}): "
+              + ", ".join(f"{r.label}/{r.series}" for r in frontier))
 
 
 def _system(args):
@@ -306,6 +365,10 @@ def cmd_serve(args) -> None:
             raise SystemExit(
                 "--rates capacity sweeps support spatial/temporal modes; "
                 "run sharded mode with a single --rate")
+        if args.mode == "sharded" and args.power_budget is not None:
+            raise SystemExit(
+                "--power-budget applies to spatial/temporal modes; the "
+                "sharded planner has no per-chip down-duplication yet")
 
         if args.rates:
             from .explore import SweepRunner, default_cache_dir
@@ -324,7 +387,8 @@ def cmd_serve(args) -> None:
                 seed=args.seed, slo_factor=args.slo_factor,
                 max_queue=args.max_queue,
                 runner=SweepRunner(workers=args.workers,
-                                   cache_dir=cache_dir))
+                                   cache_dir=cache_dir),
+                power_budget=args.power_budget)
             if args.format == "json":
                 print(json.dumps([
                     {"rate_per_mcycle": p.rate_per_mcycle, "mode": p.mode,
@@ -342,7 +406,8 @@ def cmd_serve(args) -> None:
             if mode == "sharded":
                 plan = make_plan(mode, arch, specs, system=_system(args))
             else:
-                plan = make_plan(mode, arch, specs)
+                plan = make_plan(mode, arch, specs,
+                                 power_budget=args.power_budget)
             reports[mode] = simulate(plan, trace, policy=policy,
                                      max_queue=args.max_queue,
                                      slo_factor=args.slo_factor)
@@ -422,7 +487,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("table", "csv", "json"),
                    default="table")
     p.add_argument("--pareto", action="store_true",
-                   help="report the Pareto frontier (cycles vs. peak power)")
+                   help="report the Pareto frontier under --objectives")
+    p.add_argument("--objectives", default="total_cycles,peak_power",
+                   metavar="OBJ1,OBJ2,...",
+                   help="Pareto objectives, all minimized: summary keys "
+                        "or aliases (latency, energy, "
+                        "energy_per_inference, power, area, cores); "
+                        "e.g. latency,energy,area")
+    p.add_argument("--power-budget", type=float, default=None,
+                   metavar="POWER",
+                   help="feasibility cap on peak power: annotates/filters "
+                        "points and restricts the Pareto frontier")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -489,6 +564,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-queue", type=int, default=None,
                    help="per-tenant queue bound (arrivals beyond it are "
                         "rejected)")
+    p.add_argument("--power-budget", type=float, default=None,
+                   metavar="POWER",
+                   help="chip-level peak-power budget: the spatial "
+                        "planner down-duplicates tenants to fit it, the "
+                        "temporal planner rejects over-budget tenants "
+                        "(spatial/temporal modes only)")
     p.add_argument("--workers", type=int, default=1,
                    help="compile workers for --rates sweeps")
     p.add_argument("--cache-dir", default=None,
@@ -516,6 +597,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the JSON to PATH (e.g. BENCH_PR4.json)")
     p.add_argument("--format", choices=("table", "json"), default="table")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "power",
+        help="per-model energy/power breakdown on a preset",
+        description="Compile each model with the full multi-level "
+                    "scheduler and print its energy-per-inference, peak "
+                    "and average power, and the Section 4.2 energy "
+                    "breakdown (crossbar activation / ADC-DAC conversion "
+                    "/ data movement / weight reconfiguration), plus the "
+                    "full weight-write energy a serving system pays to "
+                    "(re)deploy the model.  See docs/ENERGY.md for the "
+                    "model behind the numbers.")
+    p.add_argument("--arch", "--preset", dest="arch",
+                   default="isaac-baseline",
+                   help="architecture preset (unique prefixes accepted)")
+    p.add_argument("--models", "--model", dest="models",
+                   default="resnet18", metavar="MODEL,...",
+                   help="comma list of model-zoo entries")
+    p.add_argument("--format", choices=("table", "json"), default="table")
+    p.set_defaults(fn=cmd_power)
 
     p = sub.add_parser("codegen",
                        help="emit a meta-operator program (small models)")

@@ -29,11 +29,15 @@ True
 """
 
 from .pareto import (
+    DEFAULT_OBJECTIVES,
+    ENERGY_OBJECTIVES,
+    OBJECTIVE_ALIASES,
     attribute_bottleneck,
     attribute_sweep,
     dominates,
     frontier_labels,
     pareto_frontier,
+    resolve_objectives,
 )
 from .report import metric_result, speedup_result, to_csv, to_json
 from .runner import (
@@ -59,7 +63,10 @@ from .space import (
 )
 
 __all__ = [
+    "DEFAULT_OBJECTIVES",
+    "ENERGY_OBJECTIVES",
     "LEVEL_SERIES",
+    "OBJECTIVE_ALIASES",
     "PointResult",
     "ResultCache",
     "SCALE_AXES",
@@ -79,6 +86,7 @@ __all__ = [
     "level_series",
     "metric_result",
     "pareto_frontier",
+    "resolve_objectives",
     "resolve_variation",
     "speedup_result",
     "summarize_multichip",

@@ -4,7 +4,10 @@ Two analyses an architect runs after a design-space sweep:
 
 * :func:`pareto_frontier` — which design points are non-dominated under a
   chosen set of objectives (default: latency vs. peak power, both
-  minimized)?
+  minimized)?  Objectives are summary keys or their friendly aliases
+  (:data:`OBJECTIVE_ALIASES`: ``latency`` / ``energy`` / ``power`` /
+  ``area`` …); :data:`ENERGY_OBJECTIVES` is the three-way
+  latency x energy x area frontier of an energy-aware study.
 * :func:`attribute_bottleneck` — *why* is a point slow: weight
   reconfiguration between segments, crossbar compute waves, or NoC/buffer
   traffic?  Shares are derived from the performance summary's
@@ -16,10 +19,39 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from ..errors import ArchitectureError
 from .runner import PointResult, SweepResult
 
 #: Default objectives: minimize single-inference latency and peak power.
 DEFAULT_OBJECTIVES = ("total_cycles", "peak_power")
+
+#: The energy study's default: minimize latency, per-inference energy,
+#: and resident crossbar area together (``repro sweep --objectives
+#: latency,energy_per_inference,area``).
+ENERGY_OBJECTIVES = ("total_cycles", "energy_per_inference",
+                     "area_crossbars")
+
+#: Friendly objective spellings -> summary keys (all minimized).
+OBJECTIVE_ALIASES = {
+    "latency": "total_cycles",
+    "cycles": "total_cycles",
+    "interval": "steady_state_interval",
+    "energy": "energy_total",
+    "power": "peak_power",
+    "area": "area_crossbars",
+    "cores": "cores_used",
+}
+
+
+def resolve_objectives(objectives: Sequence[str]) -> Tuple[str, ...]:
+    """Canonical summary keys for ``objectives`` (alias-resolved).
+
+    Unknown names pass through — any scalar summary key is a legal
+    objective — but an empty list is rejected eagerly.
+    """
+    if not objectives:
+        raise ArchitectureError("at least one Pareto objective is required")
+    return tuple(OBJECTIVE_ALIASES.get(o, o) for o in objectives)
 
 
 def _objective_vector(result: PointResult,
@@ -39,10 +71,12 @@ def pareto_frontier(results: Sequence[PointResult],
                     ) -> List[PointResult]:
     """The non-dominated subset of ``results``, in input order.
 
-    ``objectives`` are summary keys, all minimized; negate upstream (or add
-    a derived key) for maximization.  Duplicated objective vectors are all
-    kept — they dominate each other in neither direction.
+    ``objectives`` are summary keys or :data:`OBJECTIVE_ALIASES`
+    spellings, all minimized; negate upstream (or add a derived key) for
+    maximization.  Duplicated objective vectors are all kept — they
+    dominate each other in neither direction.
     """
+    objectives = resolve_objectives(objectives)
     vectors = [_objective_vector(r, objectives) for r in results]
     frontier = []
     for i, r in enumerate(results):

@@ -23,6 +23,8 @@ METRIC_KEYS = (
     "total_cycles", "compute_cycles", "reconfiguration_cycles",
     "noc_cycles", "steady_state_interval", "weight_load_cycles",
     "peak_power", "avg_power", "peak_active_crossbars",
+    "energy_total", "energy_per_inference", "area_crossbars",
+    "cores_used",
 )
 
 
@@ -44,18 +46,37 @@ def rows(sweep: SweepResult) -> List[Dict]:
     return out
 
 
+def _annotate(records: List[Dict], sweep: SweepResult, pareto: bool,
+              objectives: Sequence[str],
+              power_budget: Optional[float]) -> None:
+    """Add the ``within_power_budget`` / ``pareto`` columns in place.
+
+    With a power budget the frontier is extracted over the feasible
+    points only (an infeasible point can never be marked ``pareto``).
+    """
+    points = list(sweep)
+    if power_budget is not None:
+        for record, r in zip(records, points):
+            record["within_power_budget"] = r.peak_power <= power_budget
+        points = [r for r in points if r.peak_power <= power_budget]
+    if pareto:
+        frontier = {id(r) for r in pareto_frontier(points, objectives)}
+        for record, r in zip(records, sweep):
+            record["pareto"] = id(r) in frontier
+
+
 def to_csv(sweep: SweepResult, pareto: bool = False,
-           objectives: Sequence[str] = DEFAULT_OBJECTIVES) -> str:
+           objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+           power_budget: Optional[float] = None) -> str:
     """Render the sweep as CSV text (header + one row per point).
 
     With ``pareto=True`` a boolean ``pareto`` column marks membership in
-    the non-dominated frontier under ``objectives``.
+    the non-dominated frontier under ``objectives``; with a
+    ``power_budget`` each row gains ``within_power_budget`` and the
+    frontier is restricted to feasible points.
     """
     records = rows(sweep)
-    if pareto:
-        frontier = {id(r) for r in pareto_frontier(list(sweep), objectives)}
-        for record, r in zip(records, sweep):
-            record["pareto"] = id(r) in frontier
+    _annotate(records, sweep, pareto, objectives, power_budget)
     fieldnames = list(records[0]) if records else \
         ["label", "series", "arch", "model", "levels", "cached",
          *METRIC_KEYS]
@@ -68,17 +89,17 @@ def to_csv(sweep: SweepResult, pareto: bool = False,
 
 def to_json(sweep: SweepResult, pareto: bool = False,
             objectives: Sequence[str] = DEFAULT_OBJECTIVES,
-            indent: Optional[int] = 1) -> str:
+            indent: Optional[int] = 1,
+            power_budget: Optional[float] = None) -> str:
     """Render the sweep as a JSON document with cache statistics.
 
     With ``pareto=True`` each point gains a ``"pareto"`` flag marking
-    membership in the non-dominated frontier under ``objectives``.
+    membership in the non-dominated frontier under ``objectives``; with
+    a ``power_budget`` each point gains ``within_power_budget`` and the
+    frontier is restricted to feasible points.
     """
     records = rows(sweep)
-    if pareto:
-        frontier = {id(r) for r in pareto_frontier(list(sweep), objectives)}
-        for record, r in zip(records, sweep):
-            record["pareto"] = id(r) in frontier
+    _annotate(records, sweep, pareto, objectives, power_budget)
     doc = {
         "points": records,
         "cache": {"hits": sweep.cache_hits, "misses": sweep.cache_misses,

@@ -31,7 +31,11 @@ from ..sim.performance import PerformanceReport
 from .space import SweepPoint, SweepSpace
 
 #: Cache layout version; bump when the summary schema changes.
-CACHE_VERSION = 2
+#: v3: energy metrics (``energy_total``, ``energy_per_inference``,
+#: ``weight_write_energy``, the ``reconfiguration`` breakdown component)
+#: and the area proxies (``area_crossbars``, ``cores_used``) — see the
+#: migration note in docs/PERFORMANCE.md.
+CACHE_VERSION = 3
 
 #: Cap on the worker-pool graph registry: beyond this many distinct
 #: graphs the registry resets on pool re-creation instead of growing
@@ -48,12 +52,17 @@ def default_cache_dir() -> str:
 
 
 def summarize_report(report: PerformanceReport,
-                     noc_cycles: float = 0.0) -> Dict:
+                     noc_cycles: float = 0.0,
+                     crossbars_used: int = 0,
+                     cores_used: int = 0) -> Dict:
     """Flatten a :class:`PerformanceReport` into a JSON-able summary dict.
 
     ``noc_cycles`` is the schedule's total data-movement budget (NoC +
     buffer traffic, overlapped with compute) — kept for bottleneck
     attribution, which the report itself does not carry.
+    ``crossbars_used`` / ``cores_used`` are the schedule's peak resident
+    hardware footprint (the area proxies the report does not carry
+    either; :func:`evaluate_point` reads them off the schedule).
     """
     return {
         "schedule_levels": list(report.schedule_levels),
@@ -65,13 +74,19 @@ def summarize_report(report: PerformanceReport,
         "steady_state_interval": report.steady_state_interval,
         "segment_intervals": list(report.segment_intervals),
         "weight_load_cycles": report.weight_load_cycles,
+        "weight_write_energy": report.weight_write_energy,
         "peak_power": report.power.peak_power,
         "avg_power": report.power.avg_power,
         "peak_active_crossbars": report.power.peak_active_crossbars,
+        "energy_total": report.power.total_energy,
+        "energy_per_inference": report.energy_per_inference,
+        "area_crossbars": crossbars_used,
+        "cores_used": cores_used,
         "energy": {
             "crossbar": report.power.energy_crossbar,
             "converter": report.power.energy_converter,
             "movement": report.power.energy_movement,
+            "reconfiguration": report.power.energy_reconfiguration,
         },
         "segments": [
             {
@@ -87,7 +102,9 @@ def summarize_report(report: PerformanceReport,
 
 
 def summarize_multichip(report: "MultiChipReport",
-                        noc_cycles: float = 0.0) -> Dict:
+                        noc_cycles: float = 0.0,
+                        crossbars_used: int = 0,
+                        cores_used: int = 0) -> Dict:
     """Flatten a :class:`~repro.sim.performance.MultiChipReport` into the
     same summary schema as :func:`summarize_report` (so tables, Pareto
     extraction, and the serve bridge work unchanged), plus a ``scale``
@@ -95,7 +112,9 @@ def summarize_multichip(report: "MultiChipReport",
 
     ``noc_cycles`` carries the stages' total on-die data-movement budget
     (same convention as :func:`summarize_report`) so bottleneck
-    attribution treats multi-chip points like single-chip ones.
+    attribution treats multi-chip points like single-chip ones;
+    ``crossbars_used`` / ``cores_used`` sum each stage's peak resident
+    footprint (stages are resident concurrently).
     """
     return {
         "schedule_levels": list(report.stages[0].schedule_levels
@@ -110,14 +129,22 @@ def summarize_multichip(report: "MultiChipReport",
         "segment_intervals": list(report.stage_intervals),
         "weight_load_cycles": sum(r.weight_load_cycles
                                   for r in report.stages),
+        "weight_write_energy": report.weight_write_energy,
         "peak_power": report.peak_power,
         "avg_power": sum(r.power.avg_power for r in report.stages),
         "peak_active_crossbars": sum(r.power.peak_active_crossbars
                                      for r in report.stages),
+        "energy_total": report.total_energy,
+        "energy_per_inference": report.energy_per_inference,
+        "area_crossbars": crossbars_used,
+        "cores_used": cores_used,
         "energy": {
             "crossbar": sum(r.power.energy_crossbar for r in report.stages),
             "converter": sum(r.power.energy_converter for r in report.stages),
             "movement": sum(r.power.energy_movement for r in report.stages),
+            "reconfiguration": sum(r.power.energy_reconfiguration
+                                   for r in report.stages),
+            "link": report.link_energy,
         },
         "segments": [],
         "scale": {
@@ -126,8 +153,23 @@ def summarize_multichip(report: "MultiChipReport",
             "stage_latencies": [r.total_cycles for r in report.stages],
             "link_intervals": list(report.link_intervals),
             "link_bits": [t.bits for t in report.transfers],
+            "chip_peak_powers": list(report.chip_peak_powers),
+            "link_energy": report.link_energy,
         },
     }
+
+
+def _peak_crossbars(schedule) -> int:
+    """Most crossbars resident at once (the area proxy: segments swap,
+    so residency peaks over segments rather than summing)."""
+    return max((schedule.crossbars_used(i)
+                for i in range(len(schedule.segments))), default=0)
+
+
+def _peak_cores(schedule) -> int:
+    """Most cores occupied at once (see :func:`_peak_crossbars`)."""
+    return max((schedule.cores_used(i)
+                for i in range(len(schedule.segments))), default=0)
 
 
 #: Per-process compile cache shared by every point this process
@@ -165,7 +207,10 @@ def evaluate_point(point: SweepPoint,
         noc = sum(d.profile.mov_cycles
                   for sched in plan.schedules
                   for d in sched.decisions.values())
-        return summarize_multichip(plan.report, noc_cycles=noc)
+        return summarize_multichip(
+            plan.report, noc_cycles=noc,
+            crossbars_used=sum(_peak_crossbars(s) for s in plan.schedules),
+            cores_used=sum(_peak_cores(s) for s in plan.schedules))
     if point.options is None:
         result = no_optimization(point.graph, point.arch, cache=cache)
     else:
@@ -175,7 +220,9 @@ def evaluate_point(point: SweepPoint,
     noc = sum(d.profile.mov_cycles
               for i in range(len(sched.segments))
               for d in sched.segment_decisions(i))
-    return summarize_report(result.report, noc_cycles=noc)
+    return summarize_report(result.report, noc_cycles=noc,
+                            crossbars_used=_peak_crossbars(sched),
+                            cores_used=_peak_cores(sched))
 
 
 # ---------------------------------------------------------------------------
@@ -299,6 +346,11 @@ class PointResult:
     def peak_power(self) -> float:
         """Peak power of the point, from the summary."""
         return self.summary["peak_power"]
+
+    @property
+    def energy_per_inference(self) -> float:
+        """Energy one inference consumes at this point, from the summary."""
+        return self.summary["energy_per_inference"]
 
 
 @dataclass

@@ -171,6 +171,40 @@ def _bench_perf_sim(quick: bool) -> Tuple[Callable, int]:
     return workload, repeats
 
 
+@_bench("power")
+def _bench_power(quick: bool) -> Tuple[Callable, int]:
+    """The power/energy model alone, on a prebuilt schedule.
+
+    Isolates what energy reporting costs on top of the latency
+    simulation: comparing this workload's per-evaluation wall clock
+    against ``perf_sim``'s (which runs the full simulator, power
+    included) bounds the energy-reporting share of the hot path — the
+    docs/ENERGY.md <5%-overhead claim.  The evaluation is deliberately
+    scalar on both paths (a tiny loop), so the speedup column is ~1x by
+    design; the digest check still pins reference/fast equality.
+    """
+    from ..sched import CIMMLC
+    from ..sim.power import PowerModel
+
+    graph, arch = _compile_inputs(quick)
+    schedule = CIMMLC(arch).schedule(graph)
+    repeats = 20 if quick else 50
+
+    def workload():
+        model = PowerModel(arch)
+        report = None
+        for _ in range(repeats):
+            report = model.evaluate(schedule, total_cycles=1e6)
+        return {"peak_power": report.peak_power,
+                "avg_power": report.avg_power,
+                "energy": [report.energy_crossbar, report.energy_converter,
+                           report.energy_movement,
+                           report.energy_reconfiguration],
+                "write_energy": model.weight_write_energy(schedule)}
+
+    return workload, repeats
+
+
 @_bench("sweep_fig22")
 def _bench_sweep_fig22(quick: bool) -> Tuple[Callable, int]:
     """The Fig. 22(a) sensitivity sweep (ViT-Tiny, all four series)."""

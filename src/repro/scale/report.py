@@ -36,7 +36,8 @@ def placement_table(plan: ShardPlan) -> str:
             f"{chip.chip.core_number}, weights "
             f"{bits / 8e6:.2f}/{chip.chip_capacity_bits / 8e6:.2f} MB, "
             f"latency {rep.total_cycles:,.0f}, interval "
-            f"{rep.steady_state_interval:,.0f}")
+            f"{rep.steady_state_interval:,.0f}, peak power "
+            f"{rep.power.peak_power:,.1f}")
         lines.append(f"   {names[0]} ... {names[-1]}"
                      if len(names) > 2 else f"   {', '.join(names)}")
     return "\n".join(lines)
@@ -57,12 +58,13 @@ def link_table(plan: ShardPlan) -> str:
     if not plan.report.transfers:
         return "no inter-chip transfers (single stage)"
     lines = [f"{'link':>10} {'stages':>10} {'bits':>12} {'hops':>5} "
-             f"{'cycles':>10} {'occupancy':>10}"]
+             f"{'cycles':>10} {'occupancy':>10} {'energy':>10}"]
     for t in plan.report.transfers:
         lines.append(
             f"{t.src_chip:>4} -> {t.dst_chip:<3} "
             f"{t.src_stage:>4}->{t.dst_stage:<4} {t.bits:>12,} "
-            f"{t.hops:>5} {t.cycles:>10,.0f} {t.occupancy:>10,.1f}")
+            f"{t.hops:>5} {t.cycles:>10,.0f} {t.occupancy:>10,.1f} "
+            f"{t.energy:>10,.1f}")
     return "\n".join(lines)
 
 
@@ -85,7 +87,10 @@ def pipeline_summary(plan: ShardPlan,
         f"(fill); steady-state interval: "
         f"{rep.steady_state_interval:,.0f} cycles "
         f"({rep.throughput * 1e6:.2f} inf/Mcycle)",
-        f"peak power (all chips): {rep.peak_power:,.1f}",
+        f"peak power (all chips): {rep.peak_power:,.1f} "
+        f"(per chip: {', '.join(f'{p:,.1f}' for p in rep.chip_peak_powers)})",
+        f"energy/inference: {rep.total_energy:,.1f} "
+        f"(inter-chip links {rep.link_energy:,.1f})",
     ]
     if single is not None:
         lines.append(

@@ -135,6 +135,9 @@ class ShardPlan:
                     "latency_cycles": self.report.stages[i].total_cycles,
                     "interval_cycles":
                         self.report.stages[i].steady_state_interval,
+                    "peak_power": self.report.stages[i].power.peak_power,
+                    "energy_per_inference":
+                        self.report.stages[i].power.total_energy,
                 }
                 for i, names in enumerate(self.stages)
             ],
@@ -144,6 +147,7 @@ class ShardPlan:
                     "src_stage": t.src_stage, "dst_stage": t.dst_stage,
                     "bits": t.bits, "hops": t.hops,
                     "cycles": t.cycles, "occupancy": t.occupancy,
+                    "energy": t.energy,
                 }
                 for t in self.report.transfers
             ],
@@ -152,6 +156,9 @@ class ShardPlan:
                 "steady_state_interval": self.report.steady_state_interval,
                 "throughput": self.report.throughput,
                 "peak_power": self.report.peak_power,
+                "energy_per_inference": self.report.total_energy,
+                "link_energy": self.report.link_energy,
+                "weight_write_energy": self.report.weight_write_energy,
             },
         }
 
@@ -210,6 +217,7 @@ def shard(graph: Graph, system: MultiChipSystem,
             bits=bits, hops=system.hops(src, dst),
             cycles=system.transfer_cycles(src, dst, bits),
             occupancy=system.link.serialization_cycles(bits),
+            energy=system.transfer_energy(src, dst, bits),
         )
         for src, dst, bits in stage_transfers(graph, stages)
     ]

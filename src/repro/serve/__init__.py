@@ -47,6 +47,7 @@ from .partition import (
     ServiceProfile,
     ServingPlan,
     TenantPlan,
+    fit_power_budget,
     make_plan,
     min_cores,
     partition_cores,
@@ -87,6 +88,7 @@ __all__ = [
     "bursty_trace",
     "capacity_table",
     "diurnal_trace",
+    "fit_power_budget",
     "make_plan",
     "make_trace",
     "min_cores",

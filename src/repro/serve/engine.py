@@ -138,6 +138,7 @@ class _Executor:
     busy_cycles: float = 0.0
     switch_cycles: float = 0.0
     switches: int = 0
+    energy: float = 0.0              # batches + weight reprograms
 
     def plan(self, tenant: str) -> TenantPlan:
         for t in self.tenants:
@@ -194,6 +195,7 @@ class ServingEngine:
         }
         rejected = {name: 0 for name in queues}
         batch_sizes: Dict[str, List[int]] = {name: [] for name in queues}
+        tenant_energy: Dict[str, float] = {name: 0.0 for name in queues}
         horizon = 0.0
 
         def try_dispatch(ex: _Executor, now: float) -> None:
@@ -225,8 +227,10 @@ class ServingEngine:
             batch = q[:self.policy.max_size]
             del q[:len(batch)]
             switch = 0.0
+            switch_energy = 0.0
             if ex.resident != best.spec.name:
                 switch = best.service.switch_cycles
+                switch_energy = best.service.switch_energy
                 if ex.resident is not None or switch > 0:
                     ex.switches += 1
                 ex.resident = best.spec.name
@@ -235,6 +239,9 @@ class ServingEngine:
             ex.busy_until = done
             ex.busy_cycles += switch + service
             ex.switch_cycles += switch
+            energy = switch_energy + best.service.batch_energy(len(batch))
+            ex.energy += energy
+            tenant_energy[best.spec.name] += energy
             batch_sizes[best.spec.name].append(len(batch))
             horizon = max(horizon, done)
             heapq.heappush(events, (done, seq, _COMPLETE,
@@ -279,10 +286,11 @@ class ServingEngine:
             horizon=horizon,
             executors=[
                 (ex.name, [t.spec.name for t in ex.tenants],
-                 ex.busy_cycles, ex.switch_cycles, ex.switches)
+                 ex.busy_cycles, ex.switch_cycles, ex.switches, ex.energy)
                 for ex in self.executors
             ],
             slo_factor=slo_factor,
+            tenant_energy=tenant_energy,
         )
 
 

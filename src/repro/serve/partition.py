@@ -54,11 +54,18 @@ class ServiceProfile:
     ``interval_cycles`` the pipelined steady-state admission interval;
     ``switch_cycles`` what the hardware pays to bring this tenant's
     weights onto its crossbars (zero when the tenant owns its region).
+    ``energy_per_inference`` / ``switch_energy`` are the energy twins of
+    the two service costs, and ``peak_power`` the tenant's worst-case
+    draw while computing — what a chip-level power budget water-fills
+    against.
     """
 
     latency_cycles: float
     interval_cycles: float
     switch_cycles: float = 0.0
+    energy_per_inference: float = 0.0
+    switch_energy: float = 0.0
+    peak_power: float = 0.0
 
     def batch_cycles(self, n: int) -> float:
         """Service cycles for ``n`` back-to-back inferences (no switch)."""
@@ -66,13 +73,28 @@ class ServiceProfile:
             return 0.0
         return self.latency_cycles + (n - 1) * self.interval_cycles
 
+    def batch_energy(self, n: int) -> float:
+        """Service energy for ``n`` back-to-back inferences (no switch)."""
+        if n < 1:
+            return 0.0
+        return n * self.energy_per_inference
+
     @classmethod
     def from_report(cls, report, switch_cycles: float = 0.0
                     ) -> "ServiceProfile":
-        """From a live :class:`~repro.sim.performance.PerformanceReport`."""
+        """From a live :class:`~repro.sim.performance.PerformanceReport`.
+
+        Switch energy mirrors switch cycles: a tenant that pays the
+        weight reprogram latency on a switch also pays its energy
+        (``report.weight_write_energy``); a resident tenant pays neither.
+        """
         return cls(latency_cycles=report.total_cycles,
                    interval_cycles=report.steady_state_interval,
-                   switch_cycles=switch_cycles)
+                   switch_cycles=switch_cycles,
+                   energy_per_inference=report.energy_per_inference,
+                   switch_energy=(report.weight_write_energy
+                                  if switch_cycles > 0 else 0.0),
+                   peak_power=report.power.peak_power)
 
     @classmethod
     def from_summary(cls, summary: Dict,
@@ -82,12 +104,19 @@ class ServiceProfile:
 
         ``switch_cycles`` defaults to the summary's ``weight_load_cycles``
         (the temporal-baseline cost); pass ``0.0`` for resident tenants.
+        Switch energy follows switch cycles (see :meth:`from_report`).
         """
         if switch_cycles is None:
             switch_cycles = float(summary.get("weight_load_cycles", 0.0))
         return cls(latency_cycles=float(summary["total_cycles"]),
                    interval_cycles=float(summary["steady_state_interval"]),
-                   switch_cycles=switch_cycles)
+                   switch_cycles=switch_cycles,
+                   energy_per_inference=float(
+                       summary.get("energy_per_inference", 0.0)),
+                   switch_energy=(float(
+                       summary.get("weight_write_energy", 0.0))
+                       if switch_cycles > 0 else 0.0),
+                   peak_power=float(summary.get("peak_power", 0.0)))
 
 
 @dataclass(frozen=True)
@@ -106,17 +135,33 @@ class ServingPlan:
 
     ``shared_executor`` is True for the temporal baseline (one chip-wide
     executor multiplexes all tenants) and False for spatial partitioning
-    (one executor per region, running concurrently).
+    (one executor per region, running concurrently).  ``power_budget``
+    records the chip-level peak-power cap the planner honoured
+    (``None`` = uncapped).
     """
 
     mode: str
     arch_name: str
     tenants: Tuple[TenantPlan, ...]
+    power_budget: Optional[float] = None
 
     @property
     def shared_executor(self) -> bool:
         """True when one chip-wide executor multiplexes all tenants."""
         return self.mode == "temporal"
+
+    @property
+    def peak_power(self) -> float:
+        """Worst-case concurrent draw of the whole plan.
+
+        Spatial/sharded tenants compute concurrently, so peaks sum; a
+        temporal chip runs one tenant at a time, so the worst single
+        tenant is the plan's peak.
+        """
+        peaks = [t.service.peak_power for t in self.tenants]
+        if not peaks:
+            return 0.0
+        return max(peaks) if self.shared_executor else sum(peaks)
 
     def tenant(self, name: str) -> TenantPlan:
         """Look up one tenant's plan by name."""
@@ -189,6 +234,44 @@ def partition_cores(arch: CIMArchitecture, specs: Sequence[TenantSpec],
     return alloc
 
 
+def fit_power_budget(specs: Sequence[TenantSpec],
+                     alloc: Dict[str, int],
+                     floors: Dict[str, int],
+                     peak_fn: Callable[[TenantSpec, int], float],
+                     block: int,
+                     power_budget: float) -> Dict[str, int]:
+    """Shrink core allocations until concurrent peak power fits the budget.
+
+    The reverse water-fill of :func:`partition_cores`: while the sum of
+    per-tenant peaks (``peak_fn(spec, units)``) exceeds ``power_budget``,
+    the hungriest tenant — highest peak power, name-ordered on ties — is
+    *down-duplicated* by shrinking its region ``block`` cores toward its
+    residency floor (fewer cores → less operator duplication → fewer
+    simultaneously active crossbars).  Freed cores are left dark: the
+    plan is power-bound, not core-bound.  Raises
+    :class:`~repro.errors.CapacityError` when every tenant already sits
+    at its floor and the mix still cannot fit — the tenant mix must be
+    rejected (or given more chips).
+    """
+    alloc = dict(alloc)
+
+    def total_peak() -> float:
+        return sum(peak_fn(s, alloc[s.name]) for s in specs)
+
+    while total_peak() > power_budget:
+        shrinkable = [s for s in specs if alloc[s.name] > floors[s.name]]
+        if not shrinkable:
+            raise CapacityError(
+                f"tenant mix needs peak power {total_peak():,.1f} even at "
+                f"residency floors but the budget is {power_budget:,g}; "
+                f"reject a tenant or raise the budget")
+        worst = max(shrinkable,
+                    key=lambda s: (peak_fn(s, alloc[s.name]), s.name))
+        alloc[worst.name] = max(floors[worst.name],
+                                alloc[worst.name] - max(1, block))
+    return alloc
+
+
 def _regions(specs: Sequence[TenantSpec],
              alloc: Dict[str, int]) -> Dict[str, Tuple[int, ...]]:
     """Contiguous physical-core blocks in tenant order (adjacent ids are
@@ -207,7 +290,8 @@ def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                  place: bool = True,
                  alloc: Optional[Dict[str, int]] = None,
                  blocks: int = 8,
-                 cache: Optional[CompileCache] = None) -> ServingPlan:
+                 cache: Optional[CompileCache] = None,
+                 power_budget: Optional[float] = None) -> ServingPlan:
     """Compile every tenant onto its own region of the chip.
 
     Region sizes come from :func:`partition_cores` (min-max water-filling
@@ -216,6 +300,13 @@ def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
     placed onto the region's physical cores with the communication-aware
     greedy placement.  One :class:`~repro.perf.CompileCache` (supplied
     or created here) is shared by every water-filling compilation.
+
+    With a ``power_budget`` the allocation is then shrunk by
+    :func:`fit_power_budget` until the tenants' summed peak power fits —
+    down-duplicating the hungriest tenants (the budget wins over an
+    explicit ``alloc``), or raising
+    :class:`~repro.errors.CapacityError` when the mix cannot fit even at
+    residency floors.
     """
     cache = cache or _implicit_cache()
     graphs = resolve_graphs(specs)
@@ -246,6 +337,13 @@ def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                 raise CapacityError(
                     f"tenant {s.name!r} needs {floors[s.name]} cores "
                     f"resident, allocated {alloc[s.name]}")
+    if power_budget is not None:
+        surplus = arch.chip.core_number - sum(floors.values())
+        alloc = fit_power_budget(
+            specs, alloc, floors,
+            lambda spec, cores: compiled(spec, cores).report.power.peak_power,
+            block=max(1, surplus // max(1, blocks)),
+            power_budget=power_budget)
     regions = _regions(specs, alloc)
     tenants: List[TenantPlan] = []
     for spec in specs:
@@ -263,20 +361,35 @@ def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
             schedule=result.schedule,
         ))
     return ServingPlan(mode="spatial", arch_name=arch.name,
-                       tenants=tuple(tenants))
+                       tenants=tuple(tenants), power_budget=power_budget)
 
 
 def plan_temporal(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                   options: Optional[CompilerOptions] = None,
-                  cache: Optional[CompileCache] = None) -> ServingPlan:
+                  cache: Optional[CompileCache] = None,
+                  power_budget: Optional[float] = None) -> ServingPlan:
     """The time-multiplexed baseline: full chip per tenant, a complete
-    weight reprogram (``weight_load_cycles``) on every tenant switch."""
+    weight reprogram (``weight_load_cycles``) on every tenant switch.
+
+    A temporal chip runs one tenant at a time, so a ``power_budget``
+    binds on the single hungriest tenant; a full-chip compilation cannot
+    be down-duplicated, so an over-budget tenant is *rejected*
+    (:class:`~repro.errors.CapacityError` — spatial partitioning can
+    reshape instead).
+    """
     cache = cache or _implicit_cache()
     graphs = resolve_graphs(specs)
     tenants: List[TenantPlan] = []
     all_cores = tuple(range(arch.chip.core_number))
     for spec in specs:
         result = CIMMLC(arch, options, cache=cache).compile(graphs[spec.name])
+        peak = result.report.power.peak_power
+        if power_budget is not None and peak > power_budget:
+            raise CapacityError(
+                f"tenant {spec.name!r} peaks at {peak:,.1f} on the full "
+                f"chip, over the {power_budget:,.1f} budget; use spatial "
+                f"partitioning (it can down-duplicate) or reject the "
+                f"tenant")
         tenants.append(TenantPlan(
             spec=spec,
             cores=all_cores,
@@ -286,7 +399,7 @@ def plan_temporal(arch: CIMArchitecture, specs: Sequence[TenantSpec],
             schedule=result.schedule,
         ))
     return ServingPlan(mode="temporal", arch_name=arch.name,
-                       tenants=tuple(tenants))
+                       tenants=tuple(tenants), power_budget=power_budget)
 
 
 def plan_sharded(system: "MultiChipSystem", specs: Sequence[TenantSpec],
@@ -351,7 +464,10 @@ def plan_sharded(system: "MultiChipSystem", specs: Sequence[TenantSpec],
             service=ServiceProfile(
                 latency_cycles=plan.report.total_cycles,
                 interval_cycles=plan.report.steady_state_interval,
-                switch_cycles=0.0),
+                switch_cycles=0.0,
+                energy_per_inference=plan.report.energy_per_inference,
+                switch_energy=0.0,
+                peak_power=plan.report.peak_power),
         ))
         cursor += n
     return ServingPlan(mode="sharded", arch_name=system.name,
@@ -370,8 +486,13 @@ def make_plan(mode: str, arch: CIMArchitecture, specs: Sequence[TenantSpec],
         # Forward only what plan_temporal accepts; spatial-only kwargs
         # (alloc=/blocks=) stay ignored here, as they always were.
         return plan_temporal(arch, specs, options,
-                             cache=kwargs.get("cache"))
+                             cache=kwargs.get("cache"),
+                             power_budget=kwargs.get("power_budget"))
     if mode == "sharded":
+        if kwargs.pop("power_budget", None) is not None:
+            raise ScheduleError(
+                "power budgets apply to spatial/temporal plans; the "
+                "sharded planner has no per-chip down-duplication yet")
         system = kwargs.pop("system", None)
         if system is None:
             from ..arch import MultiChipSystem

@@ -47,6 +47,14 @@ class TenantStats:
     batches: int
     mean_batch: float
     latencies: Tuple[float, ...]   # per-request, completion order
+    #: Energy this tenant's traffic consumed: every batch it dispatched
+    #: plus every weight reprogram its switches triggered.
+    energy: float = 0.0
+
+    @property
+    def energy_per_request(self) -> float:
+        """Mean energy per completed request (switch energy amortized)."""
+        return self.energy / self.completed if self.completed else 0.0
 
     def to_dict(self) -> Dict:
         """JSON-able export of this tenant's statistics."""
@@ -66,6 +74,8 @@ class TenantStats:
             "slo_attainment": self.slo_attainment,
             "batches": self.batches,
             "mean_batch": self.mean_batch,
+            "energy": self.energy,
+            "energy_per_request": self.energy_per_request,
             "latencies": list(self.latencies),
         }
 
@@ -80,6 +90,10 @@ class ExecutorStats:
     switch_cycles: float
     switches: int
     utilization: float
+    #: Energy this hardware share consumed over the scenario.
+    energy: float = 0.0
+    #: Worst-case draw of this share (its hungriest tenant's peak).
+    peak_power: float = 0.0
 
     def to_dict(self) -> Dict:
         """JSON-able export of this executor's occupancy."""
@@ -90,6 +104,8 @@ class ExecutorStats:
             "switch_cycles": self.switch_cycles,
             "switches": self.switches,
             "utilization": self.utilization,
+            "energy": self.energy,
+            "peak_power": self.peak_power,
         }
 
 
@@ -103,6 +119,8 @@ class ServeReport:
     horizon_cycles: float
     tenants: Tuple[TenantStats, ...]
     executors: Tuple[ExecutorStats, ...]
+    #: The chip-level peak-power cap the plan honoured (None = uncapped).
+    power_budget: Optional[float] = None
 
     # -- aggregates ----------------------------------------------------
 
@@ -166,6 +184,28 @@ class ServeReport:
         """Total cycles burnt reprogramming weights on tenant switches."""
         return sum(e.switch_cycles for e in self.executors)
 
+    @property
+    def total_energy(self) -> float:
+        """Energy the whole scenario consumed (all executors summed)."""
+        return sum(e.energy for e in self.executors)
+
+    @property
+    def avg_power(self) -> float:
+        """Mean draw over the horizon: total energy / simulated cycles."""
+        if self.horizon_cycles <= 0:
+            return 0.0
+        return self.total_energy / self.horizon_cycles
+
+    @property
+    def peak_power(self) -> float:
+        """Worst-case concurrent draw: regions sum (they compute at the
+        same time); a temporal chip runs one tenant at a time, so its
+        single executor already carries the max."""
+        if not self.executors:
+            return 0.0
+        peaks = [e.peak_power for e in self.executors]
+        return max(peaks) if self.mode == "temporal" else sum(peaks)
+
     # -- export --------------------------------------------------------
 
     def to_dict(self) -> Dict:
@@ -184,6 +224,10 @@ class ServeReport:
             "slo_attainment": self.slo_attainment,
             "utilization": self.utilization,
             "switch_cycles": self.switch_cycles,
+            "total_energy": self.total_energy,
+            "avg_power": self.avg_power,
+            "peak_power": self.peak_power,
+            "power_budget": self.power_budget,
             "tenants": [t.to_dict() for t in self.tenants],
             "executors": [e.to_dict() for e in self.executors],
         }
@@ -204,6 +248,10 @@ class ServeReport:
             f"{self.slo_attainment:.1%}",
             f"utilization {self.utilization:.1%} | reconfiguration "
             f"{self.switch_cycles:,.0f} cycles",
+            f"energy {self.total_energy:,.0f} | avg power "
+            f"{self.avg_power:,.3f} | peak power {self.peak_power:,.1f}"
+            + (f" (budget {self.power_budget:,.1f})"
+               if self.power_budget is not None else ""),
         ]
         header = (f"  {'tenant':<14} {'done':>6} {'rej':>5} {'p50':>10} "
                   f"{'p99':>12} {'req/Mcyc':>9} {'SLO':>7} {'batch':>6}")
@@ -224,13 +272,18 @@ def build_report(plan, policy_label: str,
                  batch_sizes: Dict[str, List[int]],
                  horizon: float,
                  executors: Sequence[Tuple],
-                 slo_factor: float = 10.0) -> ServeReport:
+                 slo_factor: float = 10.0,
+                 tenant_energy: Optional[Dict[str, float]] = None
+                 ) -> ServeReport:
     """Assemble a :class:`ServeReport` from raw engine tallies.
 
     Each tenant's SLO is its spec's absolute ``slo_cycles`` when set,
     otherwise ``slo_factor`` times its isolated single-inference latency
-    under this plan.
+    under this plan.  ``executors`` rows are ``(name, tenant names, busy,
+    switch cycles, switches, energy)``; ``tenant_energy`` carries the
+    engine's per-tenant energy tally (defaults to zero).
     """
+    tenant_energy = tenant_energy or {}
     tenant_stats: List[TenantStats] = []
     for tp in plan.tenants:
         name = tp.spec.name
@@ -259,6 +312,7 @@ def build_report(plan, policy_label: str,
             batches=len(sizes),
             mean_batch=sum(sizes) / len(sizes) if sizes else 0.0,
             latencies=tuple(lats),
+            energy=tenant_energy.get(name, 0.0),
         ))
     exec_stats = tuple(
         ExecutorStats(
@@ -268,8 +322,11 @@ def build_report(plan, policy_label: str,
             switch_cycles=switch,
             switches=switches,
             utilization=busy / horizon if horizon > 0 else 0.0,
+            energy=energy,
+            peak_power=max((plan.tenant(t).service.peak_power
+                            for t in tenant_names), default=0.0),
         )
-        for name, tenant_names, busy, switch, switches in executors
+        for name, tenant_names, busy, switch, switches, energy in executors
     )
     return ServeReport(
         mode=plan.mode,
@@ -278,4 +335,5 @@ def build_report(plan, policy_label: str,
         horizon_cycles=horizon,
         tenants=tuple(tenant_stats),
         executors=exec_stats,
+        power_budget=getattr(plan, "power_budget", None),
     )

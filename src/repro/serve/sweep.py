@@ -24,6 +24,7 @@ from .partition import (
     ServiceProfile,
     ServingPlan,
     TenantPlan,
+    fit_power_budget,
     min_cores,
     partition_cores,
     resolve_graphs,
@@ -56,14 +57,19 @@ def _summaries(runner: SweepRunner, points: List[SweepPoint]) -> List[Dict]:
 def build_plans(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                 modes: Sequence[str] = MODES,
                 options: Optional[CompilerOptions] = None,
-                runner: Optional[SweepRunner] = None
+                runner: Optional[SweepRunner] = None,
+                power_budget: Optional[float] = None
                 ) -> Dict[str, ServingPlan]:
     """Serving plans per mode, compiled through the explore cache.
 
     Unlike :func:`~repro.serve.partition.make_plan` (live compiles and
     region placement), plans built here carry no schedules — only the
     cached service summaries the engine needs — so a warm cache makes
-    them essentially free.
+    them essentially free.  A ``power_budget`` is honoured exactly like
+    the live planners: the spatial allocation is shrunk via
+    :func:`~repro.serve.partition.fit_power_budget` (every probe riding
+    the cache) and an over-budget temporal tenant raises
+    :class:`~repro.errors.CapacityError`.
     """
     for mode in modes:
         if mode not in MODES:
@@ -107,6 +113,17 @@ def build_plans(arch: CIMArchitecture, specs: Sequence[TenantSpec],
         batch.extend((s, floors[s.name]) for s in specs)
     prefetch(batch)
     if "temporal" in modes:
+        if power_budget is not None:
+            from ..errors import CapacityError
+
+            for s in specs:
+                peak = float(
+                    summary_for(s, arch.chip.core_number)["peak_power"])
+                if peak > power_budget:
+                    raise CapacityError(
+                        f"tenant {s.name!r} peaks at {peak:,.1f} on the "
+                        f"full chip, over the {power_budget:,.1f} budget; "
+                        f"use spatial partitioning or reject the tenant")
         all_cores = tuple(range(arch.chip.core_number))
         plans["temporal"] = ServingPlan(
             mode="temporal", arch_name=arch.name,
@@ -116,11 +133,20 @@ def build_plans(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                     service=ServiceProfile.from_summary(
                         summary_for(s, arch.chip.core_number)))
                 for s in specs
-            ))
+            ),
+            power_budget=power_budget)
     if "spatial" in modes:
         alloc = partition_cores(
             arch, specs, floors,
             lambda spec, cores: summary_for(spec, cores)["total_cycles"])
+        if power_budget is not None:
+            surplus = arch.chip.core_number - sum(floors.values())
+            alloc = fit_power_budget(
+                specs, alloc, floors,
+                lambda spec, cores: float(
+                    summary_for(spec, cores)["peak_power"]),
+                block=max(1, surplus // 8),
+                power_budget=power_budget)
         regions = _regions(specs, alloc)
         plans["spatial"] = ServingPlan(
             mode="spatial", arch_name=arch.name,
@@ -130,7 +156,8 @@ def build_plans(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                     service=ServiceProfile.from_summary(
                         summary_for(s, alloc[s.name]), switch_cycles=0.0))
                 for s in specs
-            ))
+            ),
+            power_budget=power_budget)
     return plans
 
 
@@ -144,17 +171,19 @@ def serve_sweep(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                 slo_factor: float = 10.0,
                 max_queue: Optional[int] = None,
                 options: Optional[CompilerOptions] = None,
-                runner: Optional[SweepRunner] = None
+                runner: Optional[SweepRunner] = None,
+                power_budget: Optional[float] = None
                 ) -> List[ServeSweepPoint]:
     """Run the full capacity grid; compilations hit the explore cache.
 
     ``rates`` are requests per cycle.  Each rate generates one seeded
     trace shared by every (mode, policy) cell, so cells differ only in
-    the serving configuration.
+    the serving configuration.  ``power_budget`` caps every plan's
+    concurrent peak power (see :func:`build_plans`).
     """
     policies = list(policies) or [TimeoutBatch(max_size=8, timeout=50_000.0)]
     plans = build_plans(arch, specs, modes=modes, options=options,
-                        runner=runner)
+                        runner=runner, power_budget=power_budget)
     out: List[ServeSweepPoint] = []
     for rate in rates:
         trace = make_trace(trace_kind, specs, rate, num_requests, seed=seed)

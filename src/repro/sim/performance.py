@@ -49,10 +49,25 @@ class PerformanceReport:
     #: scratch — the cost a serving system pays to (re)deploy this model
     #: onto the chip, e.g. when a time-multiplexed chip switches tenants.
     weight_load_cycles: float = 0.0
+    #: Energy of that full weight (re)program — the energy twin of
+    #: ``weight_load_cycles``, charged by serving on tenant switches.
+    weight_write_energy: float = 0.0
 
     def speedup_over(self, other: "PerformanceReport") -> float:
         """``other.total / self.total`` — how much faster this run is."""
         return other.total_cycles / self.total_cycles
+
+    @property
+    def energy_per_inference(self) -> float:
+        """Energy one inference consumes end to end.
+
+        The power model's four components summed (crossbar activation,
+        ADC/DAC conversion, data movement, and — for multi-segment
+        schedules — the per-inference segment-swap weight rewrites).
+        Invariant under streaming: pipelining changes *power*, not the
+        energy each inference pays.
+        """
+        return self.power.total_energy
 
     @property
     def segment_intervals(self) -> Tuple[float, ...]:
@@ -95,6 +110,8 @@ class PerformanceReport:
             f"{self.reconfiguration_cycles:,.0f})",
             f"peak active crossbars: {self.power.peak_active_crossbars:,} "
             f"peak power: {self.power.peak_power:,.1f}",
+            f"energy/inference: {self.power.total_energy:,.1f} "
+            f"(avg power {self.power.avg_power:,.3f})",
         ]
         for seg in self.segments:
             lines.append(
@@ -176,6 +193,8 @@ class PerformanceSimulator:
             op_latency=op_latency,
             power=power,
             weight_load_cycles=weight_load,
+            weight_write_energy=self.power_model.weight_write_energy(
+                schedule),
         )
 
 
@@ -203,6 +222,9 @@ class LinkTransfer:
     hops: int
     cycles: float
     occupancy: float
+    #: Energy of this transfer per inference
+    #: (:meth:`repro.arch.ChipLink.transfer_energy`).
+    energy: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -325,12 +347,44 @@ class MultiChipReport:
         """Chips compute concurrently, so peak power sums over stages."""
         return sum(r.power.peak_power for r in self.stages)
 
+    @property
+    def chip_peak_powers(self) -> Tuple[float, ...]:
+        """Per-stage (= per-chip) peak power, in stage order."""
+        return tuple(r.power.peak_power for r in self.stages)
+
+    @property
+    def link_energy(self) -> float:
+        """Energy of all inter-chip activation transfers per inference."""
+        return sum(t.energy for t in self.transfers)
+
+    @property
+    def total_energy(self) -> float:
+        """Energy of one inference across the whole pipeline: every
+        stage's on-die energy plus every inter-chip transfer."""
+        return sum(r.power.total_energy for r in self.stages) \
+            + self.link_energy
+
+    @property
+    def energy_per_inference(self) -> float:
+        """Alias of :attr:`total_energy` (energy is per-inference
+        invariant under streaming, matching the single-chip report)."""
+        return self.total_energy
+
+    @property
+    def weight_write_energy(self) -> float:
+        """Energy to program every chip's resident weights from scratch
+        (the multi-chip deployment cost; stages sum)."""
+        return sum(r.weight_write_energy for r in self.stages)
+
     def summary(self) -> str:
         """Readable per-stage + per-link block."""
         lines = [
             f"{len(self.stages)} stages on {self.num_chips} chips: "
             f"latency {self.total_cycles:,.0f} cycles, interval "
             f"{self.steady_state_interval:,.0f} cycles",
+            f"energy/inference {self.total_energy:,.1f} "
+            f"(links {self.link_energy:,.1f}), peak power "
+            f"{self.peak_power:,.1f}",
         ]
         for i, (chip, rep) in enumerate(zip(self.chips, self.stages)):
             lines.append(

@@ -48,6 +48,47 @@ def test_readme_links_docs():
         text = fh.read()
     assert "docs/ARCHITECTURE.md" in text
     assert "docs/CLI.md" in text
+    assert "docs/ENERGY.md" in text
+
+
+def test_docs_index_links_every_page():
+    """docs/README.md must link every sibling page (and vice versa: a
+    page that exists but is unreachable from the index is doc rot)."""
+    docs = os.path.join(REPO, "docs")
+    with open(os.path.join(docs, "README.md")) as fh:
+        index = fh.read()
+    for name in sorted(os.listdir(docs)):
+        if name.endswith(".md") and name != "README.md":
+            assert f"({name})" in index, \
+                f"docs/README.md does not link {name}"
+
+
+def test_energy_md_constants_exist():
+    """Every constant ENERGY.md's table names must exist in
+    repro.sim.power with the documented default."""
+    import re
+
+    from repro.sim import power
+
+    with open(os.path.join(REPO, "docs", "ENERGY.md")) as fh:
+        text = fh.read()
+    rows = re.findall(r"^\| `(E_\w+)` \| ([\d.]+) \|", text, re.MULTILINE)
+    assert len(rows) >= 4, "ENERGY.md constants table went missing"
+    for name, value in rows:
+        assert hasattr(power, name), f"ENERGY.md names unknown {name}"
+        assert getattr(power, name) == float(value), \
+            f"ENERGY.md documents {name}={value}, code has " \
+            f"{getattr(power, name)}"
+
+
+def test_energy_md_mentions_link_energy_default():
+    """ENERGY.md documents ChipLink.energy_per_bit's default."""
+    from repro.arch import ChipLink
+
+    with open(os.path.join(REPO, "docs", "ENERGY.md")) as fh:
+        text = fh.read()
+    assert "energy_per_bit" in text
+    assert f"default {ChipLink().energy_per_bit:g}" in text
 
 
 # The CLI docs-drift guard (docs/CLI.md sections == `repro --help`

@@ -37,6 +37,14 @@ def test_shard_example_runs(capsys, monkeypatch):
     assert "steady-state interval" in out
 
 
+def test_energy_pareto_example_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/energy_pareto.py"])
+    runpy.run_path("examples/energy_pareto.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "latency x energy x area" in out
+    assert "pareto" in out and "uncapped" in out and "budget" in out
+
+
 def test_quickstart_runs(capsys, monkeypatch):
     monkeypatch.setattr(sys, "argv", ["examples/quickstart.py"])
     runpy.run_path("examples/quickstart.py", run_name="__main__")

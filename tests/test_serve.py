@@ -420,3 +420,156 @@ class TestSweepBridge:
         with pytest.raises(ScheduleError):
             build_plans(functional_testbed(), SMALL_TENANTS,
                         modes=("spatial", "warp"))
+
+
+# ---------------------------------------------------------------------------
+# Power budgets and energy accounting (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestPowerBudget:
+    def test_budget_reshapes_a_mix_the_uncapped_planner_accepts(self):
+        """The capped planner down-duplicates a tenant mix that the
+        uncapped planner happily over-provisions."""
+        arch = functional_testbed()
+        uncapped = plan_spatial(arch, SMALL_TENANTS)
+        budget = 0.7 * uncapped.peak_power
+        capped = plan_spatial(arch, SMALL_TENANTS, power_budget=budget)
+        assert uncapped.peak_power > budget       # the mix needed reshaping
+        assert capped.peak_power <= budget
+        assert capped.power_budget == budget and uncapped.power_budget is None
+        # Reshaping = some tenant lost cores; nobody gained any.
+        before = {t.spec.name: len(t.cores) for t in uncapped.tenants}
+        after = {t.spec.name: len(t.cores) for t in capped.tenants}
+        assert any(after[n] < before[n] for n in before)
+        assert all(after[n] <= before[n] for n in before)
+
+    def test_budget_below_floors_rejects_the_mix(self):
+        with pytest.raises(CapacityError, match="residency floors"):
+            plan_spatial(functional_testbed(), SMALL_TENANTS,
+                         power_budget=1e-6)
+
+    def test_temporal_rejects_over_budget_tenant(self):
+        arch = functional_testbed()
+        peak = plan_temporal(arch, SMALL_TENANTS).peak_power
+        with pytest.raises(CapacityError, match="full chip"):
+            plan_temporal(arch, SMALL_TENANTS, power_budget=0.9 * peak)
+        # A generous budget passes through untouched.
+        ok = plan_temporal(arch, SMALL_TENANTS, power_budget=2 * peak)
+        assert ok.peak_power <= 2 * peak
+
+    def test_temporal_peak_is_max_not_sum(self):
+        arch = functional_testbed()
+        spatial = plan_spatial(arch, SMALL_TENANTS)
+        temporal = plan_temporal(arch, SMALL_TENANTS)
+        assert temporal.peak_power == pytest.approx(
+            max(t.service.peak_power for t in temporal.tenants))
+        assert spatial.peak_power == pytest.approx(
+            sum(t.service.peak_power for t in spatial.tenants))
+
+    def test_bridge_budget_matches_live_planner(self, tmp_path):
+        arch = functional_testbed()
+        budget = 0.7 * plan_spatial(arch, SMALL_TENANTS).peak_power
+        live = plan_spatial(arch, SMALL_TENANTS, place=False,
+                            power_budget=budget)
+        bridged = build_plans(arch, SMALL_TENANTS, modes=("spatial",),
+                              runner=SweepRunner(cache_dir=str(tmp_path)),
+                              power_budget=budget)["spatial"]
+        for lt, bt in zip(live.tenants, bridged.tenants):
+            assert lt.service == bt.service
+            assert lt.cores == bt.cores
+
+    def test_bridge_temporal_rejects_over_budget(self, tmp_path):
+        arch = functional_testbed()
+        peak = plan_temporal(arch, SMALL_TENANTS).peak_power
+        with pytest.raises(CapacityError):
+            build_plans(arch, SMALL_TENANTS, modes=("temporal",),
+                        runner=SweepRunner(cache_dir=str(tmp_path)),
+                        power_budget=0.9 * peak)
+
+    def test_capped_report_stays_within_budget(self):
+        arch = functional_testbed()
+        budget = 0.7 * plan_spatial(arch, SMALL_TENANTS).peak_power
+        plan = plan_spatial(arch, SMALL_TENANTS, power_budget=budget)
+        trace = make_trace("poisson", SMALL_TENANTS, 2e-4, 100, seed=1)
+        report = simulate(plan, trace)
+        assert report.power_budget == budget
+        assert report.peak_power <= budget
+        assert report.completed == 100
+        d = report.to_dict()
+        assert d["power_budget"] == budget and d["peak_power"] <= budget
+
+    def test_sharded_plan_rejects_budget(self):
+        with pytest.raises(ScheduleError, match="spatial/temporal"):
+            make_plan("sharded", functional_testbed(), SMALL_TENANTS,
+                      power_budget=10.0)
+
+
+class TestEnergyAccounting:
+    def test_exact_energy_bookkeeping_per_batch_and_switch(self):
+        """Hand-built plan: energy = batches x per-inference + switches."""
+        plan = ServingPlan(
+            mode="temporal", arch_name="synthetic",
+            tenants=(
+                TenantPlan(spec=TenantSpec("a", "mlp"), cores=(0, 1),
+                           service=ServiceProfile(
+                               latency_cycles=100.0, interval_cycles=10.0,
+                               switch_cycles=5.0, energy_per_inference=7.0,
+                               switch_energy=3.0, peak_power=2.0)),
+                TenantPlan(spec=TenantSpec("b", "mlp"), cores=(0, 1),
+                           service=ServiceProfile(
+                               latency_cycles=100.0, interval_cycles=10.0,
+                               switch_cycles=5.0, energy_per_inference=11.0,
+                               switch_energy=13.0, peak_power=4.0)),
+            ))
+        # a, then b, then a again: three batches of one, three switches.
+        trace = requests("a", 0.0) + requests("b", 200.0, start_index=1) \
+            + requests("a", 500.0, start_index=2)
+        report = ServingEngine(plan, FixedBatch(1)).run(trace)
+        a = report.tenants[0]
+        b = report.tenants[1]
+        assert a.energy == pytest.approx(2 * (7.0 + 3.0))
+        assert b.energy == pytest.approx(11.0 + 13.0)
+        assert a.energy_per_request == pytest.approx(10.0)
+        assert report.total_energy == pytest.approx(a.energy + b.energy)
+        assert report.avg_power == pytest.approx(
+            report.total_energy / report.horizon_cycles)
+        assert report.peak_power == pytest.approx(4.0)  # temporal: max
+
+    def test_spatial_tenants_pay_no_switch_energy(self):
+        arch = functional_testbed()
+        plan = make_plan("spatial", arch, SMALL_TENANTS)
+        trace = make_trace("poisson", SMALL_TENANTS, 2e-4, 80, seed=3)
+        report = simulate(plan, trace)
+        per_inf = {t.spec.name: t.service.energy_per_inference
+                   for t in plan.tenants}
+        for t in report.tenants:
+            assert t.energy == pytest.approx(t.completed * per_inf[t.tenant])
+        assert report.total_energy == pytest.approx(
+            sum(t.energy for t in report.tenants))
+
+    def test_temporal_switches_add_energy(self):
+        arch = functional_testbed()
+        trace = make_trace("poisson", SMALL_TENANTS, 2e-4, 80, seed=3)
+        spatial = simulate(make_plan("spatial", arch, SMALL_TENANTS), trace)
+        temporal = simulate(make_plan("temporal", arch, SMALL_TENANTS),
+                            trace)
+        switch_energy = {
+            t.spec.name: t.service.switch_energy
+            for t in make_plan("temporal", arch, SMALL_TENANTS).tenants}
+        assert all(e > 0 for e in switch_energy.values())
+        # Executor energy decomposes into batches + switch reprograms.
+        ex = temporal.executors[0]
+        batch_energy = sum(t.energy for t in temporal.tenants)
+        assert ex.energy == pytest.approx(batch_energy)
+        assert ex.switches > 0
+        assert temporal.total_energy > spatial.total_energy \
+            or temporal.switch_cycles > 0
+
+    def test_energy_deterministic(self):
+        arch = functional_testbed()
+        trace = make_trace("bursty", SMALL_TENANTS, 5e-4, 150, seed=7)
+        runs = [simulate(make_plan("temporal", arch, SMALL_TENANTS),
+                         trace).to_dict() for _ in range(2)]
+        assert runs[0] == runs[1]
+        assert runs[0]["total_energy"] > 0
