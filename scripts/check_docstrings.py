@@ -27,6 +27,7 @@ SCOPED = [
     "repro/sim/power.py",
     "repro/explore",
     "repro/serve",
+    "repro/fleet",
     "repro/scale",
     "repro/perf",
 ]

@@ -20,6 +20,8 @@ Packages
                       Pareto/bottleneck analysis.
 ``repro.serve``       Multi-tenant serving simulator: traces, partitioning,
                       dynamic batching, SLO analysis.
+``repro.fleet``       Datacenter-scale serving: replicated fleets, request
+                      routing, admission control, autoscaling.
 ``repro.scale``       Multi-chip sharding: layer partitioning, inter-chip
                       links, pipelined multi-chip estimation.
 ``repro.experiments`` One driver per paper table/figure.
@@ -71,7 +73,7 @@ from .explore import SweepPoint, SweepResult, SweepRunner, SweepSpace
 from .perf import CompileCache, fastpath, fastpath_enabled
 from .scale import ShardPlan, shard
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CIMArchitecture",

@@ -116,6 +116,22 @@ class ChipLink:
             return 0.0
         return bits * self.energy_per_bit * hops
 
+    def roundtrip_cycles(self, request_bits: float, response_bits: float,
+                         hops: int = 1) -> float:
+        """Cycles for a request/response pair over this link — how the
+        fleet front end prices the hop to a replica and back
+        (:mod:`repro.fleet`).  The two directions are independent
+        transfers: each pays head latency and its own serialization."""
+        return (self.transfer_cycles(request_bits, hops)
+                + self.transfer_cycles(response_bits, hops))
+
+    def roundtrip_energy(self, request_bits: float, response_bits: float,
+                         hops: int = 1) -> float:
+        """Energy twin of :meth:`roundtrip_cycles` — the per-request link
+        charge in the fleet energy ledger."""
+        return (self.transfer_energy(request_bits, hops)
+                + self.transfer_energy(response_bits, hops))
+
 
 @dataclass(frozen=True)
 class MultiChipSystem:

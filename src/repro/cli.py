@@ -13,6 +13,9 @@ Commands
 ``serve``     Multi-tenant serving simulation (spatial / temporal /
               sharded multi-chip plans) under a request trace,
               optionally under a chip-level peak-power budget.
+``fleet``     Datacenter-scale serving: a replicated fleet behind a
+              router with admission control and autoscaling, under a
+              diurnal + bursty trace.
 ``power``     Per-model energy/power breakdown table (Section 4.2
               components plus weight-write costs).
 ``describe``  Print the Abs-arch abstraction of a preset (Figs. 17-19 style).
@@ -426,6 +429,83 @@ def cmd_serve(args) -> None:
               f"({temporal.p99 / max(spatial.p99, 1e-9):.2f}x)")
 
 
+def cmd_fleet(args) -> None:
+    from .arch import ChipLink
+    from .errors import CIMError
+    from .explore import SweepRunner, default_cache_dir
+    from .fleet import (
+        AdmissionControl,
+        Autoscaler,
+        build_fleet_cached,
+        fleet_sweep,
+        fleet_table,
+        parse_router,
+        simulate_fleet,
+    )
+    from .serve import make_trace, parse_policy, trace_digest
+
+    arch = _preset(args.arch)
+    try:
+        specs = _tenant_specs(args.tenants)
+        policy = parse_policy(args.batch)
+        link = ChipLink(bandwidth_bits=args.link_bw,
+                        latency_cycles=args.link_latency)
+        cache_dir = None if args.no_cache else \
+            (args.cache_dir or default_cache_dir())
+        runner = SweepRunner(workers=args.workers, cache_dir=cache_dir)
+        plan = build_fleet_cached(
+            arch, specs, replicas=args.replicas, mode=args.mode,
+            runner=runner, power_budget=args.power_budget, link=link)
+        admission = AdmissionControl(max_outstanding=args.admit_max,
+                                     slo_budget=args.slo_budget,
+                                     fairness=args.fair)
+        autoscaler = None
+        if args.autoscale:
+            autoscaler = Autoscaler(tick_cycles=args.tick,
+                                    min_replicas=args.min_replicas,
+                                    up_threshold=args.up_threshold,
+                                    down_threshold=args.down_threshold,
+                                    hold_ticks=args.hold_ticks)
+        trace = make_trace(args.trace, specs, args.rate * 1e-6,
+                           args.requests, seed=args.seed)
+
+        if args.counts:
+            try:
+                counts = [int(c) for c in args.counts.split(",")]
+            except ValueError:
+                raise SystemExit(
+                    f"--counts expects comma-separated integers, got "
+                    f"{args.counts!r}")
+            points = fleet_sweep(
+                plan, trace, counts, routers=args.routers.split(","),
+                policy=policy, admission=admission, autoscaler=autoscaler,
+                max_queue=args.max_queue, slo_factor=args.slo_factor)
+            if args.format == "json":
+                print(json.dumps([
+                    {"replicas": p.replicas, "router": p.router,
+                     **p.report.to_dict()} for p in points
+                ], indent=1))
+            else:
+                print(f"fleet sweep: {len(trace)} requests "
+                      f"({args.trace}, seed {args.seed}), trace digest "
+                      f"{trace_digest(trace)[:16]}")
+                print(fleet_table(points))
+            return
+
+        report = simulate_fleet(
+            plan, trace, policy=policy, router=parse_router(args.router),
+            admission=admission, autoscaler=autoscaler,
+            max_queue=args.max_queue, slo_factor=args.slo_factor)
+    except CIMError as exc:
+        raise SystemExit(str(exc))
+    if args.format == "json":
+        print(report.to_json())
+        return
+    print(report.table())
+    print(f"report digest: {report.digest()[:16]} "
+          f"(same seed => same digest)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -546,7 +626,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "tenant across chips of a multi-chip system "
                         "(see --chips/--topology/--link-bw)")
     _add_system_args(p, default_chips=2)
-    p.add_argument("--trace", choices=("poisson", "bursty", "diurnal"),
+    p.add_argument("--trace",
+                   choices=("poisson", "bursty", "diurnal",
+                            "diurnal-bursty"),
                    default="poisson", help="arrival process")
     p.add_argument("--rate", type=float, default=22.0,
                    help="arrival rate in requests per mega-cycle")
@@ -578,6 +660,100 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the result cache for --rates sweeps")
     p.add_argument("--format", choices=("table", "json"), default="table")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="simulate a replicated serving fleet with routing, "
+             "admission, and autoscaling",
+        description="Serve a fleet-scale request trace (default: a "
+                    "bursty MMPP riding a diurnal envelope) over N "
+                    "replicas of a serving plan behind a front-end "
+                    "router, with admission control and an optional "
+                    "autoscaler whose spin-ups pay the power model's "
+                    "weight-program deployment cost.  The front-end↔"
+                    "replica hop is priced by the inter-chip link.  "
+                    "Replica plans compile once through the explore "
+                    "result cache; the whole simulation is "
+                    "deterministic (same seed ⇒ bit-identical report).  "
+                    "With --counts, sweep replica count × router.")
+    p.add_argument("--arch", "--preset", dest="arch", default="isaac-flash",
+                   help="architecture preset for every replica (unique "
+                        "prefixes accepted)")
+    p.add_argument("--tenants", default="resnet18:4,mobilenet:1",
+                   metavar="MODEL[:WEIGHT],...",
+                   help="co-resident models with traffic weights")
+    p.add_argument("--mode", choices=("spatial", "temporal"),
+                   default="spatial",
+                   help="hardware sharing plan inside each replica")
+    p.add_argument("--replicas", type=int, default=8,
+                   help="maximum fleet size")
+    p.add_argument("--counts", default=None, metavar="N1,N2,...",
+                   help="sweep these replica counts x --routers instead "
+                        "of a single run")
+    p.add_argument("--router", default="least-loaded",
+                   help="routing policy: rr, least-loaded, "
+                        "affinity[:SESSIONS], power[:HEADROOM]")
+    p.add_argument("--routers", default="rr,least-loaded",
+                   metavar="R1,R2,...",
+                   help="router specs for --counts sweeps")
+    p.add_argument("--trace",
+                   choices=("poisson", "bursty", "diurnal",
+                            "diurnal-bursty"),
+                   default="diurnal-bursty", help="arrival process")
+    p.add_argument("--rate", type=float, default=120.0,
+                   help="fleet-wide arrival rate in requests per "
+                        "mega-cycle")
+    p.add_argument("--requests", type=int, default=100_000,
+                   help="trace length in requests (1e6+ is fine: "
+                        "generation is vectorized)")
+    p.add_argument("--seed", type=int, default=0, help="trace seed")
+    p.add_argument("--batch", default="timeout:8:50000",
+                   help="per-replica batching policy: fixed:N or "
+                        "timeout:N:CYCLES")
+    p.add_argument("--slo-factor", type=float, default=10.0,
+                   help="per-tenant SLO = factor x isolated latency")
+    p.add_argument("--max-queue", type=int, default=None,
+                   help="replica-local per-tenant queue bound")
+    p.add_argument("--admit-max", type=int, default=None,
+                   metavar="N",
+                   help="admission: max outstanding requests per replica")
+    p.add_argument("--slo-budget", type=float, default=None,
+                   metavar="FACTOR",
+                   help="admission: reject when estimated completion "
+                        "exceeds FACTOR x the tenant SLO")
+    p.add_argument("--fair", action="store_true",
+                   help="admission: clip tenants exceeding their "
+                        "traffic-weighted share (needs --admit-max)")
+    p.add_argument("--autoscale", action="store_true",
+                   help="enable the autoscaler (otherwise the whole "
+                        "fleet is active)")
+    p.add_argument("--min-replicas", type=int, default=1,
+                   help="autoscaler floor (and initial active set)")
+    p.add_argument("--tick", type=float, default=1_000_000.0,
+                   help="autoscaler sampling period (cycles)")
+    p.add_argument("--up-threshold", type=float, default=12.0,
+                   help="scale up when outstanding/replica exceeds this")
+    p.add_argument("--down-threshold", type=float, default=3.0,
+                   help="scale down when outstanding/replica stays "
+                        "below this")
+    p.add_argument("--hold-ticks", type=int, default=3,
+                   help="consecutive quiet ticks before scaling down "
+                        "(hysteresis)")
+    p.add_argument("--power-budget", type=float, default=None,
+                   metavar="POWER",
+                   help="per-replica chip-level peak-power budget")
+    p.add_argument("--link-bw", type=float, default=512.0,
+                   help="front-end link bandwidth (bits/cycle)")
+    p.add_argument("--link-latency", type=float, default=100.0,
+                   help="front-end link per-hop latency (cycles)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="compile workers for plan building")
+    p.add_argument("--cache-dir", default=None,
+                   help="explore result-cache root")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache")
+    p.add_argument("--format", choices=("table", "json"), default="table")
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser(
         "bench",

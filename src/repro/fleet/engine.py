@@ -1,0 +1,337 @@
+"""The fleet discrete-event engine: one loop, many replica cores.
+
+This is the serve engine lifted one level: the same
+:class:`~repro.serve.engine.EventLoop` and
+:class:`~repro.serve.engine.ReplicaCore` machinery, but with N cores —
+one per replica — behind a front end that admits
+(:class:`~repro.fleet.admission.AdmissionControl`), routes
+(:mod:`repro.fleet.router`), and autoscales
+(:class:`~repro.fleet.autoscaler.Autoscaler`).  Five event kinds drive
+it: the three replica-level kinds the serve engine already uses
+(arrival, batch timer, batch complete — payloads tagged with the replica
+id) plus two fleet-level ones (front-end routing, autoscaler ticks).
+
+Time and energy accounting:
+
+* A routed request travels the front-end→replica hop (priced by the
+  plan's :class:`~repro.arch.ChipLink`) before it can queue; its latency
+  is measured *at the front end* — from trace arrival to batch
+  completion plus the response hop — so fleet percentiles include both
+  link legs.
+* The energy ledger separates replica compute energy (the serve cores'
+  tally), link energy (request leg charged at routing, response leg per
+  completion), and deployment energy (every spin-up's full weight
+  program, plus one charge per initially active replica — capacity is
+  never free, which is what makes energy-per-request vs. replica count
+  an honest trade-off).
+
+Determinism is inherited, not re-proven: the shared event loop orders
+ties by push sequence, routers and the autoscaler are rebuilt from their
+own ``describe()``/config before every run (so their mutable state never
+leaks across runs), and nothing consumes randomness — same plan, trace,
+and knobs ⇒ bit-identical :class:`~repro.fleet.report.FleetReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ScheduleError
+from ..serve.engine import (
+    _ARRIVAL,
+    _COMPLETE,
+    _TIMER,
+    BatchPolicy,
+    EventLoop,
+    ReplicaCore,
+    TimeoutBatch,
+)
+from ..serve.report import TenantStats, percentile
+from ..serve.workload import Request
+from .admission import AdmissionControl
+from .autoscaler import Autoscaler
+from .plan import FleetPlan
+from .report import FleetReport, ReplicaStats
+from .router import LeastLoaded, Router, parse_router
+
+#: Fleet-level event kinds (replica-level kinds are 0..2).
+_ROUTE, _TICK, _READY = 3, 4, 5
+
+
+class FleetEngine:
+    """Runs one (fleet plan, trace) scenario to completion."""
+
+    def __init__(self, plan: FleetPlan,
+                 policy: Optional[BatchPolicy] = None,
+                 router: Optional[Router] = None,
+                 admission: Optional[AdmissionControl] = None,
+                 autoscaler: Optional[Autoscaler] = None,
+                 max_queue: Optional[int] = None,
+                 slo_factor: float = 10.0) -> None:
+        self.plan = plan
+        self.policy = policy or TimeoutBatch(max_size=8, timeout=50_000.0)
+        self.router = router or LeastLoaded()
+        self.admission = admission or AdmissionControl()
+        self.autoscaler = autoscaler
+        self.max_queue = max_queue
+        self.slo_factor = slo_factor
+        if autoscaler is not None and autoscaler.min_replicas > plan.size:
+            raise ScheduleError(
+                f"autoscaler floor {autoscaler.min_replicas} exceeds the "
+                f"fleet's {plan.size} replicas")
+        # Validate plans/policy eagerly (constructor contract).
+        for rid, replica in enumerate(plan.replicas):
+            ReplicaCore(replica, self.policy, max_queue=max_queue, rid=rid)
+
+    # ------------------------------------------------------------------
+
+    def _resolve_slos(self, cores: Sequence[ReplicaCore]
+                      ) -> Dict[str, float]:
+        """Per-tenant SLO in cycles: the spec's absolute value, else
+        ``slo_factor`` times the *slowest* replica's isolated latency
+        (conservative under heterogeneous capacities)."""
+        slos: Dict[str, float] = {}
+        for t in self.plan.replicas[0].tenants:
+            if t.spec.slo_cycles is not None:
+                slos[t.spec.name] = t.spec.slo_cycles
+            else:
+                slos[t.spec.name] = self.slo_factor * max(
+                    core.isolated_latency(t.spec.name) for core in cores)
+        return slos
+
+    def run(self, trace: Sequence[Request]) -> FleetReport:
+        """Simulate the whole trace and build the fleet report."""
+        plan = self.plan
+        # Fresh stateful collaborators per run: a router's rotation
+        # pointer or the autoscaler's hold counter must not leak between
+        # runs (determinism contract).  Custom routers that do not
+        # round-trip through parse_router() must reset themselves.
+        try:
+            router = parse_router(self.router.describe())
+        except ScheduleError:
+            router = self.router
+        autoscaler = (dataclasses.replace(self.autoscaler)
+                      if self.autoscaler is not None else None)
+        cores = [ReplicaCore(p, self.policy, max_queue=self.max_queue,
+                             rid=rid)
+                 for rid, p in enumerate(plan.replicas)]
+        slo_cycles = self._resolve_slos(cores)
+        specs = [t.spec for t in plan.replicas[0].tenants]
+        total_weight = sum(s.weight for s in specs)
+        tenant_share = {s.name: s.weight / total_weight for s in specs}
+        hop_in = plan.hop_cycles(inbound=True)
+        hop_out = plan.hop_cycles(inbound=False)
+        hop_rt = hop_in + hop_out
+        req_energy = plan.link.transfer_energy(plan.request_bits, 1)
+        resp_energy = plan.link.transfer_energy(plan.response_bits, 1)
+
+        initial = (autoscaler.min_replicas if autoscaler is not None
+                   else plan.size)
+        active: List[int] = list(range(initial))     # ascending rids
+        ready_at = {rid: 0.0 for rid in active}
+        deployments = {rid: 0 for rid in range(plan.size)}
+        deploy_energy = 0.0
+        link_energy = 0.0
+        horizon = 0.0
+        # Initially active replicas were deployed before t=0: their spin
+        # -up latency is outside the window but the weight program's
+        # energy is on the ledger — capacity is never free.
+        for rid in active:
+            _, energy = plan.deploy_cost(rid)
+            deploy_energy += energy
+            deployments[rid] += 1
+
+        front_rejected: Dict[str, int] = {name: 0 for name in slo_cycles}
+        reasons: Dict[str, int] = {}
+        tenant_outstanding: Dict[str, int] = {n: 0 for n in slo_cycles}
+        backlog_est: Dict[Tuple[int, str], float] = {}
+        scale_events: List[Tuple[float, str, int]] = []
+
+        loop = EventLoop()
+        for req in trace:
+            loop.push(req.arrival, _ROUTE, req)
+        if autoscaler is not None and trace:
+            last = trace[-1].arrival
+            k = 1
+            while k * autoscaler.tick_cycles <= last:
+                loop.push(k * autoscaler.tick_cycles, _TICK, None)
+                k += 1
+
+        def est(rid: int, tenant: str) -> float:
+            key = (rid, tenant)
+            if key not in backlog_est:
+                backlog_est[key] = cores[rid].interval(tenant)
+            return backlog_est[key]
+
+        while loop:
+            now, kind, payload = loop.pop()
+            horizon = max(horizon, now)
+            if kind == _ROUTE:
+                req = payload
+                capable = [rid for rid in active
+                           if ready_at[rid] <= now
+                           and cores[rid].serves(req.tenant)]
+                candidates, reason = self.admission.screen(
+                    req, capable, cores, slo_cycles, hop_rt,
+                    tenant_outstanding, tenant_share)
+                if reason is not None:
+                    front_rejected[req.tenant] += 1
+                    reasons[reason] = reasons.get(reason, 0) + 1
+                    continue
+                rid = router.route(req, now, cores, candidates)
+                core = cores[rid]
+                core.note_pending(req.tenant)
+                core.outstanding += 1
+                core.backlog_cycles += est(rid, req.tenant)
+                tenant_outstanding[req.tenant] += 1
+                link_energy += req_energy
+                loop.push(now + hop_in, _ARRIVAL, (rid, req))
+            elif kind == _ARRIVAL:
+                rid, req = payload
+                core = cores[rid]
+                if not core.on_arrival(req, now, loop):
+                    # Bounced off the replica-local queue bound after
+                    # admission let it through (the front end's load
+                    # signals are estimates, not reservations).
+                    core.outstanding -= 1
+                    core.backlog_cycles -= est(rid, req.tenant)
+                    tenant_outstanding[req.tenant] -= 1
+                    reasons["replica_queue"] = \
+                        reasons.get("replica_queue", 0) + 1
+            elif kind == _TIMER:
+                rid, tenant = payload
+                cores[rid].on_timer(tenant, now, loop)
+            elif kind == _COMPLETE:
+                rid, ex_name, batch = payload
+                core = cores[rid]
+                core.on_complete(ex_name, batch, now, loop,
+                                 latency_at=now + hop_out)
+                horizon = max(horizon, now + hop_out)
+                for req in batch:
+                    core.outstanding -= 1
+                    core.backlog_cycles -= est(rid, req.tenant)
+                    tenant_outstanding[req.tenant] -= 1
+                    link_energy += resp_energy
+            else:  # _TICK
+                outstanding = sum(cores[rid].outstanding for rid in active)
+                action = autoscaler.decide(outstanding, len(active),
+                                           plan.size)
+                if action == "up":
+                    rid = min(r for r in range(plan.size)
+                              if r not in active)
+                    cycles, energy = plan.deploy_cost(rid)
+                    active.append(rid)
+                    active.sort()
+                    ready_at[rid] = now + cycles
+                    deploy_energy += energy
+                    deployments[rid] += 1
+                    scale_events.append((now, "up", rid))
+                elif action == "down":
+                    rid = active.pop()   # highest id drains
+                    scale_events.append((now, "down", rid))
+
+        for core in cores:
+            core.assert_drained()
+        return self._build_report(cores, slo_cycles, horizon,
+                                  front_rejected, reasons, scale_events,
+                                  deployments, deploy_energy, link_energy,
+                                  initial, autoscaler)
+
+    # ------------------------------------------------------------------
+
+    def _build_report(self, cores, slo_cycles, horizon, front_rejected,
+                      reasons, scale_events, deployments, deploy_energy,
+                      link_energy, initial, autoscaler) -> FleetReport:
+        """Merge per-core tallies into one :class:`FleetReport`."""
+        plan = self.plan
+        tenant_stats: List[TenantStats] = []
+        for t in plan.replicas[0].tenants:
+            name = t.spec.name
+            lats = [lat for core in cores
+                    for _, lat in core.finished[name]]
+            completed = len(lats)
+            rejected = front_rejected[name] + sum(
+                core.rejected[name] for core in cores)
+            sizes = [s for core in cores for s in core.batch_sizes[name]]
+            slo = slo_cycles[name]
+            arrived = completed + rejected
+            tenant_stats.append(TenantStats(
+                tenant=name,
+                model=t.spec.model,
+                arrived=arrived,
+                completed=completed,
+                rejected=rejected,
+                throughput_per_mcycle=(completed * 1e6 / horizon
+                                       if horizon > 0 else 0.0),
+                p50=percentile(lats, 50),
+                p95=percentile(lats, 95),
+                p99=percentile(lats, 99),
+                mean_latency=sum(lats) / completed if completed else 0.0,
+                max_latency=max(lats) if lats else 0.0,
+                slo_cycles=slo,
+                slo_attainment=(sum(1 for lat in lats if lat <= slo)
+                                / arrived if arrived else 1.0),
+                batches=len(sizes),
+                mean_batch=sum(sizes) / len(sizes) if sizes else 0.0,
+                latencies=tuple(lats),
+                energy=sum(core.tenant_energy[name] for core in cores),
+            ))
+        replica_stats = []
+        replica_energy = 0.0
+        for core in cores:
+            busy = sum(ex.busy_cycles for ex in core.executors)
+            energy = sum(ex.energy for ex in core.executors)
+            replica_energy += energy
+            replica_stats.append(ReplicaStats(
+                rid=core.rid,
+                mode=core.plan.mode,
+                arch=core.plan.arch_name,
+                completed=sum(len(v) for v in core.finished.values()),
+                busy_cycles=busy,
+                switch_cycles=sum(ex.switch_cycles
+                                  for ex in core.executors),
+                switches=sum(ex.switches for ex in core.executors),
+                # Mean over the replica's executors (spatial regions run
+                # concurrently, so raw busy cycles can exceed the horizon).
+                utilization=(busy / (len(core.executors) * horizon)
+                             if horizon > 0 else 0.0),
+                energy=energy,
+                deployments=deployments[core.rid],
+            ))
+        return FleetReport(
+            arch=plan.arch_name,
+            fleet_size=plan.size,
+            policy=self.policy.describe(),
+            router=self.router.describe(),
+            admission=self.admission.describe(),
+            autoscaler=(autoscaler.describe()
+                        if autoscaler is not None else None),
+            horizon_cycles=horizon,
+            tenants=tuple(tenant_stats),
+            replicas=tuple(replica_stats),
+            rejections=reasons,
+            scale_events=tuple(scale_events),
+            replica_energy=replica_energy,
+            deploy_energy=deploy_energy,
+            link_energy=link_energy,
+            initial_active=initial,
+        )
+
+
+def simulate_fleet(plan: FleetPlan, trace: Sequence[Request],
+                   policy: Optional[BatchPolicy] = None,
+                   router: Optional[Router] = None,
+                   admission: Optional[AdmissionControl] = None,
+                   autoscaler: Optional[Autoscaler] = None,
+                   max_queue: Optional[int] = None,
+                   slo_factor: float = 10.0) -> FleetReport:
+    """One-call facade: run ``trace`` through the fleet.
+
+    Defaults: timeout batching (as single-system serving), least-loaded
+    routing, open admission, no autoscaling (the whole fleet active).
+    """
+    return FleetEngine(plan, policy=policy, router=router,
+                       admission=admission, autoscaler=autoscaler,
+                       max_queue=max_queue,
+                       slo_factor=slo_factor).run(trace)

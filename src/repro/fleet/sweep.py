@@ -1,0 +1,117 @@
+"""Fleet sweeps: replica count × routing policy grids, one compile total.
+
+The whole point of sweeping fleet *size* is that it costs no extra
+compilation: every cell shares the same per-replica
+:class:`~repro.serve.partition.ServingPlan`, built once through
+:func:`repro.serve.sweep.build_plans` — i.e. through the
+:mod:`repro.explore` content-addressed disk cache — and tiled to each
+replica count with
+:meth:`~repro.fleet.plan.FleetPlan.with_replicas`.  Only the cheap
+discrete-event simulations fan out across the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch import ChipLink, CIMArchitecture
+from ..explore import SweepRunner
+from ..sched import CompilerOptions
+from ..serve.engine import BatchPolicy
+from ..serve.sweep import build_plans
+from ..serve.workload import Request, TenantSpec
+from .admission import AdmissionControl
+from .autoscaler import Autoscaler
+from .engine import simulate_fleet
+from .plan import REQUEST_BITS, RESPONSE_BITS, FleetPlan
+from .report import FleetReport
+from .router import Router, parse_router
+
+
+@dataclass(frozen=True)
+class FleetSweepPoint:
+    """One cell of the (replica count × router) grid."""
+
+    replicas: int
+    router: str
+    report: FleetReport
+
+
+def build_fleet_cached(arch: CIMArchitecture, specs: Sequence[TenantSpec],
+                       replicas: int, mode: str = "spatial",
+                       options: Optional[CompilerOptions] = None,
+                       runner: Optional[SweepRunner] = None,
+                       power_budget: Optional[float] = None,
+                       link: Optional[ChipLink] = None,
+                       request_bits: float = REQUEST_BITS,
+                       response_bits: float = RESPONSE_BITS) -> FleetPlan:
+    """A homogeneous fleet whose one replica plan rides the explore
+    disk cache (the sweep-bridge twin of
+    :func:`~repro.fleet.plan.build_fleet`)."""
+    plans = build_plans(arch, specs, modes=(mode,), options=options,
+                        runner=runner, power_budget=power_budget)
+    return FleetPlan(replicas=(plans[mode],) * replicas,
+                     link=link if link is not None else ChipLink(),
+                     request_bits=request_bits,
+                     response_bits=response_bits)
+
+
+def fleet_sweep(plan: FleetPlan, trace: Sequence[Request],
+                replica_counts: Sequence[int],
+                routers: Sequence[str] = ("rr", "least-loaded"),
+                policy: Optional[BatchPolicy] = None,
+                admission: Optional[AdmissionControl] = None,
+                autoscaler: Optional[Autoscaler] = None,
+                max_queue: Optional[int] = None,
+                slo_factor: float = 10.0) -> List[FleetSweepPoint]:
+    """Simulate ``trace`` over every (replica count, router) cell.
+
+    ``plan`` supplies the per-replica template (tiled per count); every
+    cell replays the *same* trace, so cells differ only in fleet
+    configuration.  ``routers`` are CLI specs
+    (:func:`~repro.fleet.router.parse_router`).
+    """
+    out: List[FleetSweepPoint] = []
+    for count in replica_counts:
+        sized = plan.with_replicas(count)
+        for spec in routers:
+            report = simulate_fleet(
+                sized, trace, policy=policy, router=parse_router(spec),
+                admission=admission, autoscaler=autoscaler,
+                max_queue=max_queue, slo_factor=slo_factor)
+            out.append(FleetSweepPoint(replicas=count,
+                                       router=report.router,
+                                       report=report))
+    return out
+
+
+def fleet_table(points: Sequence[FleetSweepPoint]) -> str:
+    """Text grid: one row per replica count, p99 / SLO / energy-per-
+    request per router."""
+    routers: List[str] = []
+    for p in points:
+        if p.router not in routers:
+            routers.append(p.router)
+    header = f"{'replicas':>8}"
+    for r in routers:
+        header += f" {r + ' p99':>16} {r + ' SLO':>14} {r + ' E/req':>14}"
+    lines = [header]
+    cells: Dict[Tuple[int, str], FleetSweepPoint] = {
+        (p.replicas, p.router): p for p in points}
+    counts: List[int] = []
+    for p in points:
+        if p.replicas not in counts:
+            counts.append(p.replicas)
+    for count in counts:
+        row = f"{count:>8}"
+        for r in routers:
+            p = cells.get((count, r))
+            if p is None:
+                row += f" {'-':>16} {'-':>14} {'-':>14}"
+            else:
+                row += (f" {p.report.p99:>16,.0f} "
+                        f"{p.report.slo_attainment:>13.1%} "
+                        f"{p.report.energy_per_request:>14,.1f}")
+        lines.append(row)
+    return "\n".join(lines)

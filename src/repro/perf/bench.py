@@ -245,6 +245,42 @@ def _bench_serve_capacity(quick: bool) -> Tuple[Callable, int]:
     return workload, len(rates) * 2
 
 
+@_bench("fleet")
+def _bench_fleet(quick: bool) -> Tuple[Callable, int]:
+    """A replicated fleet under a diurnal+bursty trace with autoscaling.
+
+    The digest is the full :class:`~repro.fleet.FleetReport` dict, so
+    any reference/fastpath divergence in trace generation, routing,
+    admission, or scaling fails the equality gate in
+    :func:`run_bench`.
+    """
+    from ..arch import get_preset
+    from ..fleet import (
+        AdmissionControl,
+        Autoscaler,
+        build_fleet,
+        simulate_fleet,
+    )
+    from ..serve import TenantSpec, make_trace
+
+    arch = get_preset("isaac-flash")
+    specs = [TenantSpec("resnet18", "resnet18", 4.0),
+             TenantSpec("mobilenet", "mobilenet", 1.0)]
+    replicas = 4 if quick else 8
+    requests = 2_000 if quick else 20_000
+
+    def workload():
+        fleet = build_fleet(arch, specs, replicas=replicas)
+        trace = make_trace("diurnal-bursty", specs, rate=120e-6,
+                           num_requests=requests, seed=0)
+        report = simulate_fleet(
+            fleet, trace,
+            admission=AdmissionControl(max_outstanding=64),
+            autoscaler=Autoscaler(min_replicas=2))
+        return report.to_dict()
+
+    return workload, requests
+
 # ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------

@@ -36,7 +36,9 @@ True
 """
 
 from .engine import (
+    EventLoop,
     FixedBatch,
+    ReplicaCore,
     ServingEngine,
     TimeoutBatch,
     parse_policy,
@@ -63,16 +65,20 @@ from .workload import (
     Request,
     TenantSpec,
     bursty_trace,
+    diurnal_bursty_trace,
     diurnal_trace,
     make_trace,
     poisson_trace,
     tenant_counts,
+    trace_digest,
 )
 
 __all__ = [
+    "EventLoop",
     "ExecutorStats",
     "FixedBatch",
     "MODES",
+    "ReplicaCore",
     "Request",
     "ServeReport",
     "ServeSweepPoint",
@@ -87,6 +93,7 @@ __all__ = [
     "build_plans",
     "bursty_trace",
     "capacity_table",
+    "diurnal_bursty_trace",
     "diurnal_trace",
     "fit_power_budget",
     "make_plan",
@@ -103,4 +110,5 @@ __all__ = [
     "serve_sweep",
     "simulate",
     "tenant_counts",
+    "trace_digest",
 ]

@@ -1,6 +1,6 @@
 """Deterministic discrete-event serving engine.
 
-One :class:`Executor` models a hardware share: the whole chip (temporal
+One :class:`_Executor` models a hardware share: the whole chip (temporal
 plan) or one tenant's core region (spatial plan).  Requests land in
 per-tenant FIFO queues; a :class:`BatchPolicy` decides when a queue's
 head becomes a dispatchable batch; dispatch occupies the executor for
@@ -12,6 +12,11 @@ Everything is driven off a single event heap keyed ``(time, seq)`` with a
 monotonically increasing sequence number, so simulation order — and
 therefore every reported number — is a pure function of the trace, the
 plan, and the policy.  No wall clock, no RNG.
+
+The queue/dispatch machinery is factored into :class:`ReplicaCore` so
+that the same deterministic core drives both this single-system engine
+and the datacenter-scale fleet engine (:mod:`repro.fleet.engine`), which
+runs many cores — one per replica — off one shared :class:`EventLoop`.
 """
 
 from __future__ import annotations
@@ -25,7 +30,42 @@ from .partition import ServingPlan, TenantPlan
 from .report import ServeReport, build_report
 from .workload import Request
 
+#: Event kinds shared by the serve and fleet engines.  Ordering ties on
+#: the heap are broken by the per-loop sequence number, never by kind.
 _ARRIVAL, _TIMER, _COMPLETE = 0, 1, 2
+
+
+class EventLoop:
+    """A deterministic ``(time, seq)``-keyed event heap.
+
+    The single source of simulated time for one scenario.  Every pushed
+    event gets the next value of a monotonically increasing sequence
+    number, so two events at the same timestamp pop in push order —
+    simulation order is a pure function of the inputs, never of hash
+    order or wall clock.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: int, payload: object) -> None:
+        """Schedule ``payload`` of event ``kind`` at ``time``."""
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, int, object]:
+        """The earliest ``(time, kind, payload)`` event."""
+        time, _, kind, payload = heapq.heappop(self._heap)
+        return time, kind, payload
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
 
 
 # ---------------------------------------------------------------------------
@@ -141,22 +181,35 @@ class _Executor:
     energy: float = 0.0              # batches + weight reprograms
 
     def plan(self, tenant: str) -> TenantPlan:
+        """This executor's plan entry for ``tenant``."""
         for t in self.tenants:
             if t.spec.name == tenant:
                 return t
         raise ScheduleError(f"executor {self.name}: unknown tenant {tenant!r}")
 
 
-class ServingEngine:
-    """Runs one (plan, trace, policy) scenario to completion."""
+class ReplicaCore:
+    """The queue/batch/dispatch state machine of one serving system.
+
+    Owns per-tenant FIFO queues, the executors of one
+    :class:`~repro.serve.partition.ServingPlan`, and every tally a
+    :class:`~repro.serve.report.ServeReport` is built from.  It is
+    driven externally: the caller owns the :class:`EventLoop`, pops
+    events, and calls back into :meth:`on_arrival` / :meth:`on_timer` /
+    :meth:`on_complete`.  Event payloads are tagged with ``rid`` (the
+    replica id) so many cores can share one loop — the fleet engine
+    (:mod:`repro.fleet.engine`) runs one core per replica; the
+    single-system :class:`ServingEngine` runs exactly one.
+    """
 
     def __init__(self, plan: ServingPlan, policy: BatchPolicy,
-                 max_queue: Optional[int] = None) -> None:
+                 max_queue: Optional[int] = None, rid: int = 0) -> None:
         if max_queue is not None and max_queue < 1:
             raise ScheduleError(f"max_queue must be >= 1, got {max_queue}")
         self.plan = plan
         self.policy = policy
         self.max_queue = max_queue
+        self.rid = rid
         if plan.shared_executor:
             self.executors = [_Executor("chip", list(plan.tenants))]
         else:
@@ -168,129 +221,200 @@ class ServingEngine:
             t.spec.name: ex
             for ex in self.executors for t in ex.tenants
         }
+        self._by_name = {ex.name: ex for ex in self.executors}
+        self.queues: Dict[str, List[Request]] = {
+            t.spec.name: [] for t in plan.tenants
+        }
+        #: Arrivals still en route to this core's queues (per tenant);
+        #: the batch policies' "more arrivals may come" signal.
+        self.pending: Dict[str, int] = {name: 0 for name in self.queues}
+        self.finished: Dict[str, List[Tuple[Request, float]]] = {
+            name: [] for name in self.queues
+        }
+        self.rejected: Dict[str, int] = {name: 0 for name in self.queues}
+        self.batch_sizes: Dict[str, List[int]] = {
+            name: [] for name in self.queues
+        }
+        self.tenant_energy: Dict[str, float] = {
+            name: 0.0 for name in self.queues
+        }
+        self.horizon = 0.0
+        #: How many requests are queued or in service right now —
+        #: the router's load signal (maintained incrementally).
+        self.outstanding = 0
+        #: Estimated cycles of work queued or in service right now
+        #: (per-request steady-state intervals; maintained incrementally).
+        self.backlog_cycles = 0.0
+
+    # ------------------------------------------------------------------
+
+    def serves(self, tenant: str) -> bool:
+        """Whether this core has a queue (and executor) for ``tenant``."""
+        return tenant in self.queues
+
+    def note_pending(self, tenant: str) -> None:
+        """Announce one future arrival for ``tenant`` (routed but not
+        yet landed); pairs with the decrement inside :meth:`on_arrival`."""
+        if tenant not in self.pending:
+            raise ScheduleError(
+                f"trace request for unknown tenant {tenant!r}")
+        self.pending[tenant] += 1
+
+    def interval(self, tenant: str) -> float:
+        """The tenant's steady-state service interval on this core."""
+        return self._by_tenant[tenant].plan(tenant).service.interval_cycles
+
+    def isolated_latency(self, tenant: str) -> float:
+        """The tenant's isolated single-inference latency on this core."""
+        return self._by_tenant[tenant].plan(tenant).service.latency_cycles
+
+    def try_dispatch(self, ex: _Executor, now: float,
+                     loop: EventLoop) -> None:
+        """Dispatch the best ready batch on ``ex``, arming flush timers
+        for queues that are waiting on their timeout."""
+        if ex.busy_until > now:
+            return
+        # Ready tenants on this executor, FIFO across queues: serve
+        # the earliest-waiting head; ties fall back to tenant order.
+        best: Optional[TenantPlan] = None
+        for t in ex.tenants:
+            q = self.queues[t.spec.name]
+            if not q:
+                continue
+            wait = now - q[0].arrival
+            if self.policy.ready(len(q), wait,
+                                 self.pending[t.spec.name] > 0):
+                if best is None or q[0].arrival < \
+                        self.queues[best.spec.name][0].arrival:
+                    best = t
+            else:
+                deadline = self.policy.deadline(q[0].arrival)
+                if deadline is not None and deadline > now:
+                    loop.push(deadline, _TIMER, (self.rid, t.spec.name))
+        if best is None:
+            return
+        q = self.queues[best.spec.name]
+        batch = q[:self.policy.max_size]
+        del q[:len(batch)]
+        switch = 0.0
+        switch_energy = 0.0
+        if ex.resident != best.spec.name:
+            switch = best.service.switch_cycles
+            switch_energy = best.service.switch_energy
+            if ex.resident is not None or switch > 0:
+                ex.switches += 1
+            ex.resident = best.spec.name
+        service = best.service.batch_cycles(len(batch))
+        done = now + switch + service
+        ex.busy_until = done
+        ex.busy_cycles += switch + service
+        ex.switch_cycles += switch
+        energy = switch_energy + best.service.batch_energy(len(batch))
+        ex.energy += energy
+        self.tenant_energy[best.spec.name] += energy
+        self.batch_sizes[best.spec.name].append(len(batch))
+        self.horizon = max(self.horizon, done)
+        loop.push(done, _COMPLETE, (self.rid, ex.name, tuple(batch)))
+
+    def on_arrival(self, req: Request, now: float, loop: EventLoop) -> bool:
+        """One request lands: enqueue (or bounce off ``max_queue``) and
+        attempt a dispatch.  Returns ``False`` when the queue bound
+        rejected the request."""
+        self.pending[req.tenant] -= 1
+        q = self.queues[req.tenant]
+        admitted = True
+        if self.max_queue is not None and len(q) >= self.max_queue:
+            self.rejected[req.tenant] += 1
+            admitted = False
+        else:
+            q.append(req)
+        self.try_dispatch(self._by_tenant[req.tenant], now, loop)
+        return admitted
+
+    def on_timer(self, tenant: str, now: float, loop: EventLoop) -> None:
+        """A batching-timeout timer fired for ``tenant``'s queue."""
+        self.try_dispatch(self._by_tenant[tenant], now, loop)
+
+    def on_complete(self, ex_name: str, batch: Sequence[Request],
+                    now: float, loop: EventLoop,
+                    latency_at: Optional[float] = None) -> None:
+        """A batch finished: record per-request latencies and re-dispatch.
+
+        ``latency_at`` lets the fleet engine measure latency at the
+        front end (completion plus the response hop) while the executor
+        frees up at ``now``.
+        """
+        measured = now if latency_at is None else latency_at
+        for req in batch:
+            self.finished[req.tenant].append((req, measured - req.arrival))
+        self.try_dispatch(self._by_name[ex_name], now, loop)
+
+    def drained(self) -> bool:
+        """Whether every queue is empty (trace fully dispatched)."""
+        return not any(self.queues.values())
+
+    def assert_drained(self) -> None:
+        """Raise when undispatched requests remain after the loop ended."""
+        for name, q in self.queues.items():
+            if q:  # pragma: no cover - defensive; flush rules drain queues
+                raise ScheduleError(
+                    f"engine finished with {len(q)} undispatched "
+                    f"requests for {name!r}")
+
+    def executor_rows(self) -> List[Tuple]:
+        """``build_report``-shaped executor tallies."""
+        return [
+            (ex.name, [t.spec.name for t in ex.tenants],
+             ex.busy_cycles, ex.switch_cycles, ex.switches, ex.energy)
+            for ex in self.executors
+        ]
+
+
+class ServingEngine:
+    """Runs one (plan, trace, policy) scenario to completion."""
+
+    def __init__(self, plan: ServingPlan, policy: BatchPolicy,
+                 max_queue: Optional[int] = None) -> None:
+        self.plan = plan
+        self.policy = policy
+        self.max_queue = max_queue
+        # Validate the plan/policy eagerly (constructor contract).
+        self._core = ReplicaCore(plan, policy, max_queue=max_queue)
 
     # ------------------------------------------------------------------
 
     def run(self, trace: Sequence[Request],
             slo_factor: float = 10.0) -> ServeReport:
         """Simulate the whole trace and build the report."""
-        queues: Dict[str, List[Request]] = {
-            t.spec.name: [] for t in self.plan.tenants
-        }
-        pending = {name: 0 for name in queues}
+        core = ReplicaCore(self.plan, self.policy, max_queue=self.max_queue)
+        loop = EventLoop()
         for req in trace:
-            if req.tenant not in queues:
-                raise ScheduleError(
-                    f"trace request for unknown tenant {req.tenant!r}")
-            pending[req.tenant] += 1
-
-        events: List[Tuple[float, int, int, object]] = []
-        seq = 0
+            core.note_pending(req.tenant)
         for req in trace:
-            heapq.heappush(events, (req.arrival, seq, _ARRIVAL, req))
-            seq += 1
+            loop.push(req.arrival, _ARRIVAL, req)
 
-        finished: Dict[str, List[Tuple[Request, float]]] = {
-            name: [] for name in queues
-        }
-        rejected = {name: 0 for name in queues}
-        batch_sizes: Dict[str, List[int]] = {name: [] for name in queues}
-        tenant_energy: Dict[str, float] = {name: 0.0 for name in queues}
-        horizon = 0.0
-
-        def try_dispatch(ex: _Executor, now: float) -> None:
-            nonlocal seq, horizon
-            if ex.busy_until > now:
-                return
-            # Ready tenants on this executor, FIFO across queues: serve
-            # the earliest-waiting head; ties fall back to tenant order.
-            best: Optional[TenantPlan] = None
-            for t in ex.tenants:
-                q = queues[t.spec.name]
-                if not q:
-                    continue
-                wait = now - q[0].arrival
-                if self.policy.ready(len(q), wait,
-                                     pending[t.spec.name] > 0):
-                    if best is None or q[0].arrival < \
-                            queues[best.spec.name][0].arrival:
-                        best = t
-                else:
-                    deadline = self.policy.deadline(q[0].arrival)
-                    if deadline is not None and deadline > now:
-                        heapq.heappush(
-                            events, (deadline, seq, _TIMER, t.spec.name))
-                        seq += 1
-            if best is None:
-                return
-            q = queues[best.spec.name]
-            batch = q[:self.policy.max_size]
-            del q[:len(batch)]
-            switch = 0.0
-            switch_energy = 0.0
-            if ex.resident != best.spec.name:
-                switch = best.service.switch_cycles
-                switch_energy = best.service.switch_energy
-                if ex.resident is not None or switch > 0:
-                    ex.switches += 1
-                ex.resident = best.spec.name
-            service = best.service.batch_cycles(len(batch))
-            done = now + switch + service
-            ex.busy_until = done
-            ex.busy_cycles += switch + service
-            ex.switch_cycles += switch
-            energy = switch_energy + best.service.batch_energy(len(batch))
-            ex.energy += energy
-            tenant_energy[best.spec.name] += energy
-            batch_sizes[best.spec.name].append(len(batch))
-            horizon = max(horizon, done)
-            heapq.heappush(events, (done, seq, _COMPLETE,
-                                    (ex.name, tuple(batch))))
-            seq += 1
-
-        by_name = {ex.name: ex for ex in self.executors}
-        while events:
-            now, _, kind, payload = heapq.heappop(events)
-            horizon = max(horizon, now)
+        while loop:
+            now, kind, payload = loop.pop()
+            core.horizon = max(core.horizon, now)
             if kind == _ARRIVAL:
-                req = payload
-                pending[req.tenant] -= 1
-                q = queues[req.tenant]
-                if self.max_queue is not None and \
-                        len(q) >= self.max_queue:
-                    rejected[req.tenant] += 1
-                else:
-                    q.append(req)
-                try_dispatch(self._by_tenant[req.tenant], now)
+                core.on_arrival(payload, now, loop)
             elif kind == _TIMER:
-                try_dispatch(self._by_tenant[payload], now)
+                core.on_timer(payload[1], now, loop)
             else:  # _COMPLETE
-                ex_name, batch = payload
-                ex = by_name[ex_name]
-                for req in batch:
-                    finished[req.tenant].append((req, now - req.arrival))
-                try_dispatch(ex, now)
+                _, ex_name, batch = payload
+                core.on_complete(ex_name, batch, now, loop)
 
-        for name, q in queues.items():
-            if q:  # pragma: no cover - defensive; flush rules drain queues
-                raise ScheduleError(
-                    f"engine finished with {len(q)} undispatched "
-                    f"requests for {name!r}")
-
+        core.assert_drained()
         return build_report(
             plan=self.plan,
             policy_label=self.policy.describe(),
-            finished=finished,
-            rejected=rejected,
-            batch_sizes=batch_sizes,
-            horizon=horizon,
-            executors=[
-                (ex.name, [t.spec.name for t in ex.tenants],
-                 ex.busy_cycles, ex.switch_cycles, ex.switches, ex.energy)
-                for ex in self.executors
-            ],
+            finished=core.finished,
+            rejected=core.rejected,
+            batch_sizes=core.batch_sizes,
+            horizon=core.horizon,
+            executors=core.executor_rows(),
             slo_factor=slo_factor,
-            tenant_energy=tenant_energy,
+            tenant_energy=core.tenant_energy,
         )
 
 

@@ -58,6 +58,13 @@ class ServiceProfile:
     the two service costs, and ``peak_power`` the tenant's worst-case
     draw while computing — what a chip-level power budget water-fills
     against.
+
+    ``deploy_cycles`` / ``deploy_energy`` are what bringing this tenant
+    up *from cold* costs — the full crossbar weight program
+    (``weight_load_cycles`` / ``weight_write_energy`` from the power
+    model), charged regardless of mode: even a spatial tenant that never
+    pays switch cost paid deployment once.  The fleet autoscaler charges
+    them on every replica spin-up.
     """
 
     latency_cycles: float
@@ -66,6 +73,8 @@ class ServiceProfile:
     energy_per_inference: float = 0.0
     switch_energy: float = 0.0
     peak_power: float = 0.0
+    deploy_cycles: float = 0.0
+    deploy_energy: float = 0.0
 
     def batch_cycles(self, n: int) -> float:
         """Service cycles for ``n`` back-to-back inferences (no switch)."""
@@ -94,7 +103,9 @@ class ServiceProfile:
                    energy_per_inference=report.energy_per_inference,
                    switch_energy=(report.weight_write_energy
                                   if switch_cycles > 0 else 0.0),
-                   peak_power=report.power.peak_power)
+                   peak_power=report.power.peak_power,
+                   deploy_cycles=report.weight_load_cycles,
+                   deploy_energy=report.weight_write_energy)
 
     @classmethod
     def from_summary(cls, summary: Dict,
@@ -116,7 +127,11 @@ class ServiceProfile:
                    switch_energy=(float(
                        summary.get("weight_write_energy", 0.0))
                        if switch_cycles > 0 else 0.0),
-                   peak_power=float(summary.get("peak_power", 0.0)))
+                   peak_power=float(summary.get("peak_power", 0.0)),
+                   deploy_cycles=float(
+                       summary.get("weight_load_cycles", 0.0)),
+                   deploy_energy=float(
+                       summary.get("weight_write_energy", 0.0)))
 
 
 @dataclass(frozen=True)
@@ -467,7 +482,11 @@ def plan_sharded(system: "MultiChipSystem", specs: Sequence[TenantSpec],
                 switch_cycles=0.0,
                 energy_per_inference=plan.report.energy_per_inference,
                 switch_energy=0.0,
-                peak_power=plan.report.peak_power),
+                peak_power=plan.report.peak_power,
+                deploy_cycles=float(getattr(
+                    plan.report, "weight_load_cycles", 0.0)),
+                deploy_energy=float(getattr(
+                    plan.report, "weight_write_energy", 0.0))),
         ))
         cursor += n
     return ServingPlan(mode="sharded", arch_name=system.name,

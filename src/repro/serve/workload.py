@@ -1,7 +1,7 @@
 """Seeded request-trace generators over mixed model populations.
 
 A *trace* is a list of :class:`Request` in arrival order — the open-loop
-input of the serving engine.  Three arrival processes cover the classic
+input of the serving engine.  Four arrival processes cover the classic
 serving regimes:
 
 * :func:`poisson_trace` — memoryless arrivals at a constant rate (the
@@ -11,19 +11,35 @@ serving regimes:
   queues and tail latency.
 * :func:`diurnal_trace` — a sinusoidally ramped rate (thinning sampler),
   the day/night envelope of user-facing traffic.
+* :func:`diurnal_bursty_trace` — the MMPP riding the diurnal envelope:
+  the datacenter-fleet shape (day/night swing *and* bursts), what
+  ``repro fleet`` autoscales against.
 
 All generators are pure functions of their arguments: the same seed and
-config yield the bit-identical trace on every run and platform (only
-``random.Random`` and float arithmetic are used).  Rates are expressed in
-requests per cycle; the CLI converts from the friendlier requests per
-mega-cycle.
+config yield the bit-identical trace on every run.  Generation is
+*vectorized*: the CPython ``random.Random(seed)`` Mersenne-Twister state
+is transplanted into a pair of ``numpy.random.RandomState`` clones
+(``set_state``) that materialize the identical underlying uniform stream
+in numpy batches — once as raw uniforms (``random_sample``) and once
+exp-transformed (``standard_exponential``, the same ``-log(1 - u)`` that
+``Random.expovariate`` computes, through the same C ``log``).  Arrival
+clocks come from sequential ``np.cumsum`` accumulation, so every float
+matches the scalar reference generators (kept as ``_*_scalar``, pinned
+bit-identical by digest tests) while fleet-scale traces (10^6+ requests)
+generate in seconds.  Rates are expressed in requests per cycle; the CLI
+converts from the friendlier requests per mega-cycle.
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
 import random
+import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+import numpy as np
 
 from ..errors import ScheduleError
 
@@ -48,9 +64,12 @@ class TenantSpec:
                 f"tenant {self.name!r}: weight must be positive")
 
 
-@dataclass(frozen=True)
-class Request:
-    """One inference request: global index, tenant, arrival cycle."""
+class Request(NamedTuple):
+    """One inference request: global index, tenant, arrival cycle.
+
+    (A ``NamedTuple`` rather than a dataclass: construction cost and
+    footprint dominate fleet-scale traces of millions of requests.)
+    """
 
     index: int
     tenant: str
@@ -80,10 +99,96 @@ def _pick(rng: random.Random, tenants: Sequence[TenantSpec]) -> str:
     return tenants[-1].name
 
 
-def poisson_trace(tenants: Sequence[TenantSpec], rate: float,
-                  num_requests: int, seed: int = 0) -> List[Request]:
-    """Constant-rate Poisson arrivals, tenants drawn by weight."""
-    _validate(tenants, rate, num_requests)
+# ---------------------------------------------------------------------------
+# Vectorized uniform-stream machinery
+# ---------------------------------------------------------------------------
+
+
+class _TwinStream:
+    """The ``random.Random(seed)`` uniform stream, materialized in numpy
+    batches under two synchronized views.
+
+    Both views consume the *same* Mersenne-Twister positions: ``u[i]`` is
+    the raw ``Random.random()`` draw at stream position ``i`` and ``e[i]``
+    is its exponential transform ``-log(1 - u[i])`` (what
+    ``Random.expovariate(lambd)`` returns, pre-division) — so a caller can
+    interpret each position as either kind after the fact, which is what
+    makes interleaved gap/choice streams batchable.
+    """
+
+    def __init__(self, seed: int, block: int = 1 << 15) -> None:
+        py_state = random.Random(seed).getstate()[1]
+        key = np.array(py_state[:-1], dtype=np.uint32)
+        pos = py_state[-1]
+        self._exp = np.random.RandomState()
+        self._exp.set_state(("MT19937", key, pos))
+        self._uni = np.random.RandomState()
+        self._uni.set_state(("MT19937", key, pos))
+        self._block = block
+        self._e = np.empty(0)
+        self._u = np.empty(0)
+        self._off = 0
+
+    def peek(self, n: int):
+        """Views of the next ``n`` stream entries, without consuming."""
+        avail = len(self._e) - self._off
+        if avail < n:
+            draw = max(self._block, n - avail)
+            self._e = np.concatenate(
+                (self._e[self._off:], self._exp.standard_exponential(draw)))
+            self._u = np.concatenate(
+                (self._u[self._off:], self._uni.random_sample(draw)))
+            self._off = 0
+        return (self._e[self._off:self._off + n],
+                self._u[self._off:self._off + n])
+
+    def consume(self, n: int) -> None:
+        """Advance past ``n`` peeked entries."""
+        self._off += n
+
+    def take(self, n: int):
+        """Peek and consume ``n`` entries in one step."""
+        e, u = self.peek(n)
+        self._off += n
+        return e, u
+
+
+def _pick_batch(u: np.ndarray,
+                tenants: Sequence[TenantSpec]) -> List[int]:
+    """Vectorized :func:`_pick`: tenant indices for a batch of uniforms,
+    reproducing the scalar sequential-subtraction arithmetic bit for
+    bit."""
+    total = sum(t.weight for t in tenants)
+    x = u * total
+    idx = np.full(len(u), len(tenants) - 1, dtype=np.intp)
+    open_ = np.ones(len(u), dtype=bool)
+    for k, t in enumerate(tenants[:-1]):
+        x = x - t.weight
+        hit = open_ & (x < 0)
+        idx[hit] = k
+        open_ &= ~hit
+    return idx.tolist()
+
+
+def _emit(out: List[Request], tenants: Sequence[TenantSpec],
+          picks: np.ndarray, clocks: np.ndarray) -> None:
+    """Append one vectorized batch of requests to ``out``."""
+    names = [t.name for t in tenants]
+    base = len(out)
+    out.extend(
+        Request(base + i, names[k], c)
+        for i, (k, c) in enumerate(zip(_pick_batch(picks, tenants),
+                                       clocks.tolist())))
+
+
+# ---------------------------------------------------------------------------
+# Scalar reference generators (digest-pinned twins of the public API)
+# ---------------------------------------------------------------------------
+
+
+def _poisson_trace_scalar(tenants, rate, num_requests, seed=0):
+    """Scalar reference for :func:`poisson_trace` (one RNG call per
+    event); the vectorized path is pinned bit-identical to this."""
     rng = random.Random(seed)
     clock = 0.0
     out: List[Request] = []
@@ -93,20 +198,11 @@ def poisson_trace(tenants: Sequence[TenantSpec], rate: float,
     return out
 
 
-def bursty_trace(tenants: Sequence[TenantSpec], rate: float,
-                 num_requests: int, seed: int = 0,
-                 burst_factor: float = 1.75, calm_factor: float = 0.25,
-                 mean_dwell_requests: float = 16.0) -> List[Request]:
-    """Two-state MMPP: bursts at ``rate * burst_factor`` alternating with
-    calm stretches at ``rate * calm_factor``.
-
-    With the default factors (averaging to 1) and equal mean dwell times
-    the long-run rate stays ``rate``, so bursty and Poisson traces are
-    directly comparable at the same nominal load.
-    """
-    _validate(tenants, rate, num_requests)
-    if burst_factor <= 0 or calm_factor <= 0:
-        raise ScheduleError("burst/calm factors must be positive")
+def _bursty_trace_scalar(tenants, rate, num_requests, seed=0,
+                         burst_factor=1.75, calm_factor=0.25,
+                         mean_dwell_requests=16.0):
+    """Scalar reference for :func:`bursty_trace`; the vectorized path is
+    pinned bit-identical to this."""
     rng = random.Random(seed)
     clock = 0.0
     bursting = False
@@ -129,21 +225,10 @@ def bursty_trace(tenants: Sequence[TenantSpec], rate: float,
     return out
 
 
-def diurnal_trace(tenants: Sequence[TenantSpec], rate: float,
-                  num_requests: int, seed: int = 0,
-                  period: float = 2_000_000.0,
-                  depth: float = 0.8) -> List[Request]:
-    """Sinusoidal rate ramp: ``rate * (1 + depth * sin(2 pi t / period))``
-    sampled by thinning a Poisson process at the peak rate.
-
-    ``depth`` in [0, 1) sets the peak-to-trough swing; the long-run mean
-    stays ``rate``.
-    """
-    import math
-
-    _validate(tenants, rate, num_requests)
-    if not 0 <= depth < 1:
-        raise ScheduleError(f"depth must be in [0, 1), got {depth}")
+def _diurnal_trace_scalar(tenants, rate, num_requests, seed=0,
+                          period=2_000_000.0, depth=0.8):
+    """Scalar reference for :func:`diurnal_trace`; the batched path is
+    pinned bit-identical to this."""
     rng = random.Random(seed)
     peak = rate * (1.0 + depth)
     clock = 0.0
@@ -156,11 +241,217 @@ def diurnal_trace(tenants: Sequence[TenantSpec], rate: float,
     return out
 
 
+# ---------------------------------------------------------------------------
+# Public generators
+# ---------------------------------------------------------------------------
+
+
+def poisson_trace(tenants: Sequence[TenantSpec], rate: float,
+                  num_requests: int, seed: int = 0) -> List[Request]:
+    """Constant-rate Poisson arrivals, tenants drawn by weight.
+
+    Fully vectorized: the stream alternates gap/choice draws, so one
+    twin-view batch of ``2 n`` positions yields every gap (even
+    positions, exp view) and every tenant choice (odd positions, raw
+    view) at once.
+    """
+    _validate(tenants, rate, num_requests)
+    if num_requests == 0:
+        return []
+    stream = _TwinStream(seed)
+    e, u = stream.take(2 * num_requests)
+    clocks = np.cumsum(e[0::2] / rate)
+    out: List[Request] = []
+    _emit(out, tenants, u[1::2], clocks)
+    return out
+
+
+def bursty_trace(tenants: Sequence[TenantSpec], rate: float,
+                 num_requests: int, seed: int = 0,
+                 burst_factor: float = 1.75, calm_factor: float = 0.25,
+                 mean_dwell_requests: float = 16.0) -> List[Request]:
+    """Two-state MMPP: bursts at ``rate * burst_factor`` alternating with
+    calm stretches at ``rate * calm_factor``.
+
+    With the default factors (averaging to 1) and equal mean dwell times
+    the long-run rate stays ``rate``, so bursty and Poisson traces are
+    directly comparable at the same nominal load.
+
+    Vectorized per dwell period: within one state the stream is a regular
+    gap/choice alternation, so each dwell is one batched cumsum plus a
+    crossing search; only the state flips (one per
+    ``mean_dwell_requests`` arrivals) run in Python.
+    """
+    _validate(tenants, rate, num_requests)
+    if burst_factor <= 0 or calm_factor <= 0:
+        raise ScheduleError("burst/calm factors must be positive")
+    stream = _TwinStream(seed)
+    clock = 0.0
+    bursting = False
+    mean_dwell = mean_dwell_requests / rate
+    dwell_rate = 1.0 / mean_dwell
+    e0, _ = stream.take(1)
+    state_ends = e0[0] / dwell_rate
+    out: List[Request] = []
+    chunk = max(64, int(4 * mean_dwell_requests))
+    while len(out) < num_requests:
+        state_rate = rate * (burst_factor if bursting else calm_factor)
+        need = num_requests - len(out)
+        k = min(need, chunk)
+        e, u = stream.peek(2 * k)
+        gaps = e[0::2] / state_rate
+        clocks = np.cumsum(np.concatenate(((clock,), gaps)))[1:]
+        crossed = clocks > state_ends
+        cross_at = int(np.argmax(crossed)) if crossed.any() else k
+        emit = min(cross_at, need)
+        if emit:
+            _emit(out, tenants, u[1:2 * emit:2], clocks[:emit])
+            stream.consume(2 * emit)
+            clock = float(clocks[emit - 1])
+        if len(out) >= num_requests:
+            break
+        if cross_at < k and emit == cross_at:
+            # The next gap overshoots the dwell: its draw is discarded,
+            # the state flips, and a fresh dwell length is drawn.
+            e2, _ = stream.take(2)
+            clock = state_ends
+            bursting = not bursting
+            state_ends = clock + e2[1] / dwell_rate
+    return out
+
+
+def diurnal_trace(tenants: Sequence[TenantSpec], rate: float,
+                  num_requests: int, seed: int = 0,
+                  period: float = 2_000_000.0,
+                  depth: float = 0.8) -> List[Request]:
+    """Sinusoidal rate ramp: ``rate * (1 + depth * sin(2 pi t / period))``
+    sampled by thinning a Poisson process at the peak rate.
+
+    ``depth`` in [0, 1) sets the peak-to-trough swing; the long-run mean
+    stays ``rate``.
+
+    The thinning decision stream is data-dependent (an accepted candidate
+    consumes one extra choice draw), so candidates run through a batched
+    buffer: uniforms and their exponential transforms are materialized in
+    numpy blocks and the light accept/reject state machine walks them as
+    plain Python floats.
+    """
+    _validate(tenants, rate, num_requests)
+    if not 0 <= depth < 1:
+        raise ScheduleError(f"depth must be in [0, 1), got {depth}")
+    stream = _TwinStream(seed)
+    peak = rate * (1.0 + depth)
+    two_pi = 2 * math.pi
+    sin = math.sin
+    clock = 0.0
+    out: List[Request] = []
+    append = out.append
+    names = [t.name for t in tenants]
+    weights = [t.weight for t in tenants]
+    total_w = sum(weights)
+    last = len(tenants) - 1
+    while len(out) < num_requests:
+        e_v, u_v = stream.peek(3 * max(64, num_requests - len(out)))
+        e, u = e_v.tolist(), u_v.tolist()
+        m = len(e)
+        i = 0
+        while i + 3 <= m and len(out) < num_requests:
+            clock += e[i] / peak
+            current = rate * (1.0 + depth * sin(two_pi * clock / period))
+            if u[i + 1] * peak <= current:
+                x = u[i + 2] * total_w
+                pick = last
+                for k, w in enumerate(weights):
+                    x -= w
+                    if x < 0:
+                        pick = k
+                        break
+                append(Request(len(out), names[pick], clock))
+                i += 3
+            else:
+                i += 2
+        stream.consume(i)
+    return out
+
+
+def diurnal_bursty_trace(tenants: Sequence[TenantSpec], rate: float,
+                         num_requests: int, seed: int = 0,
+                         period: float = 2_000_000.0, depth: float = 0.8,
+                         burst_factor: float = 1.75,
+                         calm_factor: float = 0.25,
+                         mean_dwell_requests: float = 16.0
+                         ) -> List[Request]:
+    """The fleet-headline shape: an MMPP-2 riding the diurnal envelope.
+
+    Candidates come from the :func:`bursty_trace` state machine run at
+    ``(1 + depth)`` times its nominal rates and are thinned by the
+    sinusoidal envelope (accept probability
+    ``(1 + depth sin) / (1 + depth)``), so the long-run rate stays
+    ``rate`` while the trace carries *both* the day/night swing an
+    autoscaler tracks and the bursts that stress routing and admission.
+    Same batched-buffer scheme as :func:`diurnal_trace`.
+    """
+    _validate(tenants, rate, num_requests)
+    if not 0 <= depth < 1:
+        raise ScheduleError(f"depth must be in [0, 1), got {depth}")
+    if burst_factor <= 0 or calm_factor <= 0:
+        raise ScheduleError("burst/calm factors must be positive")
+    stream = _TwinStream(seed)
+    envelope = 1.0 + depth
+    two_pi = 2 * math.pi
+    sin = math.sin
+    clock = 0.0
+    bursting = False
+    mean_dwell = mean_dwell_requests / rate
+    dwell_rate = 1.0 / mean_dwell
+    e0, _ = stream.take(1)
+    state_ends = e0[0] / dwell_rate
+    out: List[Request] = []
+    append = out.append
+    names = [t.name for t in tenants]
+    weights = [t.weight for t in tenants]
+    total_w = sum(weights)
+    last = len(tenants) - 1
+    while len(out) < num_requests:
+        e_v, u_v = stream.peek(4 * max(64, num_requests - len(out)))
+        e, u = e_v.tolist(), u_v.tolist()
+        m = len(e)
+        i = 0
+        while i + 4 <= m and len(out) < num_requests:
+            cand_rate = rate * envelope * \
+                (burst_factor if bursting else calm_factor)
+            gap = e[i] / cand_rate
+            if clock + gap > state_ends:
+                # Dwell boundary: discard the gap, flip, draw a new dwell.
+                clock = state_ends
+                bursting = not bursting
+                state_ends = clock + e[i + 1] / dwell_rate
+                i += 2
+                continue
+            clock += gap
+            current = rate * (1.0 + depth * sin(two_pi * clock / period))
+            if u[i + 1] * (rate * envelope) <= current:
+                x = u[i + 2] * total_w
+                pick = last
+                for k, w in enumerate(weights):
+                    x -= w
+                    if x < 0:
+                        pick = k
+                        break
+                append(Request(len(out), names[pick], clock))
+                i += 3
+            else:
+                i += 2
+        stream.consume(i)
+    return out
+
+
 #: Trace kinds the CLI exposes.
 TRACES = {
     "poisson": poisson_trace,
     "bursty": bursty_trace,
     "diurnal": diurnal_trace,
+    "diurnal-bursty": diurnal_bursty_trace,
 }
 
 
@@ -174,6 +465,20 @@ def make_trace(kind: str, tenants: Sequence[TenantSpec], rate: float,
             f"unknown trace kind {kind!r}; choose one of {sorted(TRACES)}"
         ) from None
     return gen(tenants, rate, num_requests, seed=seed, **kwargs)
+
+
+def trace_digest(trace: Sequence[Request]) -> str:
+    """Content hash of a trace (index, tenant, exact arrival bits).
+
+    The pinned-determinism currency: two traces digest equal iff every
+    request matches bit for bit, without hauling megabytes of floats
+    into a test expectation.
+    """
+    h = hashlib.sha256()
+    for req in trace:
+        h.update(req.tenant.encode())
+        h.update(struct.pack("<qd", req.index, req.arrival))
+    return h.hexdigest()
 
 
 def tenant_counts(trace: Sequence[Request]) -> Dict[str, int]:

@@ -45,6 +45,17 @@ def test_energy_pareto_example_runs(capsys, monkeypatch):
     assert "pareto" in out and "uncapped" in out and "budget" in out
 
 
+def test_fleet_autoscale_example_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/fleet_autoscale.py",
+                                      "--requests", "2000",
+                                      "--replicas", "4"])
+    runpy.run_path("examples/fleet_autoscale.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "scale events" in out
+    assert "autoscaled vs static fleet" in out
+    assert "deployment energy" in out
+
+
 def test_quickstart_runs(capsys, monkeypatch):
     monkeypatch.setattr(sys, "argv", ["examples/quickstart.py"])
     runpy.run_path("examples/quickstart.py", run_name="__main__")
