@@ -30,6 +30,7 @@ SCOPED = [
     "repro/fleet",
     "repro/scale",
     "repro/perf",
+    "repro/trace",
 ]
 
 

@@ -24,6 +24,8 @@ Packages
                       routing, admission control, autoscaling.
 ``repro.scale``       Multi-chip sharding: layer partitioning, inter-chip
                       links, pipelined multi-chip estimation.
+``repro.trace``       Trace capture across every engine, critical-path
+                      attribution, what-if replay without re-simulation.
 ``repro.experiments`` One driver per paper table/figure.
 """
 
@@ -73,7 +75,7 @@ from .explore import SweepPoint, SweepResult, SweepRunner, SweepSpace
 from .perf import CompileCache, fastpath, fastpath_enabled
 from .scale import ShardPlan, shard
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CIMArchitecture",

@@ -16,6 +16,9 @@ Commands
 ``fleet``     Datacenter-scale serving: a replicated fleet behind a
               router with admission control and autoscaling, under a
               diurnal + bursty trace.
+``trace``     Record an execution trace (sim/shard/serve/fleet), extract
+              its critical path and bottleneck attribution, or what-if
+              replay it under mutated parameters without re-simulating.
 ``power``     Per-model energy/power breakdown table (Section 4.2
               components plus weight-write costs).
 ``describe``  Print the Abs-arch abstraction of a preset (Figs. 17-19 style).
@@ -217,6 +220,36 @@ def cmd_sweep(args) -> None:
     cache_dir = None if args.no_cache else \
         (args.cache_dir or default_cache_dir())
     runner = SweepRunner(workers=args.workers, cache_dir=cache_dir)
+
+    if args.prefilter == "replay":
+        from dataclasses import asdict
+
+        from .explore import replay_prefilter
+
+        pre = replay_prefilter(space, runner, objectives)
+        print(pre.stats.describe(), file=sys.stderr)
+        frontier = pre.frontier
+        if args.power_budget is not None:
+            frontier = [r for r in frontier
+                        if r.peak_power <= args.power_budget]
+        if args.format == "json":
+            print(json.dumps({
+                "stats": {**asdict(pre.stats),
+                          "savings": pre.stats.savings},
+                "objectives": list(objectives),
+                "frontier": [
+                    {"label": r.label, "series": r.series,
+                     **{obj: r.summary[obj] for obj in objectives}}
+                    for r in frontier],
+            }, indent=1))
+            return
+        print(f"pareto frontier (min {', '.join(objectives)}):")
+        for r in frontier:
+            vals = ", ".join(f"{obj}={r.summary[obj]:,.6g}"
+                             for obj in objectives)
+            print(f"  {r.label}/{r.series}: {vals}")
+        return
+
     sweep = runner.run(space)
     print(f"sweep: {len(sweep)} points "
           f"({sweep.cache_hits} cache hits, {sweep.cache_misses} misses"
@@ -506,6 +539,179 @@ def cmd_fleet(args) -> None:
           f"(same seed => same digest)")
 
 
+def _load_trace(path: str):
+    from .trace import Trace
+
+    try:
+        return Trace.load(path)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"cannot load trace {path!r}: {exc}")
+
+
+def _record_scenario(args):
+    """Run the ``--kind`` scenario with recording on → (report, trace)."""
+    from .trace import record_fleet, record_performance, record_serve, \
+        record_shard
+
+    arch = _preset(args.arch)
+    if args.kind == "sim":
+        result = CIMMLC(arch).compile(_model(args.model))
+        return record_performance(arch, result.schedule)
+    if args.kind == "shard":
+        from .scale import shard
+
+        plan = shard(_model(args.model), _system(args))
+        return plan.report, record_shard(plan)
+    from .serve import make_plan, make_trace, parse_policy
+
+    specs = _tenant_specs(args.tenants)
+    policy = parse_policy(args.batch)
+    requests = make_trace(args.arrivals, specs, args.rate * 1e-6,
+                          args.requests, seed=args.seed)
+    if args.kind == "serve":
+        plan = make_plan(args.mode, arch, specs)
+        return record_serve(plan, requests, policy=policy,
+                            max_queue=args.max_queue,
+                            slo_factor=args.slo_factor)
+    from .arch import ChipLink
+    from .fleet import build_fleet, parse_router
+
+    link = ChipLink(bandwidth_bits=args.link_bw,
+                    latency_cycles=args.link_latency)
+    plan = build_fleet(arch, specs, replicas=args.replicas,
+                       mode=args.mode, link=link)
+    return record_fleet(plan, requests, policy=policy,
+                        router=parse_router(args.router),
+                        max_queue=args.max_queue,
+                        slo_factor=args.slo_factor)
+
+
+def cmd_trace_record(args) -> None:
+    from .errors import CIMError
+
+    try:
+        report, trace = _record_scenario(args)
+    except CIMError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        trace.save(args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.chrome:
+        trace.save_chrome(args.chrome)
+        print(f"wrote {args.chrome} (load in chrome://tracing or "
+              f"ui.perfetto.dev)", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps({
+            "kind": trace.kind, "spans": len(trace),
+            "tracks": list(trace.tracks()), "digest": trace.digest(),
+            "by_category": trace.by_category(), "meta": trace.meta,
+        }, indent=1))
+        return
+    print(f"recorded {trace.kind} trace: {len(trace)} spans on "
+          f"{len(trace.tracks())} tracks, digest {trace.digest()[:16]}")
+    for cat, cycles in sorted(trace.by_category().items()):
+        print(f"  {cat:>15}: {cycles:>14,.1f} busy cycles")
+    if trace.kind in ("sim", "shard"):
+        print(f"total: {trace.meta['total_cycles']:,.1f} cycles "
+              f"(steady-state interval "
+              f"{trace.meta['steady_state_interval']:,.1f})")
+    else:
+        print(f"completed {trace.meta['completed']}, "
+              f"p99 {report.p99:,.1f} cycles")
+
+
+def cmd_trace_analyze(args) -> None:
+    from .trace import attribute, critical_path, replica_rollup, \
+        tenant_rollup
+
+    trace = _load_trace(args.trace)
+    att = attribute(trace)
+    try:
+        cp = critical_path(trace, request=args.request)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    serving = trace.kind in ("serve", "fleet")
+    if args.format == "json":
+        doc = {
+            "kind": trace.kind, "spans": len(trace),
+            "digest": trace.digest(), "attribution": att,
+            "critical_path": {
+                "total": cp.total, "by_category": cp.by_category,
+                "spans": [
+                    {"name": s.name, "cat": s.cat, "track": s.track,
+                     "begin": s.begin, "dur": s.dur}
+                    for s in cp.spans],
+            },
+        }
+        if serving:
+            doc["tenants"] = tenant_rollup(trace)
+            doc["replicas"] = replica_rollup(trace)
+        print(json.dumps(doc, indent=1))
+        return
+    print(f"{trace.kind} trace: {len(trace)} spans on "
+          f"{len(trace.tracks())} tracks, digest {trace.digest()[:16]}")
+    shares = ", ".join(f"{k} {v:.1%}"
+                       for k, v in att["shares"].items())
+    print(f"attribution: dominant {att['dominant']} ({shares})")
+    print(cp.describe())
+    if serving:
+        print(f"{'tenant':<14} {'reqs':>6} {'batches':>8} "
+              f"{'queue cyc':>13} {'service cyc':>13} {'switch cyc':>12} "
+              f"{'mean lat':>12} {'max lat':>12}")
+        for tenant, r in sorted(tenant_rollup(trace).items()):
+            print(f"{tenant:<14} {r['requests']:>6.0f} "
+                  f"{r['batches']:>8.0f} {r['queue_cycles']:>13,.0f} "
+                  f"{r['service_cycles']:>13,.0f} "
+                  f"{r['switch_cycles']:>12,.0f} "
+                  f"{r['mean_latency']:>12,.0f} "
+                  f"{r['max_latency']:>12,.0f}")
+        print(f"{'replica':<8} {'done':>6} {'batches':>8} "
+              f"{'busy cyc':>13} {'switch cyc':>12} {'queue cyc':>13} "
+              f"{'link cyc':>12}")
+        for rid, r in sorted(replica_rollup(trace).items()):
+            print(f"{rid:<8} {r['completed']:>6.0f} "
+                  f"{r['batches']:>8.0f} {r['busy_cycles']:>13,.0f} "
+                  f"{r['switch_cycles']:>12,.0f} "
+                  f"{r['queue_cycles']:>13,.0f} "
+                  f"{r['link_cycles']:>12,.0f}")
+
+
+def cmd_trace_whatif(args) -> None:
+    from .errors import CIMError
+    from .trace import parse_mutation, replay
+
+    trace = _load_trace(args.trace)
+    try:
+        mutation = parse_mutation(args.mutate or "")
+        result = replay(trace, mutation)
+        baseline = replay(trace).metrics
+    except CIMError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        result.trace.save(args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps({
+            "kind": trace.kind, "mutation": mutation.describe(),
+            "recorded": baseline, "replayed": result.metrics,
+            "digest": result.trace.digest(),
+        }, indent=1))
+        return
+    print(f"what-if [{mutation.describe()}] on {trace.kind} trace "
+          f"({len(trace)} spans)")
+    for key, base in baseline.items():
+        new = result.metrics.get(key)
+        if not isinstance(base, (int, float)) or \
+                not isinstance(new, (int, float)):
+            continue
+        ratio = new / base if base else float("inf")
+        print(f"  {key:<24} {base:>16,.2f} -> {new:>16,.2f} "
+              f"({ratio:.3f}x)")
+    if mutation.is_identity():
+        same = result.trace.digest() == trace.digest()
+        print(f"identity replay digest match: {same}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -578,6 +784,12 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="POWER",
                    help="feasibility cap on peak power: annotates/filters "
                         "points and restricts the Pareto frontier")
+    p.add_argument("--prefilter", choices=("none", "replay"),
+                   default="none",
+                   help="replay screening: fully evaluate one anchor per "
+                        "link-axis group, re-price the rest from its "
+                        "recorded trace (exact for link axes), and fully "
+                        "evaluate only the Pareto frontier")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -754,6 +966,95 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the result cache")
     p.add_argument("--format", choices=("table", "json"), default="table")
     p.set_defaults(fn=cmd_fleet)
+
+    p = sub.add_parser(
+        "trace",
+        help="record, analyze, and what-if-replay execution traces",
+        description="Trace tooling over the whole stack: `record` runs "
+                    "one scenario (single-chip sim, multi-chip shard, "
+                    "serve DES, or fleet engine) with span capture on "
+                    "and saves the digest-pinned compact trace and/or "
+                    "Chrome-trace JSON; `analyze` extracts the critical "
+                    "path, bottleneck attribution, and per-tenant / "
+                    "per-replica rollups; `whatif` re-prices the "
+                    "recording under mutated parameters (link bw/"
+                    "latency, compute/reconf speed, batching timeout, "
+                    "±chips) without re-running the simulator.")
+    tsub = p.add_subparsers(dest="action", required=True)
+
+    r = tsub.add_parser(
+        "record", help="run a scenario with trace capture on")
+    r.add_argument("--kind", choices=("sim", "shard", "serve", "fleet"),
+                   default="sim", help="which engine to record")
+    r.add_argument("--arch", "--preset", dest="arch",
+                   default="isaac-baseline",
+                   help="architecture preset (unique prefixes accepted)")
+    r.add_argument("--model", default="lenet",
+                   help="model-zoo entry (sim/shard kinds)")
+    _add_system_args(r, default_chips=2)
+    r.add_argument("--tenants", default="resnet18:4,mobilenet:1",
+                   metavar="MODEL[:WEIGHT],...",
+                   help="co-resident models (serve/fleet kinds)")
+    r.add_argument("--mode", choices=("spatial", "temporal"),
+                   default="spatial",
+                   help="hardware sharing plan (serve/fleet kinds)")
+    r.add_argument("--arrivals",
+                   choices=("poisson", "bursty", "diurnal",
+                            "diurnal-bursty"),
+                   default="poisson",
+                   help="arrival process (serve/fleet kinds)")
+    r.add_argument("--rate", type=float, default=22.0,
+                   help="arrival rate in requests per mega-cycle")
+    r.add_argument("--requests", type=int, default=400,
+                   help="request-stream length")
+    r.add_argument("--seed", type=int, default=0,
+                   help="request-stream seed")
+    r.add_argument("--batch", default="timeout:8:50000",
+                   help="batching policy: fixed:N or timeout:N:CYCLES")
+    r.add_argument("--slo-factor", type=float, default=10.0,
+                   help="per-tenant SLO = factor x isolated latency")
+    r.add_argument("--max-queue", type=int, default=None,
+                   help="per-tenant queue bound")
+    r.add_argument("--replicas", type=int, default=4,
+                   help="fleet size (fleet kind)")
+    r.add_argument("--router", default="least-loaded",
+                   help="fleet routing policy")
+    r.add_argument("--out", default=None, metavar="PATH",
+                   help="write the compact trace JSON "
+                        "(repro.trace.Trace.load-able)")
+    r.add_argument("--chrome", default=None, metavar="PATH",
+                   help="write Chrome-trace JSON (chrome://tracing / "
+                        "Perfetto)")
+    r.add_argument("--format", choices=("table", "json"),
+                   default="table")
+    r.set_defaults(fn=cmd_trace_record)
+
+    a = tsub.add_parser(
+        "analyze",
+        help="critical path, attribution, and rollups of a recording")
+    a.add_argument("trace",
+                   help="trace saved by `repro trace record --out`")
+    a.add_argument("--request", type=int, default=None,
+                   help="request index to path-analyze (serving traces; "
+                        "default: the slowest request)")
+    a.add_argument("--format", choices=("table", "json"),
+                   default="table")
+    a.set_defaults(fn=cmd_trace_analyze)
+
+    w = tsub.add_parser(
+        "whatif",
+        help="re-price a recording under mutated parameters")
+    w.add_argument("trace",
+                   help="trace saved by `repro trace record --out`")
+    w.add_argument("--mutate", default="", metavar="KEY=VALUE,...",
+                   help="mutation spec: compute/reconf/link_bw/"
+                        "link_latency multipliers, timeout=CYCLES, "
+                        "chips=±N (empty: identity replay)")
+    w.add_argument("--out", default=None, metavar="PATH",
+                   help="write the replayed trace JSON")
+    w.add_argument("--format", choices=("table", "json"),
+                   default="table")
+    w.set_defaults(fn=cmd_trace_whatif)
 
     p = sub.add_parser(
         "bench",

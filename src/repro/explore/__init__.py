@@ -14,6 +14,9 @@ same shape.  This package makes that shape first-class:
   performance summary in a content-addressed disk cache.
 * :mod:`~repro.explore.pareto` — non-dominated frontier extraction and
   per-point bottleneck attribution (reconfiguration / compute / NoC).
+* :mod:`~repro.explore.prefilter` — replay-based link-axis pruning
+  (:func:`replay_prefilter`): one full evaluation per link group, the
+  rest re-priced exactly through :mod:`repro.trace`.
 * :mod:`~repro.explore.report` — CSV / JSON export plus the classic
   experiment-table rendering.
 
@@ -39,6 +42,7 @@ from .pareto import (
     pareto_frontier,
     resolve_objectives,
 )
+from .prefilter import PrefilterResult, PrefilterStats, replay_prefilter
 from .report import metric_result, speedup_result, to_csv, to_json
 from .runner import (
     PointResult,
@@ -68,6 +72,8 @@ __all__ = [
     "LEVEL_SERIES",
     "OBJECTIVE_ALIASES",
     "PointResult",
+    "PrefilterResult",
+    "PrefilterStats",
     "ResultCache",
     "SCALE_AXES",
     "SweepPoint",
@@ -86,6 +92,7 @@ __all__ = [
     "level_series",
     "metric_result",
     "pareto_frontier",
+    "replay_prefilter",
     "resolve_objectives",
     "resolve_variation",
     "speedup_result",

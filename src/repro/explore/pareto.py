@@ -103,24 +103,30 @@ def attribute_bottleneck(summary: Dict) -> Dict:
     latency model, so its share reports how much of the compute window the
     interconnect is busy, not an additive term), plus the dominant cause
     and the most frequent per-segment bottleneck operator.
+
+    The share/dominance arithmetic lives in
+    :func:`repro.trace.share_attribution` (the trace layer generalizes
+    it to the full category set — link, queue — over recorded spans);
+    this function keeps the summary-dict interface and the per-segment
+    bottleneck-operator census.
     """
-    total = summary["total_cycles"] or 1.0
+    from ..trace.analysis import share_attribution
+
     compute = summary["compute_cycles"]
-    reconf = summary["reconfiguration_cycles"]
-    noc = summary.get("noc_cycles", 0.0)
-    shares = {
-        "reconfiguration": reconf / total,
-        "compute": compute / total,
-        "noc": min(noc, compute) / total,
-    }
+    magnitudes = {"compute": compute,
+                  "reconfiguration": summary["reconfiguration_cycles"],
+                  "noc": summary.get("noc_cycles", 0.0)}
+    attributed = share_attribution(magnitudes, summary["total_cycles"],
+                                   caps={"noc": compute})
+    shares = attributed["shares"]
     counts: Dict[str, int] = {}
     for seg in summary.get("segments", ()):
         counts[seg["bottleneck"]] = counts.get(seg["bottleneck"], 0) + 1
-    magnitudes = {"compute": compute, "reconfiguration": reconf, "noc": noc}
-    dominant = max(magnitudes, key=magnitudes.get)
     return {
-        "shares": shares,
-        "dominant": dominant,
+        "shares": {"reconfiguration": shares["reconfiguration"],
+                   "compute": shares["compute"],
+                   "noc": shares["noc"]},
+        "dominant": attributed["dominant"],
         "bottleneck_ops": sorted(counts, key=counts.get, reverse=True),
         "segments": len(summary.get("segments", ())),
     }

@@ -1,0 +1,205 @@
+"""Replay-based sweep prefilter: prune link axes without re-simulating.
+
+A multi-chip sweep that varies ``link_bw`` / ``link_latency`` re-shards
+and re-simulates the same pipeline once per grid value — yet the stage
+structure is link-invariant (:func:`repro.scale.shard` partitions
+without consulting link parameters), so only the transfer pricing
+changes.  The prefilter exploits that: it fully evaluates one *anchor*
+per link-axis group, rebuilds the anchor's shard timeline from its
+cached summary (:func:`repro.trace.trace_from_summary`), and re-prices
+every other group member through :func:`repro.trace.replay` with the
+member's link values as absolute overrides.  Link re-pricing of shard
+traces is **exact** (pinned by ``tests/test_trace.py``), so the Pareto
+frontier over replayed summaries equals the frontier a full sweep would
+find; the frontier points are then fully evaluated so the returned
+results are genuine simulations.
+
+``repro sweep --prefilter replay`` wires this in; the win on a
+``chips x link_bw x link_latency`` grid is one full evaluation per
+(non-link) group plus one per frontier point instead of one per point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .pareto import DEFAULT_OBJECTIVES, pareto_frontier
+from .runner import PointResult, SweepResult, SweepRunner
+from .space import SweepPoint, SweepSpace
+
+
+@dataclass
+class PrefilterStats:
+    """How much work the prefilter did versus a full sweep."""
+
+    #: Points in the sweep (what a full run would simulate).
+    total_points: int = 0
+    #: Link-axis groups (points identical up to link bandwidth/latency).
+    groups: int = 0
+    #: Full compile+simulate evaluations actually dispatched.
+    full_evaluations: int = 0
+    #: Members priced by trace replay instead of simulation.
+    replayed: int = 0
+    #: Members that shared their anchor's result outright (single-chip
+    #: points, where link parameters do not enter the evaluation).
+    shared: int = 0
+
+    @property
+    def savings(self) -> float:
+        """Full-sweep evaluations per prefilter evaluation (>= 1)."""
+        return self.total_points / max(1, self.full_evaluations)
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        return (f"prefilter: {self.full_evaluations}/{self.total_points} "
+                f"full evaluations ({self.groups} groups, "
+                f"{self.replayed} replayed, {self.shared} shared, "
+                f"{self.savings:.1f}x fewer simulations)")
+
+
+@dataclass
+class PrefilterResult:
+    """Outcome of a prefiltered sweep.
+
+    ``frontier`` holds genuine (fully simulated) results for the
+    Pareto-optimal points, in space order; ``screened`` holds every
+    point's screening summary (anchors are real evaluations, other
+    members replay-priced — exact for link axes); ``stats`` records the
+    work saved.
+    """
+
+    frontier: List[PointResult] = field(default_factory=list)
+    screened: SweepResult = field(default_factory=SweepResult)
+    stats: PrefilterStats = field(default_factory=PrefilterStats)
+
+
+def _group_key(point: SweepPoint) -> str:
+    """Group fingerprint: the point with its link axes nulled, so
+    members that differ only in link bandwidth/latency collide."""
+    return dataclasses.replace(point, link_bandwidth=None,
+                               link_latency=None).fingerprint()
+
+
+def _replayed_summary(anchor_summary: Dict, trace, member: SweepPoint
+                      ) -> Dict:
+    """The anchor summary re-priced at ``member``'s link values.
+
+    Exact for every objective the frontier can consult: total cycles
+    and steady-state interval come from the (exact) link replay, and
+    all other summary scalars — energy, power, area — are
+    link-bandwidth/latency-invariant (transfer energy is per bit-hop).
+
+    Copies are shallow except for the keys replay overwrites (replay
+    cost is what the whole prefilter saves, and a deep copy of a large
+    summary would dominate it); unreplaced nested blocks — segments,
+    tenants — alias the anchor's and must be treated as read-only,
+    which every sweep consumer already does.
+    """
+    from ..trace import Mutation, replay
+
+    link = member.system().link
+    result = replay(trace, Mutation(link_bandwidth=link.bandwidth_bits,
+                                    link_latency=link.latency_cycles))
+    summary = dict(anchor_summary)
+    summary["total_cycles"] = result.metrics["total_cycles"]
+    summary["steady_state_interval"] = \
+        result.metrics["steady_state_interval"]
+    scale = summary.get("scale")
+    if scale is not None:
+        from ..trace import shard_model_from_trace
+
+        model = shard_model_from_trace(result.trace)
+        scale = dict(scale)
+        scale["transfers"] = [dict(t) for t in model["transfers"]]
+        summary["scale"] = scale
+    return summary
+
+
+def replay_prefilter(space: SweepSpace,
+                     runner: Optional[SweepRunner] = None,
+                     objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                     ) -> PrefilterResult:
+    """Run ``space`` with replay screening instead of a full sweep.
+
+    Fully evaluates one anchor per link-axis group, replays the rest,
+    extracts the Pareto frontier over the screened summaries, and fully
+    evaluates the frontier.  The frontier equals a full sweep's (link
+    re-pricing is exact); the savings scale with the link-grid size.
+    """
+    from ..trace import trace_from_summary
+
+    runner = runner or SweepRunner()
+    points = list(space)
+    stats = PrefilterStats(total_points=len(points))
+
+    group_members: Dict[str, List[int]] = {}
+    for i, point in enumerate(points):
+        group_members.setdefault(_group_key(point), []).append(i)
+    stats.groups = len(group_members)
+
+    anchor_indices = [members[0] for members in group_members.values()]
+    anchor_sweep = runner.run(SweepSpace([points[i]
+                                          for i in anchor_indices]))
+    stats.full_evaluations = len(anchor_indices)
+    full_results: Dict[int, PointResult] = dict(
+        zip(anchor_indices, anchor_sweep))
+
+    screened: List[Optional[PointResult]] = [None] * len(points)
+    fallback: List[int] = []
+    for members in group_members.values():
+        anchor_idx = members[0]
+        anchor = full_results[anchor_idx]
+        screened[anchor_idx] = anchor
+        rest = members[1:]
+        if not rest:
+            continue
+        if points[anchor_idx].chips <= 1:
+            # Link parameters never enter a single-chip evaluation.
+            for i in rest:
+                screened[i] = PointResult(points[i],
+                                          dict(anchor.summary),
+                                          cached=anchor.cached)
+                stats.shared += 1
+            continue
+        try:
+            trace = trace_from_summary(
+                anchor.summary, system=points[anchor_idx].system())
+            for i in rest:
+                screened[i] = PointResult(
+                    points[i],
+                    _replayed_summary(anchor.summary, trace, points[i]),
+                    cached=False)
+                stats.replayed += 1
+        except KeyError:
+            # Anchor summary predates the v4 scale.transfers detail
+            # (hand-fed summaries); fall back to full evaluation.
+            fallback.extend(rest)
+    if fallback:
+        fb_sweep = runner.run(SweepSpace([points[i] for i in fallback]))
+        stats.full_evaluations += len(fallback)
+        for i, result in zip(fallback, fb_sweep):
+            screened[i] = result
+            full_results[i] = result
+
+    screened_results = [r for r in screened if r is not None]
+    frontier_screened = pareto_frontier(screened_results, objectives)
+    by_id = {id(r): i for i, r in enumerate(screened)}
+    frontier_indices = [by_id[id(r)] for r in frontier_screened]
+
+    need_eval = [i for i in frontier_indices if i not in full_results]
+    if need_eval:
+        frontier_sweep = runner.run(SweepSpace([points[i]
+                                                for i in need_eval]))
+        stats.full_evaluations += len(need_eval)
+        for i, result in zip(need_eval, frontier_sweep):
+            full_results[i] = result
+
+    return PrefilterResult(
+        frontier=[full_results[i] for i in frontier_indices],
+        screened=SweepResult(results=screened_results,
+                             cache_hits=anchor_sweep.cache_hits,
+                             cache_misses=anchor_sweep.cache_misses,
+                             deduped=anchor_sweep.deduped),
+        stats=stats)

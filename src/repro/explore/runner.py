@@ -33,9 +33,13 @@ from .space import SweepPoint, SweepSpace
 #: Cache layout version; bump when the summary schema changes.
 #: v3: energy metrics (``energy_total``, ``energy_per_inference``,
 #: ``weight_write_energy``, the ``reconfiguration`` breakdown component)
-#: and the area proxies (``area_crossbars``, ``cores_used``) — see the
-#: migration note in docs/PERFORMANCE.md.
-CACHE_VERSION = 3
+#: and the area proxies (``area_crossbars``, ``cores_used``).
+#: v4: multi-chip ``scale`` blocks carry ``chips`` and per-``transfers``
+#: routing detail (src/dst stage+chip, bits, hops, cycles, occupancy,
+#: energy) so :func:`repro.trace.trace_from_summary` can rebuild a shard
+#: trace — and ``repro sweep --prefilter replay`` re-price link axes —
+#: without recompiling.  See the migration note in docs/PERFORMANCE.md.
+CACHE_VERSION = 4
 
 #: Cap on the worker-pool graph registry: beyond this many distinct
 #: graphs the registry resets on pool re-creation instead of growing
@@ -149,12 +153,24 @@ def summarize_multichip(report: "MultiChipReport",
         "segments": [],
         "scale": {
             "num_chips": report.num_chips,
+            "chips": list(report.chips),
             "stage_intervals": list(report.stage_intervals),
             "stage_latencies": [r.total_cycles for r in report.stages],
             "link_intervals": list(report.link_intervals),
             "link_bits": [t.bits for t in report.transfers],
             "chip_peak_powers": list(report.chip_peak_powers),
             "link_energy": report.link_energy,
+            # Per-transfer routing detail (v4): everything the trace
+            # layer needs to rebuild and re-price the shard timeline
+            # without recompiling (repro.trace.trace_from_summary).
+            "transfers": [
+                {"seq": i, "src_stage": t.src_stage,
+                 "dst_stage": t.dst_stage, "src_chip": t.src_chip,
+                 "dst_chip": t.dst_chip, "bits": t.bits, "hops": t.hops,
+                 "cycles": t.cycles, "occupancy": t.occupancy,
+                 "energy": t.energy}
+                for i, t in enumerate(report.transfers)
+            ],
         },
     }
 

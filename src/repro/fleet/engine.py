@@ -100,8 +100,17 @@ class FleetEngine:
                     core.isolated_latency(t.spec.name) for core in cores)
         return slos
 
-    def run(self, trace: Sequence[Request]) -> FleetReport:
-        """Simulate the whole trace and build the fleet report."""
+    def run(self, trace: Sequence[Request],
+            recorder=None) -> FleetReport:
+        """Simulate the whole trace and build the fleet report.
+
+        ``recorder`` (a :class:`repro.trace.TraceRecorder`) optionally
+        captures the run as a span timeline — per-replica queue/batch/
+        switch spans plus the front-end link hops and autoscaler
+        deployments; ``None`` (the default) records nothing and adds no
+        work.  When recording, the report's digest incorporates the
+        trace digest.
+        """
         plan = self.plan
         # Fresh stateful collaborators per run: a router's rotation
         # pointer or the autoscaler's hold counter must not leak between
@@ -113,16 +122,18 @@ class FleetEngine:
             router = self.router
         autoscaler = (dataclasses.replace(self.autoscaler)
                       if self.autoscaler is not None else None)
+        hop_in = plan.hop_cycles(inbound=True)
+        hop_out = plan.hop_cycles(inbound=False)
+        hop_rt = hop_in + hop_out
         cores = [ReplicaCore(p, self.policy, max_queue=self.max_queue,
-                             rid=rid)
+                             rid=rid, recorder=recorder,
+                             track_prefix=f"replica:{rid}/",
+                             enqueue_offset=hop_in)
                  for rid, p in enumerate(plan.replicas)]
         slo_cycles = self._resolve_slos(cores)
         specs = [t.spec for t in plan.replicas[0].tenants]
         total_weight = sum(s.weight for s in specs)
         tenant_share = {s.name: s.weight / total_weight for s in specs}
-        hop_in = plan.hop_cycles(inbound=True)
-        hop_out = plan.hop_cycles(inbound=False)
-        hop_rt = hop_in + hop_out
         req_energy = plan.link.transfer_energy(plan.request_bits, 1)
         resp_energy = plan.link.transfer_energy(plan.response_bits, 1)
 
@@ -199,20 +210,35 @@ class FleetEngine:
                     tenant_outstanding[req.tenant] -= 1
                     reasons["replica_queue"] = \
                         reasons.get("replica_queue", 0) + 1
+                elif recorder is not None:
+                    # The inbound hop the request just completed (only
+                    # admitted requests carry link spans — the replayer
+                    # regenerates hops from batch membership).
+                    recorder.span(f"hop_in:{req.index}", "link",
+                                  req.arrival, hop_in,
+                                  f"replica:{rid}/link", index=req.index,
+                                  tenant=req.tenant, rid=rid)
             elif kind == _TIMER:
                 rid, tenant = payload
                 cores[rid].on_timer(tenant, now, loop)
             elif kind == _COMPLETE:
-                rid, ex_name, batch = payload
+                rid, ex_name, batch, dispatched = payload
                 core = cores[rid]
                 core.on_complete(ex_name, batch, now, loop,
-                                 latency_at=now + hop_out)
+                                 latency_at=now + hop_out,
+                                 dispatched=dispatched)
                 horizon = max(horizon, now + hop_out)
                 for req in batch:
                     core.outstanding -= 1
                     core.backlog_cycles -= est(rid, req.tenant)
                     tenant_outstanding[req.tenant] -= 1
                     link_energy += resp_energy
+                    if recorder is not None:
+                        recorder.span(f"hop_out:{req.index}", "link",
+                                      now, hop_out,
+                                      f"replica:{rid}/link",
+                                      index=req.index, tenant=req.tenant,
+                                      rid=rid)
             else:  # _TICK
                 outstanding = sum(cores[rid].outstanding for rid in active)
                 action = autoscaler.decide(outstanding, len(active),
@@ -227,29 +253,61 @@ class FleetEngine:
                     deploy_energy += energy
                     deployments[rid] += 1
                     scale_events.append((now, "up", rid))
+                    if recorder is not None:
+                        # Initial actives were deployed before t=0 and
+                        # get no spans; only in-window spin-ups do.
+                        recorder.span(f"deploy:{rid}", "reconfiguration",
+                                      now, cycles,
+                                      f"replica:{rid}/deploy",
+                                      rid=rid, energy=energy)
                 elif action == "down":
                     rid = active.pop()   # highest id drains
                     scale_events.append((now, "down", rid))
 
         for core in cores:
             core.assert_drained()
+        trace_digest = None
+        if recorder is not None:
+            link = plan.link
+            recorder.configure(
+                kind="fleet", policy=self.policy.describe(),
+                max_size=self.policy.max_size,
+                batch_timeout=getattr(self.policy, "timeout", None),
+                router=self.router.describe(),
+                admission=self.admission.describe(),
+                fleet_size=plan.size,
+                hop_in=hop_in, hop_out=hop_out,
+                request_bits=plan.request_bits,
+                response_bits=plan.response_bits,
+                link={"bandwidth_bits": link.bandwidth_bits,
+                      "latency_cycles": link.latency_cycles,
+                      "serialization_overhead":
+                          link.serialization_overhead,
+                      "energy_per_bit": link.energy_per_bit},
+                completed=sum(len(v) for core in cores
+                              for v in core.finished.values()),
+                rejected=sum(front_rejected.values()) + sum(
+                    n for core in cores
+                    for n in core.rejected.values()))
+            trace_digest = recorder.finish().digest()
         return self._build_report(cores, slo_cycles, horizon,
                                   front_rejected, reasons, scale_events,
                                   deployments, deploy_energy, link_energy,
-                                  initial, autoscaler)
+                                  initial, autoscaler, trace_digest)
 
     # ------------------------------------------------------------------
 
     def _build_report(self, cores, slo_cycles, horizon, front_rejected,
                       reasons, scale_events, deployments, deploy_energy,
-                      link_energy, initial, autoscaler) -> FleetReport:
+                      link_energy, initial, autoscaler,
+                      trace_digest=None) -> FleetReport:
         """Merge per-core tallies into one :class:`FleetReport`."""
         plan = self.plan
         tenant_stats: List[TenantStats] = []
         for t in plan.replicas[0].tenants:
             name = t.spec.name
-            lats = [lat for core in cores
-                    for _, lat in core.finished[name]]
+            lats = [f.latency for core in cores
+                    for f in core.finished[name]]
             completed = len(lats)
             rejected = front_rejected[name] + sum(
                 core.rejected[name] for core in cores)
@@ -316,6 +374,7 @@ class FleetEngine:
             deploy_energy=deploy_energy,
             link_energy=link_energy,
             initial_active=initial,
+            trace_digest=trace_digest,
         )
 
 
@@ -325,13 +384,16 @@ def simulate_fleet(plan: FleetPlan, trace: Sequence[Request],
                    admission: Optional[AdmissionControl] = None,
                    autoscaler: Optional[Autoscaler] = None,
                    max_queue: Optional[int] = None,
-                   slo_factor: float = 10.0) -> FleetReport:
+                   slo_factor: float = 10.0,
+                   recorder=None) -> FleetReport:
     """One-call facade: run ``trace`` through the fleet.
 
     Defaults: timeout batching (as single-system serving), least-loaded
     routing, open admission, no autoscaling (the whole fleet active).
+    ``recorder`` optionally captures the run as a span timeline (see
+    :mod:`repro.trace`).
     """
     return FleetEngine(plan, policy=policy, router=router,
                        admission=admission, autoscaler=autoscaler,
                        max_queue=max_queue,
-                       slo_factor=slo_factor).run(trace)
+                       slo_factor=slo_factor).run(trace, recorder=recorder)

@@ -87,6 +87,10 @@ class FleetReport:
     #: Replicas active at t=0 (the autoscaler's floor, or the whole
     #: fleet when scaling is off).
     initial_active: int = 0
+    #: Digest of the span timeline recorded alongside this run (None
+    #: when recording was off — the export, and therefore the report
+    #: digest, is then bit-identical to pre-trace builds).
+    trace_digest: Optional[str] = None
 
     # -- aggregates ----------------------------------------------------
 
@@ -172,7 +176,7 @@ class FleetReport:
 
     def to_dict(self) -> Dict:
         """JSON-able export of the whole fleet outcome."""
-        return {
+        out = {
             "arch": self.arch,
             "fleet_size": self.fleet_size,
             "policy": self.policy,
@@ -201,6 +205,9 @@ class FleetReport:
             "tenants": [t.to_dict() for t in self.tenants],
             "replicas": [r.to_dict() for r in self.replicas],
         }
+        if self.trace_digest is not None:
+            out["trace_digest"] = self.trace_digest
+        return out
 
     def to_json(self, indent: Optional[int] = 1) -> str:
         """The :meth:`to_dict` export as a JSON string."""

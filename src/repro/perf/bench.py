@@ -281,6 +281,44 @@ def _bench_fleet(quick: bool) -> Tuple[Callable, int]:
 
     return workload, requests
 
+@_bench("trace")
+def _bench_trace(quick: bool) -> Tuple[Callable, int]:
+    """Trace capture + critical path + a link-grid what-if replay.
+
+    Shards a model, records the pipeline trace, extracts its critical
+    path, and re-prices a link-bandwidth grid through
+    :func:`repro.trace.replay` instead of re-simulating.  The digest is
+    the recording's SHA-256 plus every replayed metric set, so a
+    reference/fastpath divergence anywhere in capture or replay fails
+    the equality gate; the workload additionally refuses to report if
+    identity replay is not bit-identical to the recording.
+    """
+    from ..arch import MultiChipSystem, isaac_baseline
+    from ..models import lenet, resnet18
+    from ..scale import shard
+    from ..trace import Mutation, critical_path, record_shard, replay
+
+    graph = lenet() if quick else resnet18()
+    arch = isaac_baseline()
+    bandwidths = (64.0, 256.0) if quick else (16.0, 64.0, 256.0, 1024.0)
+
+    def workload():
+        plan = shard(graph, MultiChipSystem(arch, 3))
+        trace = record_shard(plan)
+        if replay(trace).trace.digest() != trace.digest():
+            raise RuntimeError(
+                "identity replay diverged from the recording")
+        cp = critical_path(trace)
+        rows = [{"digest": trace.digest(), "cp_total": cp.total,
+                 "cp_by_category": cp.by_category}]
+        for bw in bandwidths:
+            result = replay(trace, Mutation(link_bandwidth=bw))
+            rows.append({"bw": bw, **result.metrics})
+        return rows
+
+    return workload, len(bandwidths) + 1
+
+
 # ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------

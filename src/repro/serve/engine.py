@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..errors import ScheduleError
 from .partition import ServingPlan, TenantPlan
@@ -33,6 +33,23 @@ from .workload import Request
 #: Event kinds shared by the serve and fleet engines.  Ordering ties on
 #: the heap are broken by the per-loop sequence number, never by kind.
 _ARRIVAL, _TIMER, _COMPLETE = 0, 1, 2
+
+
+class FinishedRequest(NamedTuple):
+    """One completed request with its internal timestamps exposed.
+
+    ``latency`` is measured at the engine's front end (for the fleet:
+    completion plus the response hop, minus trace arrival);
+    ``dispatched`` / ``completed`` are the request's batch's executor
+    begin/end times — kept on the record (instead of being discarded
+    after aggregation) so the trace layer and post-hoc analyses can
+    reconstruct per-request timelines.
+    """
+
+    request: Request
+    latency: float
+    dispatched: float
+    completed: float
 
 
 class EventLoop:
@@ -203,13 +220,24 @@ class ReplicaCore:
     """
 
     def __init__(self, plan: ServingPlan, policy: BatchPolicy,
-                 max_queue: Optional[int] = None, rid: int = 0) -> None:
+                 max_queue: Optional[int] = None, rid: int = 0,
+                 recorder=None, track_prefix: str = "",
+                 enqueue_offset: float = 0.0) -> None:
         if max_queue is not None and max_queue < 1:
             raise ScheduleError(f"max_queue must be >= 1, got {max_queue}")
         self.plan = plan
         self.policy = policy
         self.max_queue = max_queue
         self.rid = rid
+        #: Optional :class:`repro.trace.TraceRecorder`; ``None`` (the
+        #: default) records nothing and adds no work on the hot path.
+        self.recorder = recorder
+        #: Span track namespace (the fleet engine prefixes each core's
+        #: tracks with ``replica:<rid>/``).
+        self.track_prefix = track_prefix
+        #: Enqueue time minus trace arrival (the fleet's front-end →
+        #: replica hop); only consulted when recording.
+        self.enqueue_offset = enqueue_offset
         if plan.shared_executor:
             self.executors = [_Executor("chip", list(plan.tenants))]
         else:
@@ -228,7 +256,7 @@ class ReplicaCore:
         #: Arrivals still en route to this core's queues (per tenant);
         #: the batch policies' "more arrivals may come" signal.
         self.pending: Dict[str, int] = {name: 0 for name in self.queues}
-        self.finished: Dict[str, List[Tuple[Request, float]]] = {
+        self.finished: Dict[str, List[FinishedRequest]] = {
             name: [] for name in self.queues
         }
         self.rejected: Dict[str, int] = {name: 0 for name in self.queues}
@@ -314,7 +342,39 @@ class ReplicaCore:
         self.tenant_energy[best.spec.name] += energy
         self.batch_sizes[best.spec.name].append(len(batch))
         self.horizon = max(self.horizon, done)
-        loop.push(done, _COMPLETE, (self.rid, ex.name, tuple(batch)))
+        if self.recorder is not None:
+            self._record_batch(ex, best.spec.name, batch, now, switch,
+                               service)
+        loop.push(done, _COMPLETE, (self.rid, ex.name, tuple(batch), now))
+
+    def _record_batch(self, ex: _Executor, tenant: str,
+                      batch: Sequence[Request], now: float,
+                      switch: float, service: float) -> None:
+        """Emit the dispatched batch's spans (recording runs only).
+
+        ``ready`` pins *why* the batch became dispatchable — ``full``
+        (hit ``max_size``), ``deadline`` (the oldest request's batching
+        timeout), or ``now`` (a tail flush) — and ``t_ready`` the
+        corresponding readiness time, exactly what the what-if replayer
+        re-derives under mutated parameters.
+        """
+        from ..trace.capture import emit_batch_spans
+
+        oldest = batch[0].arrival
+        filled = batch[-1].arrival + self.enqueue_offset
+        deadline = self.policy.deadline(oldest)
+        if len(batch) >= self.policy.max_size:
+            ready, t_ready = "full", filled
+        elif deadline is not None and deadline <= now:
+            ready, t_ready = "deadline", deadline
+        else:
+            ready, t_ready = "now", filled
+        emit_batch_spans(
+            self.recorder, self.track_prefix, ex.name, tenant,
+            [req.index for req in batch],
+            [req.arrival for req in batch],
+            self.enqueue_offset, now, switch, service,
+            t_ready, filled, oldest, ready)
 
     def on_arrival(self, req: Request, now: float, loop: EventLoop) -> bool:
         """One request lands: enqueue (or bounce off ``max_queue``) and
@@ -337,16 +397,19 @@ class ReplicaCore:
 
     def on_complete(self, ex_name: str, batch: Sequence[Request],
                     now: float, loop: EventLoop,
-                    latency_at: Optional[float] = None) -> None:
+                    latency_at: Optional[float] = None,
+                    dispatched: float = 0.0) -> None:
         """A batch finished: record per-request latencies and re-dispatch.
 
         ``latency_at`` lets the fleet engine measure latency at the
         front end (completion plus the response hop) while the executor
-        frees up at ``now``.
+        frees up at ``now``; ``dispatched`` is the batch's executor
+        begin time (carried on the completion event payload).
         """
         measured = now if latency_at is None else latency_at
         for req in batch:
-            self.finished[req.tenant].append((req, measured - req.arrival))
+            self.finished[req.tenant].append(FinishedRequest(
+                req, measured - req.arrival, dispatched, now))
         self.try_dispatch(self._by_name[ex_name], now, loop)
 
     def drained(self) -> bool:
@@ -383,10 +446,18 @@ class ServingEngine:
 
     # ------------------------------------------------------------------
 
-    def run(self, trace: Sequence[Request],
-            slo_factor: float = 10.0) -> ServeReport:
-        """Simulate the whole trace and build the report."""
-        core = ReplicaCore(self.plan, self.policy, max_queue=self.max_queue)
+    def run(self, trace: Sequence[Request], slo_factor: float = 10.0,
+            recorder=None) -> ServeReport:
+        """Simulate the whole trace and build the report.
+
+        ``recorder`` (a :class:`repro.trace.TraceRecorder`) optionally
+        captures the run as a span timeline; ``None`` (the default)
+        records nothing and adds no work.  When recording, the report's
+        digest incorporates the trace digest, so a recorded run is
+        verifiably the run that was analyzed.
+        """
+        core = ReplicaCore(self.plan, self.policy, max_queue=self.max_queue,
+                           recorder=recorder)
         loop = EventLoop()
         for req in trace:
             core.note_pending(req.tenant)
@@ -401,10 +472,22 @@ class ServingEngine:
             elif kind == _TIMER:
                 core.on_timer(payload[1], now, loop)
             else:  # _COMPLETE
-                _, ex_name, batch = payload
-                core.on_complete(ex_name, batch, now, loop)
+                _, ex_name, batch, dispatched = payload
+                core.on_complete(ex_name, batch, now, loop,
+                                 dispatched=dispatched)
 
         core.assert_drained()
+        trace_digest = None
+        if recorder is not None:
+            recorder.configure(
+                kind="serve", policy=self.policy.describe(),
+                max_size=self.policy.max_size,
+                batch_timeout=getattr(self.policy, "timeout", None),
+                mode=self.plan.mode, arch=self.plan.arch_name,
+                completed=sum(len(v) for v in core.finished.values()),
+                rejected=sum(core.rejected.values()),
+                slo_factor=slo_factor)
+            trace_digest = recorder.finish().digest()
         return build_report(
             plan=self.plan,
             policy_label=self.policy.describe(),
@@ -415,19 +498,22 @@ class ServingEngine:
             executors=core.executor_rows(),
             slo_factor=slo_factor,
             tenant_energy=core.tenant_energy,
+            trace_digest=trace_digest,
         )
 
 
 def simulate(plan: ServingPlan, trace: Sequence[Request],
              policy: Optional[BatchPolicy] = None,
              max_queue: Optional[int] = None,
-             slo_factor: float = 10.0) -> ServeReport:
+             slo_factor: float = 10.0,
+             recorder=None) -> ServeReport:
     """One-call facade: run ``trace`` through ``plan`` under ``policy``.
 
     ``slo_factor`` derives each tenant's latency SLO as ``factor x`` its
     isolated single-inference latency unless the spec pins an absolute
-    ``slo_cycles``.
+    ``slo_cycles``.  ``recorder`` optionally captures the run as a span
+    timeline (see :mod:`repro.trace`).
     """
     policy = policy or TimeoutBatch(max_size=8, timeout=50_000.0)
     return ServingEngine(plan, policy, max_queue=max_queue).run(
-        trace, slo_factor=slo_factor)
+        trace, slo_factor=slo_factor, recorder=recorder)

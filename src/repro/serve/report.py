@@ -10,6 +10,7 @@ executor utilization, reconfiguration share).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import dataclass
@@ -121,6 +122,10 @@ class ServeReport:
     executors: Tuple[ExecutorStats, ...]
     #: The chip-level peak-power cap the plan honoured (None = uncapped).
     power_budget: Optional[float] = None
+    #: Digest of the span timeline recorded alongside this run (None
+    #: when recording was off — the export, and therefore the report
+    #: digest, is then bit-identical to pre-trace builds).
+    trace_digest: Optional[str] = None
 
     # -- aggregates ----------------------------------------------------
 
@@ -210,7 +215,7 @@ class ServeReport:
 
     def to_dict(self) -> Dict:
         """JSON-able export of the whole scenario outcome."""
-        return {
+        out = {
             "mode": self.mode,
             "arch": self.arch,
             "policy": self.policy,
@@ -231,10 +236,24 @@ class ServeReport:
             "tenants": [t.to_dict() for t in self.tenants],
             "executors": [e.to_dict() for e in self.executors],
         }
+        if self.trace_digest is not None:
+            out["trace_digest"] = self.trace_digest
+        return out
 
     def to_json(self, indent: Optional[int] = 1) -> str:
         """The :meth:`to_dict` export as a JSON string."""
         return json.dumps(self.to_dict(), indent=indent)
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON export.
+
+        When the run was recorded, the export embeds the trace digest,
+        so the report digest also pins the exact timeline the run
+        produced (a recorded run is verifiably the run analyzed).
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def table(self) -> str:
         """Readable serving summary."""
@@ -273,7 +292,8 @@ def build_report(plan, policy_label: str,
                  horizon: float,
                  executors: Sequence[Tuple],
                  slo_factor: float = 10.0,
-                 tenant_energy: Optional[Dict[str, float]] = None
+                 tenant_energy: Optional[Dict[str, float]] = None,
+                 trace_digest: Optional[str] = None
                  ) -> ServeReport:
     """Assemble a :class:`ServeReport` from raw engine tallies.
 
@@ -287,7 +307,7 @@ def build_report(plan, policy_label: str,
     tenant_stats: List[TenantStats] = []
     for tp in plan.tenants:
         name = tp.spec.name
-        lats = [lat for _, lat in finished[name]]
+        lats = [f.latency for f in finished[name]]
         completed = len(lats)
         slo = tp.spec.slo_cycles if tp.spec.slo_cycles is not None \
             else slo_factor * tp.service.latency_cycles
@@ -336,4 +356,5 @@ def build_report(plan, policy_label: str,
         tenants=tuple(tenant_stats),
         executors=exec_stats,
         power_budget=getattr(plan, "power_budget", None),
+        trace_digest=trace_digest,
     )

@@ -129,7 +129,8 @@ class PerformanceSimulator:
         self.arch = arch
         self.power_model = PowerModel(arch)
 
-    def run(self, schedule: Schedule) -> PerformanceReport:
+    def run(self, schedule: Schedule,
+            recorder=None) -> PerformanceReport:
         """Simulate one inference under ``schedule``.
 
         On the fast path every operator's latency and fill are evaluated
@@ -139,6 +140,12 @@ class PerformanceSimulator:
         path evaluates them per-decision.  Both produce bit-identical
         reports — the kernel preserves the reference's first-wins
         bottleneck tie-breaking and left-to-right summation order.
+
+        ``recorder`` (a :class:`repro.trace.TraceRecorder`) optionally
+        captures the run as a span timeline — per-segment
+        reconfiguration stalls, compute waves, overlapped NoC demand,
+        and per-operator detail.  ``None`` (the default) records
+        nothing and adds no work.
         """
         segments: List[SegmentTiming] = []
         op_latency: Dict[str, float] = {}
@@ -183,7 +190,7 @@ class PerformanceSimulator:
             reconf_total += reconf
         total = compute_total + reconf_total
         power = self.power_model.evaluate(schedule, total)
-        return PerformanceReport(
+        report = PerformanceReport(
             schedule_levels=tuple(schedule.levels),
             pipelined=schedule.pipelined,
             total_cycles=total,
@@ -196,6 +203,23 @@ class PerformanceSimulator:
             weight_write_energy=self.power_model.weight_write_energy(
                 schedule),
         )
+        if recorder is not None:
+            from ..trace.capture import emit_sim, sim_model_from_report
+
+            noc = sum(d.profile.mov_cycles
+                      for i in range(len(schedule.segments))
+                      for d in schedule.segment_decisions(i))
+            emit_sim(sim_model_from_report(report, schedule), recorder)
+            recorder.configure(
+                kind="sim", pipelined=report.pipelined,
+                levels=list(report.schedule_levels),
+                arch=self.arch.name,
+                total_cycles=report.total_cycles,
+                compute_cycles=report.compute_cycles,
+                reconfiguration_cycles=report.reconfiguration_cycles,
+                noc_cycles=noc,
+                steady_state_interval=report.steady_state_interval)
+        return report
 
 
 # ---------------------------------------------------------------------------

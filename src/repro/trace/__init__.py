@@ -1,0 +1,93 @@
+"""Trace capture, critical-path attribution, and what-if replay.
+
+The timeline layer of the stack: the performance simulator
+(:mod:`repro.sim`), the serve DES (:mod:`repro.serve`), and the fleet
+engine (:mod:`repro.fleet`) accept an optional
+:class:`TraceRecorder` and emit per-segment / per-request
+queue/batch/compute/NoC/link/reconfiguration spans — zero overhead
+when off, Chrome-trace/Perfetto-loadable when on, digest-pinned either
+way.  On top of a recording:
+
+* :func:`critical_path` / :func:`attribute` — what dominated an
+  inference or a request's latency (compute vs. NoC vs. link vs.
+  reconfiguration vs. queueing), plus per-tenant / per-replica rollups;
+* :func:`replay` — re-price the recording under mutated parameters
+  (link bandwidth/latency, ±chips, batching timeout, compute speed)
+  *without* re-running the DES; identity replay is bit-identical, link
+  mutations of shard traces are exact, and the sweep prefilter
+  (``repro sweep --prefilter replay``) rides that exactness.
+
+>>> from repro import isaac_baseline, lenet, CIMMLC
+>>> from repro.trace import record_performance, critical_path
+>>> result = CIMMLC(isaac_baseline()).compile(lenet())
+>>> report, trace = record_performance(isaac_baseline(),
+...                                    result.schedule)
+>>> critical_path(trace).total == report.total_cycles
+True
+"""
+
+from .analysis import (
+    CriticalPath,
+    attribute,
+    critical_path,
+    replica_rollup,
+    request_latencies,
+    request_path,
+    share_attribution,
+    tenant_rollup,
+)
+from .capture import (
+    channel_busy,
+    emit_batch_spans,
+    emit_shard,
+    emit_sim,
+    record_fleet,
+    record_performance,
+    record_serve,
+    record_shard,
+    shard_model_from_plan,
+    shard_model_from_summary,
+    shard_model_from_trace,
+    shard_totals,
+    sim_model_from_report,
+    sim_model_from_trace,
+    trace_from_summary,
+)
+from .recorder import TraceRecorder
+from .replay import Mutation, ReplayResult, parse_mutation, replay
+from .span import CATEGORIES, Span, Trace, merge
+
+__all__ = [
+    "CATEGORIES",
+    "CriticalPath",
+    "Mutation",
+    "ReplayResult",
+    "Span",
+    "Trace",
+    "TraceRecorder",
+    "attribute",
+    "channel_busy",
+    "critical_path",
+    "emit_batch_spans",
+    "emit_shard",
+    "emit_sim",
+    "merge",
+    "parse_mutation",
+    "record_fleet",
+    "record_performance",
+    "record_serve",
+    "record_shard",
+    "replay",
+    "replica_rollup",
+    "request_latencies",
+    "request_path",
+    "share_attribution",
+    "shard_model_from_plan",
+    "shard_model_from_summary",
+    "shard_model_from_trace",
+    "shard_totals",
+    "sim_model_from_report",
+    "sim_model_from_trace",
+    "tenant_rollup",
+    "trace_from_summary",
+]

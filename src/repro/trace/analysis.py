@@ -1,0 +1,249 @@
+"""Critical-path extraction and bottleneck attribution over traces.
+
+The span DAG of every trace kind reduces to a *critical path*: the
+chain of intervals whose durations sum to the end-to-end metric
+(``total_cycles`` for sim/shard pipelines, front-end latency for a
+served request).  Attribution generalizes the explore layer's
+bottleneck machinery (:func:`repro.explore.pareto.attribute_bottleneck`
+now delegates to :func:`share_attribution` here) from three fixed
+causes to the full category set: compute, NoC, inter-chip link,
+reconfiguration, and queueing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .span import Span, Trace
+
+
+def share_attribution(magnitudes: Mapping[str, float], total: float,
+                      caps: Optional[Mapping[str, float]] = None
+                      ) -> Dict[str, Any]:
+    """Shares of ``total`` per cause, plus the dominant cause.
+
+    ``caps`` bounds overlapped causes (e.g. NoC traffic hides under the
+    compute window, so its share is capped at compute's) — the share
+    then reports how much of the window the resource is busy, not an
+    additive term.  Dominance is judged on raw magnitudes (ties break
+    toward the first key in mapping order).
+    """
+    denom = total or 1.0
+    caps = caps or {}
+    shares = {
+        k: (min(v, caps[k]) if k in caps else v) / denom
+        for k, v in magnitudes.items()
+    }
+    dominant = max(magnitudes, key=magnitudes.get) if magnitudes else ""
+    return {"shares": shares, "dominant": dominant}
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """One extracted critical path: its spans, their sum, and the
+    per-category breakdown of that sum."""
+
+    spans: Tuple[Span, ...]
+    total: float
+    by_category: Dict[str, float]
+
+    def describe(self) -> str:
+        """Readable one-line-per-span rendering."""
+        lines = [f"critical path: {self.total:,.1f} cycles"]
+        for cat, cycles in self.by_category.items():
+            lines.append(f"  {cat}: {cycles:,.1f}")
+        for s in self.spans:
+            lines.append(f"  [{s.cat:>15}] {s.name:<24} "
+                         f"@{s.begin:,.1f} +{s.dur:,.1f} ({s.track})")
+        return "\n".join(lines)
+
+
+def _path(spans: List[Span]) -> CriticalPath:
+    spans.sort(key=lambda s: (s.begin, s.track, s.name))
+    by_cat: Dict[str, float] = {}
+    for s in spans:
+        by_cat[s.cat] = by_cat.get(s.cat, 0.0) + s.dur
+    # Per-category partial sums, then across categories — the exact
+    # accumulation shape the reports use (compute total + reconf/link
+    # total), so sim/shard path totals match ``total_cycles`` bit for
+    # bit instead of drifting by association order.
+    total = sum(by_cat.values())
+    return CriticalPath(spans=tuple(spans), total=total,
+                        by_category=by_cat)
+
+
+def request_latencies(trace: Trace) -> Dict[int, float]:
+    """Front-end latency per request index of a serve/fleet trace
+    (batch completion plus the response hop, minus trace arrival —
+    matching the engines' measurement point)."""
+    hop_out = trace.meta.get("hop_out", 0.0)
+    lats: Dict[int, float] = {}
+    for s in trace.spans:
+        if s.cat != "batch":
+            continue
+        complete = s.arg("dispatch") + s.arg("switch") + s.arg("service")
+        for idx, arrival in zip(s.arg("members"), s.arg("arrivals")):
+            lats[idx] = complete + hop_out - arrival
+    return lats
+
+
+def request_path(trace: Trace, index: int) -> CriticalPath:
+    """Critical path of one served request: front-end hop (fleet),
+    queue wait, tenant switch (when its batch paid one), batch service,
+    response hop.  The span durations sum to the request's end-to-end
+    latency (pinned by ``tests/test_trace.py``)."""
+    spans: List[Span] = []
+    batch: Optional[Span] = None
+    for s in trace.spans:
+        if s.cat == "batch" and index in s.arg("members"):
+            batch = s
+        elif s.cat in ("queue", "link") and s.arg("index") == index:
+            spans.append(s)
+    if batch is None:
+        raise KeyError(f"request {index} has no batch in this trace")
+    spans.append(batch)
+    for s in trace.spans:
+        if s.cat == "reconfiguration" and s.track == batch.track \
+                and s.begin == batch.arg("dispatch") and s.dur > 0:
+            spans.append(s)
+            break
+    return _path(spans)
+
+
+def critical_path(trace: Trace,
+                  request: Optional[int] = None) -> CriticalPath:
+    """The trace's critical path.
+
+    * ``sim``: the chip track's reconfiguration+compute chain (sums to
+      ``total_cycles``).
+    * ``shard``: stage computes plus consecutive-stage link transfers
+      (skip-connection transfers overlap the chain; sums to
+      ``total_cycles``).
+    * ``serve`` / ``fleet``: the path of ``request`` (default: the
+      slowest request; sums to its front-end latency).
+    """
+    if trace.kind == "sim":
+        return _path([s for s in trace.spans if s.track == "chip"])
+    if trace.kind == "shard":
+        return _path([
+            s for s in trace.spans
+            if (s.cat == "compute" and s.track.startswith("chip:"))
+            or (s.cat == "link" and s.arg("chain"))])
+    if request is None:
+        lats = request_latencies(trace)
+        if not lats:
+            return CriticalPath(spans=(), total=0.0, by_category={})
+        request = max(lats, key=lambda i: (lats[i], i))
+    return request_path(trace, request)
+
+
+def attribute(trace: Trace) -> Dict[str, Any]:
+    """Bottleneck attribution of a whole trace.
+
+    sim/shard traces attribute ``total_cycles`` (NoC capped at compute
+    — it overlaps); serving traces attribute the total request-cycle
+    budget (queue + service + switches + hops) across categories.
+    Returns ``{"shares", "dominant", "magnitudes", "total"}``.
+    """
+    meta = trace.meta
+    if trace.kind == "sim":
+        magnitudes = {
+            "compute": meta.get("compute_cycles", 0.0),
+            "reconfiguration": meta.get("reconfiguration_cycles", 0.0),
+            "noc": meta.get("noc_cycles", 0.0),
+        }
+        total = meta.get("total_cycles", 0.0)
+        caps = {"noc": magnitudes["compute"]}
+    elif trace.kind == "shard":
+        compute = link = 0.0
+        for s in trace.spans:
+            if s.cat == "compute" and s.track.startswith("chip:"):
+                compute += s.dur
+            elif s.cat == "link" and s.arg("chain"):
+                link += s.dur
+        magnitudes = {"compute": compute, "link": link}
+        total = meta.get("total_cycles", compute + link)
+        caps = None
+    else:
+        magnitudes = {"queue": 0.0, "compute": 0.0,
+                      "reconfiguration": 0.0, "link": 0.0}
+        for s in trace.spans:
+            cat = "compute" if s.cat == "batch" else s.cat
+            if cat in magnitudes:
+                magnitudes[cat] += s.dur
+        total = sum(magnitudes.values())
+        caps = None
+    out = share_attribution(magnitudes, total, caps)
+    out["magnitudes"] = magnitudes
+    out["total"] = total
+    out["kind"] = trace.kind
+    return out
+
+
+def tenant_rollup(trace: Trace) -> Dict[str, Dict[str, float]]:
+    """Per-tenant aggregates of a serving trace: requests, batches,
+    queue cycles, service cycles, switch cycles, mean/max latency."""
+    lats = request_latencies(trace)
+    out: Dict[str, Dict[str, float]] = {}
+
+    def row(tenant: str) -> Dict[str, float]:
+        return out.setdefault(tenant, {
+            "requests": 0, "batches": 0, "queue_cycles": 0.0,
+            "service_cycles": 0.0, "switch_cycles": 0.0,
+            "mean_latency": 0.0, "max_latency": 0.0})
+
+    per_tenant_lats: Dict[str, List[float]] = {}
+    for s in trace.spans:
+        tenant = s.arg("tenant")
+        if tenant is None:
+            continue
+        r = row(tenant)
+        if s.cat == "queue":
+            r["requests"] += 1
+            r["queue_cycles"] += s.dur
+            per_tenant_lats.setdefault(tenant, []).append(
+                lats.get(s.arg("index"), 0.0))
+        elif s.cat == "batch":
+            r["batches"] += 1
+            r["service_cycles"] += s.dur
+        elif s.cat == "reconfiguration":
+            r["switch_cycles"] += s.dur
+    for tenant, values in per_tenant_lats.items():
+        if values:
+            out[tenant]["mean_latency"] = sum(values) / len(values)
+            out[tenant]["max_latency"] = max(values)
+    return out
+
+
+def replica_rollup(trace: Trace) -> Dict[int, Dict[str, float]]:
+    """Per-replica aggregates of a serving trace: busy/switch/queue
+    cycles and completed requests (single-system traces roll up under
+    replica 0)."""
+    out: Dict[int, Dict[str, float]] = {}
+
+    def rid_of(track: str) -> int:
+        if track.startswith("replica:"):
+            return int(track.split(":", 1)[1].split("/", 1)[0])
+        return 0
+
+    def row(rid: int) -> Dict[str, float]:
+        return out.setdefault(rid, {
+            "completed": 0, "batches": 0, "busy_cycles": 0.0,
+            "switch_cycles": 0.0, "queue_cycles": 0.0,
+            "link_cycles": 0.0})
+
+    for s in trace.spans:
+        r = row(rid_of(s.track))
+        if s.cat == "batch":
+            r["batches"] += 1
+            r["completed"] += s.arg("n")
+            r["busy_cycles"] += s.dur
+        elif s.cat == "reconfiguration":
+            r["switch_cycles"] += s.dur
+            r["busy_cycles"] += s.dur
+        elif s.cat == "queue":
+            r["queue_cycles"] += s.dur
+        elif s.cat == "link":
+            r["link_cycles"] += s.dur
+    return out

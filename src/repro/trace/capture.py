@@ -1,0 +1,436 @@
+"""Capture helpers: engines → models → spans.
+
+The layer between the simulators and the trace data model.  Every
+producer (performance simulator, multi-chip shard, serve DES, fleet
+engine) reduces to a small *timeline model* — plain dicts/lists of the
+exact magnitudes each interval was priced from — and one shared
+*emitter* turns a model into spans.  Capture and what-if replay both
+run the same emitter (:func:`emit_sim`, :func:`emit_shard`,
+:func:`emit_batch_spans`), which is what makes replay under the
+identity mutation bit-identical to the recording: the replayer
+regenerates the trace by re-running the capture arithmetic on the
+stored magnitudes, never by transforming timestamps (float subtraction
+does not round-trip).
+
+Facades (``record_*``) wrap each subsystem's one-call entry point and
+return ``(report, trace)``; :func:`trace_from_summary` rebuilds a trace
+from a cached :mod:`repro.explore` summary without recompiling, which
+is what the ``--prefilter replay`` sweep pass rides on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .recorder import TraceRecorder
+from .span import Trace
+
+# ---------------------------------------------------------------------------
+# Single-chip performance timelines
+# ---------------------------------------------------------------------------
+
+
+def sim_model_from_report(report, schedule=None) -> Dict[str, Any]:
+    """Timeline model of a :class:`~repro.sim.PerformanceReport`.
+
+    With the ``schedule``, per-operator detail (pipeline fill offsets,
+    latencies) and per-segment NoC demand are included; without it the
+    model carries segment-level timing only (the shape cached explore
+    summaries can reproduce).
+    """
+    segments: List[Dict[str, Any]] = []
+    for seg in report.segments:
+        ops: Tuple[Tuple[str, float, float], ...] = ()
+        noc = 0.0
+        if schedule is not None:
+            decisions = schedule.segment_decisions(seg.index)
+            noc = sum(d.profile.mov_cycles for d in decisions)
+            rows = []
+            if report.pipelined:
+                fill = 0.0
+                for d in decisions:
+                    rows.append((d.profile.name, fill, d.latency()))
+                    fill += d.fill()
+            else:
+                clock = 0.0
+                for d in decisions:
+                    rows.append((d.profile.name, clock, d.latency()))
+                    clock += d.latency()
+            ops = tuple(rows)
+        segments.append({
+            "index": seg.index,
+            "cycles": seg.cycles,
+            "reconfiguration": seg.reconfiguration,
+            "bottleneck": seg.bottleneck,
+            "bottleneck_cycles": seg.bottleneck_cycles,
+            "noc": noc,
+            "ops": ops,
+        })
+    return {"pipelined": report.pipelined, "segments": segments}
+
+
+def emit_sim(model: Mapping[str, Any], rec: TraceRecorder) -> None:
+    """Emit a single-chip timeline model as spans.
+
+    Per segment: a ``reconfiguration`` stall (the swap-in weight
+    rewrite), then the segment's ``compute`` wave, with the overlapped
+    NoC demand and per-operator detail as child tracks.  Summing the
+    chip track's spans reproduces the report's ``total_cycles``
+    exactly (capture accumulates in the simulator's order).
+    """
+    clock = 0.0
+    for seg in model["segments"]:
+        i = seg["index"]
+        reconf = seg["reconfiguration"]
+        if reconf > 0:
+            rec.span(f"reconf:{i}", "reconfiguration", clock, reconf,
+                     "chip", segment=i, cycles=reconf)
+        clock += reconf
+        cycles = seg["cycles"]
+        rec.span(f"segment:{i}", "compute", clock, cycles, "chip",
+                 segment=i, cycles=cycles,
+                 bottleneck=seg["bottleneck"],
+                 bottleneck_cycles=seg["bottleneck_cycles"])
+        noc = seg["noc"]
+        if noc > 0:
+            dur = noc if noc <= cycles else cycles
+            rec.span(f"noc:{i}", "noc", clock, dur, "noc",
+                     segment=i, demand=noc)
+        for name, offset, latency in seg["ops"]:
+            rem = cycles - offset
+            dur = latency if latency <= rem else rem
+            if dur > 0:
+                rec.span(name, "compute", clock + offset, dur,
+                         f"segment:{i}", segment=i, offset=offset,
+                         latency=latency)
+        clock += cycles
+
+
+def sim_model_from_trace(trace: Trace) -> Dict[str, Any]:
+    """Exact inverse of :func:`emit_sim` (reads stored magnitudes)."""
+    segments: Dict[int, Dict[str, Any]] = {}
+
+    def seg(i: int) -> Dict[str, Any]:
+        return segments.setdefault(i, {
+            "index": i, "cycles": 0.0, "reconfiguration": 0.0,
+            "bottleneck": "", "bottleneck_cycles": 0.0,
+            "noc": 0.0, "ops": []})
+
+    for s in trace.spans:
+        i = s.arg("segment")
+        if s.track == "chip" and s.cat == "reconfiguration":
+            seg(i)["reconfiguration"] = s.arg("cycles")
+        elif s.track == "chip" and s.cat == "compute":
+            entry = seg(i)
+            entry["cycles"] = s.arg("cycles")
+            entry["bottleneck"] = s.arg("bottleneck")
+            entry["bottleneck_cycles"] = s.arg("bottleneck_cycles")
+        elif s.track == "noc":
+            seg(i)["noc"] = s.arg("demand")
+        elif s.track.startswith("segment:"):
+            seg(i)["ops"].append(
+                (s.name, s.arg("offset"), s.arg("latency")))
+    for entry in segments.values():
+        entry["ops"] = tuple(sorted(entry["ops"],
+                                    key=lambda row: (row[1], row[0])))
+    ordered = [segments[i] for i in sorted(segments)]
+    return {"pipelined": bool(trace.meta.get("pipelined", True)),
+            "segments": ordered}
+
+
+def record_performance(arch, schedule) -> Tuple[Any, Trace]:
+    """Simulate ``schedule`` on ``arch`` with recording on.
+
+    Returns ``(PerformanceReport, Trace)``; the trace carries segment,
+    per-op, NoC, and reconfiguration spans plus replay metadata.
+    """
+    from ..sim.performance import PerformanceSimulator
+
+    rec = TraceRecorder()
+    report = PerformanceSimulator(arch).run(schedule, recorder=rec)
+    return report, rec.finish()
+
+
+# ---------------------------------------------------------------------------
+# Multi-chip (shard) timelines
+# ---------------------------------------------------------------------------
+
+
+def shard_model_from_plan(plan) -> Dict[str, Any]:
+    """Timeline model of a :class:`~repro.scale.ShardPlan`."""
+    report = plan.report
+    return {
+        "num_chips": report.num_chips,
+        "chips": list(report.chips),
+        "stage_latencies": [r.total_cycles for r in report.stages],
+        "stage_intervals": [r.steady_state_interval
+                            for r in report.stages],
+        "transfers": [
+            {"seq": i, "src_stage": t.src_stage, "dst_stage": t.dst_stage,
+             "src_chip": t.src_chip, "dst_chip": t.dst_chip,
+             "bits": t.bits, "hops": t.hops, "cycles": t.cycles,
+             "occupancy": t.occupancy, "energy": t.energy}
+            for i, t in enumerate(report.transfers)
+        ],
+    }
+
+
+def shard_model_from_summary(summary: Mapping[str, Any]) -> Dict[str, Any]:
+    """Timeline model from a cached multi-chip explore summary.
+
+    Requires the v4 ``scale`` block (``transfers`` with per-transfer
+    routing detail); older cached summaries are re-evaluated instead.
+    """
+    scale = summary["scale"]
+    if "transfers" not in scale or "chips" not in scale:
+        raise KeyError("summary lacks v4 scale.transfers detail")
+    return {
+        "num_chips": scale["num_chips"],
+        "chips": list(scale["chips"]),
+        "stage_latencies": list(scale["stage_latencies"]),
+        "stage_intervals": list(scale["stage_intervals"]),
+        "transfers": [dict(t) for t in scale["transfers"]],
+    }
+
+
+def emit_shard(model: Mapping[str, Any], rec: TraceRecorder) -> None:
+    """Emit a multi-chip pipeline model as spans.
+
+    One inference's traversal: each stage's ``compute`` span on its
+    chip's track, chained with the consecutive-stage ``link`` transfers
+    (the critical path); skip-connection transfers overlap the chain
+    and begin at their source stage's end.  Chip-track plus chain-link
+    span durations sum to the report's ``total_cycles`` exactly.
+    """
+    chain = {t["src_stage"]: t for t in model["transfers"]
+             if t["dst_stage"] == t["src_stage"] + 1}
+    clock = 0.0
+    stage_ends: List[float] = []
+    for i, lat in enumerate(model["stage_latencies"]):
+        chip = model["chips"][i]
+        rec.span(f"stage:{i}", "compute", clock, lat, f"chip:{chip}",
+                 stage=i, chip=chip, cycles=lat,
+                 interval=model["stage_intervals"][i])
+        clock += lat
+        stage_ends.append(clock)
+        t = chain.get(i)
+        if t is not None:
+            rec.span(f"link:{t['src_chip']}->{t['dst_chip']}", "link",
+                     clock, t["cycles"],
+                     f"link:{t['src_chip']}->{t['dst_chip']}",
+                     **_transfer_args(t, chain=True))
+            clock += t["cycles"]
+    for t in model["transfers"]:
+        if t["dst_stage"] != t["src_stage"] + 1:
+            rec.span(f"link:{t['src_chip']}->{t['dst_chip']}", "link",
+                     stage_ends[t["src_stage"]], t["cycles"],
+                     f"link:{t['src_chip']}->{t['dst_chip']}",
+                     **_transfer_args(t, chain=False))
+
+
+def _transfer_args(t: Mapping[str, Any], chain: bool) -> Dict[str, Any]:
+    """Span args of one link transfer (its full pricing detail)."""
+    return {"seq": t["seq"], "src_stage": t["src_stage"],
+            "dst_stage": t["dst_stage"], "src_chip": t["src_chip"],
+            "dst_chip": t["dst_chip"], "bits": t["bits"],
+            "hops": t["hops"], "occupancy": t["occupancy"],
+            "energy": t["energy"], "chain": chain}
+
+
+def shard_model_from_trace(trace: Trace) -> Dict[str, Any]:
+    """Exact inverse of :func:`emit_shard`."""
+    stages: Dict[int, Tuple[int, float, float]] = {}
+    transfers: Dict[int, Dict[str, Any]] = {}
+    for s in trace.spans:
+        if s.cat == "compute":
+            stages[s.arg("stage")] = (s.arg("chip"), s.arg("cycles"),
+                                      s.arg("interval"))
+        elif s.cat == "link":
+            transfers[s.arg("seq")] = {
+                "seq": s.arg("seq"), "src_stage": s.arg("src_stage"),
+                "dst_stage": s.arg("dst_stage"),
+                "src_chip": s.arg("src_chip"),
+                "dst_chip": s.arg("dst_chip"), "bits": s.arg("bits"),
+                "hops": s.arg("hops"), "cycles": s.dur,
+                "occupancy": s.arg("occupancy"),
+                "energy": s.arg("energy")}
+    ordered = [stages[i] for i in sorted(stages)]
+    return {
+        "num_chips": trace.meta["num_chips"],
+        "chips": [chip for chip, _, _ in ordered],
+        "stage_latencies": [lat for _, lat, _ in ordered],
+        "stage_intervals": [iv for _, _, iv in ordered],
+        "transfers": [transfers[i] for i in sorted(transfers)],
+    }
+
+
+def channel_busy(transfers: Sequence[Mapping[str, Any]],
+                 num_chips: int) -> Dict[Tuple[int, int], float]:
+    """Busy cycles per physical link channel — the exact mirror of
+    :attr:`repro.sim.performance.MultiChipReport.channel_occupancies`
+    over model-form transfers, so replayed steady-state intervals match
+    a ground-truth re-simulation bit for bit."""
+    n = num_chips
+    busy: Dict[Tuple[int, int], float] = {}
+
+    def charge(src: int, dst: int, step: int, modular: bool,
+               occupancy: float) -> None:
+        c = src
+        while c != dst:
+            nxt = (c + step) % n if modular else c + step
+            busy[(c, nxt)] = busy.get((c, nxt), 0.0) + occupancy
+            c = nxt
+
+    for t in transfers:
+        hops, src, dst = t["hops"], t["src_chip"], t["dst_chip"]
+        occ = t["occupancy"]
+        if hops <= 1:
+            busy[(src, dst)] = busy.get((src, dst), 0.0) + occ
+        elif hops == (dst - src) % n:
+            charge(src, dst, +1, True, occ)
+        elif hops == (src - dst) % n:
+            charge(src, dst, -1, True, occ)
+        else:
+            charge(src, dst, 1 if dst >= src else -1, False, occ)
+    return busy
+
+
+def shard_totals(model: Mapping[str, Any]) -> Dict[str, float]:
+    """(total_cycles, steady_state_interval, link_energy) of a shard
+    model, accumulated in the report properties' exact order."""
+    compute = sum(model["stage_latencies"])
+    chain = sum(t["cycles"] for t in model["transfers"]
+                if t["dst_stage"] == t["src_stage"] + 1)
+    paced = list(model["stage_intervals"]) + list(
+        channel_busy(model["transfers"], model["num_chips"]).values())
+    return {
+        "total_cycles": compute + chain,
+        "steady_state_interval": max(paced) if paced else 1.0,
+        "link_energy": sum(t["energy"] for t in model["transfers"]),
+    }
+
+
+def record_shard(plan) -> Trace:
+    """Trace of one inference traversing a multi-chip shard plan."""
+    model = shard_model_from_plan(plan)
+    rec = TraceRecorder()
+    emit_shard(model, rec)
+    link = plan.system.link
+    rec.configure(
+        kind="shard", num_chips=model["num_chips"],
+        topology=plan.system.topology,
+        link={"bandwidth_bits": link.bandwidth_bits,
+              "latency_cycles": link.latency_cycles,
+              "serialization_overhead": link.serialization_overhead,
+              "energy_per_bit": link.energy_per_bit},
+        **shard_totals(model))
+    return rec.finish()
+
+
+def trace_from_summary(summary: Mapping[str, Any],
+                       system=None) -> Trace:
+    """Rebuild a trace from a cached explore summary (no recompile).
+
+    Multi-chip summaries (with the v4 ``scale.transfers`` block) yield
+    a ``shard`` trace priced by ``system``'s link; single-chip
+    summaries yield a segment-level ``sim`` trace.  This is the cheap
+    path the ``repro sweep --prefilter replay`` pass uses to re-price
+    link axes from one anchor evaluation.
+    """
+    rec = TraceRecorder()
+    if "scale" in summary:
+        if system is None:
+            raise ValueError("multi-chip summaries need the system for "
+                             "link pricing metadata")
+        model = shard_model_from_summary(summary)
+        emit_shard(model, rec)
+        link = system.link
+        rec.configure(
+            kind="shard", num_chips=model["num_chips"],
+            topology=system.topology,
+            link={"bandwidth_bits": link.bandwidth_bits,
+                  "latency_cycles": link.latency_cycles,
+                  "serialization_overhead": link.serialization_overhead,
+                  "energy_per_bit": link.energy_per_bit},
+            **shard_totals(model))
+        return rec.finish()
+    model = {
+        "pipelined": summary["pipelined"],
+        "segments": [
+            {"index": seg["index"], "cycles": seg["cycles"],
+             "reconfiguration": seg["reconfiguration"],
+             "bottleneck": seg["bottleneck"],
+             "bottleneck_cycles": seg["bottleneck_cycles"],
+             "noc": 0.0, "ops": ()}
+            for seg in summary["segments"]
+        ],
+    }
+    emit_sim(model, rec)
+    rec.configure(kind="sim", pipelined=summary["pipelined"],
+                  total_cycles=summary["total_cycles"],
+                  compute_cycles=summary["compute_cycles"],
+                  reconfiguration_cycles=summary[
+                      "reconfiguration_cycles"],
+                  noc_cycles=summary["noc_cycles"],
+                  steady_state_interval=summary["steady_state_interval"])
+    return rec.finish()
+
+
+# ---------------------------------------------------------------------------
+# Serving timelines (serve DES + fleet engine)
+# ---------------------------------------------------------------------------
+
+
+def emit_batch_spans(rec: TraceRecorder, prefix: str, executor: str,
+                     tenant: str, members: Sequence[int],
+                     arrivals: Sequence[float], enq_offset: float,
+                     dispatch: float, switch: float, service: float,
+                     t_ready: float, filled: float, oldest: float,
+                     ready: str) -> None:
+    """Emit one dispatched batch: member ``queue`` waits, the tenant
+    ``reconfiguration`` switch (when paid), and the ``batch`` service
+    span whose args pin every magnitude the replayer re-prices from
+    (``ready`` ∈ full/deadline/now records *why* the batch became
+    dispatchable).  Shared verbatim by the live engines and the
+    replayer — identity replay must regenerate these spans bit for bit.
+    """
+    for idx, arrival in zip(members, arrivals):
+        enq = arrival + enq_offset
+        rec.span(f"req:{idx}", "queue", enq, dispatch - enq,
+                 f"{prefix}queue:{tenant}",
+                 index=idx, tenant=tenant, arrival=arrival)
+    track = f"{prefix}ex:{executor}"
+    if switch > 0:
+        rec.span(f"switch:{tenant}", "reconfiguration", dispatch, switch,
+                 track, tenant=tenant, cycles=switch)
+    rec.span(f"batch:{tenant}", "batch", dispatch + switch, service,
+             track, tenant=tenant, executor=executor, n=len(members),
+             members=tuple(members), arrivals=tuple(arrivals),
+             dispatch=dispatch, switch=switch, service=service,
+             t_ready=t_ready, filled=filled, oldest=oldest, ready=ready)
+
+
+def record_serve(plan, requests, policy=None, max_queue=None,
+                 slo_factor: float = 10.0) -> Tuple[Any, Trace]:
+    """Run the serve DES with recording on → ``(ServeReport, Trace)``."""
+    from ..serve.engine import ServingEngine, TimeoutBatch
+
+    policy = policy or TimeoutBatch(max_size=8, timeout=50_000.0)
+    rec = TraceRecorder()
+    report = ServingEngine(plan, policy, max_queue=max_queue).run(
+        requests, slo_factor=slo_factor, recorder=rec)
+    return report, rec.finish()
+
+
+def record_fleet(plan, requests, policy=None, router=None,
+                 admission=None, autoscaler=None, max_queue=None,
+                 slo_factor: float = 10.0) -> Tuple[Any, Trace]:
+    """Run the fleet engine with recording on → ``(FleetReport, Trace)``."""
+    from ..fleet.engine import FleetEngine
+
+    rec = TraceRecorder()
+    report = FleetEngine(plan, policy=policy, router=router,
+                         admission=admission, autoscaler=autoscaler,
+                         max_queue=max_queue,
+                         slo_factor=slo_factor).run(requests, recorder=rec)
+    return report, rec.finish()

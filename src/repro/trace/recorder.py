@@ -1,0 +1,71 @@
+"""The span sink the engines emit into.
+
+A :class:`TraceRecorder` is handed to the performance simulator, the
+serve DES, or the fleet engine as an optional ``recorder=`` argument.
+Recording is strictly opt-in and zero-overhead when off: every engine
+hook is a single ``if recorder is not None`` branch around code that
+otherwise does not exist, so a ``recorder=None`` run executes the exact
+instruction stream it did before tracing existed (pinned by the golden
+digest suites).
+
+The recorder is append-only during a run; :meth:`finish` freezes the
+spans into a :class:`~repro.trace.span.Trace` under the deterministic
+span order (capture order is a DES artifact and never reaches the
+digest).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .span import Span, Trace, freeze_args, span_sort_key
+
+
+class TraceRecorder:
+    """Collects spans and scenario metadata into a :class:`Trace`.
+
+    >>> from repro.trace import TraceRecorder
+    >>> rec = TraceRecorder()
+    >>> rec.span("op", "compute", begin=0.0, dur=5.0, track="chip")
+    >>> len(rec.finish().spans)
+    1
+    """
+
+    __slots__ = ("_kind", "_meta", "_spans", "_trace")
+
+    def __init__(self, kind: str = "trace") -> None:
+        self._kind = kind
+        self._meta: Dict[str, Any] = {}
+        self._spans: List[Span] = []
+        self._trace: Optional[Trace] = None
+
+    def span(self, name: str, cat: str, begin: float, dur: float,
+             track: str, **args: Any) -> None:
+        """Record one interval; ``args`` carry its pricing magnitudes."""
+        self._trace = None
+        self._spans.append(
+            Span(name, cat, track, begin, dur, freeze_args(args)))
+
+    def configure(self, kind: Optional[str] = None, **meta: Any) -> None:
+        """Set the trace kind and merge scenario metadata."""
+        self._trace = None
+        if kind is not None:
+            self._kind = kind
+        self._meta.update(meta)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def finish(self) -> Trace:
+        """Freeze into a :class:`Trace` (cached until the next emit)."""
+        if self._trace is None:
+            self._trace = Trace(
+                kind=self._kind,
+                meta=dict(self._meta),
+                spans=tuple(sorted(self._spans, key=span_sort_key)))
+        return self._trace
+
+    @property
+    def trace(self) -> Trace:
+        """Alias of :meth:`finish`."""
+        return self.finish()

@@ -1,0 +1,255 @@
+"""The trace data model: spans, categories, and the :class:`Trace`.
+
+A *span* is one timed interval on a named *track* (an executor, a chip,
+a link wire, a tenant queue) with a category drawn from
+:data:`CATEGORIES` and a flat tuple of key/value *args* carrying the
+exact magnitudes the interval was priced from (cycles, bits, hops,
+switch/service costs).  A :class:`Trace` is an immutable bag of spans
+plus scenario metadata, serializable two ways:
+
+* ``to_chrome()`` — Chrome trace format (``chrome://tracing`` /
+  Perfetto-loadable JSON), for eyeballs;
+* ``to_dict()`` / ``to_json()`` — the compact internal format whose
+  canonical-JSON SHA-256 (:meth:`Trace.digest`) pins a recording
+  bit-identically, for machines.
+
+Durations are stored explicitly (``begin`` + ``dur``), never recovered
+as ``end - begin``: float subtraction does not round-trip, and the
+what-if replayer (:mod:`repro.trace.replay`) regenerates traces by
+re-running the exact capture arithmetic on the stored magnitudes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, NamedTuple, Tuple
+
+#: Span categories — the attribution axes of the stack:
+#: ``compute`` (segment/stage/op execution), ``batch`` (a dispatched
+#: serving batch's service time), ``noc`` (on-chip network transfers
+#: overlapping compute), ``link`` (inter-chip and front-end↔replica
+#: hops), ``reconfiguration`` (crossbar weight (re)programs: segment
+#: swaps, tenant switches, replica deployments), and ``queue``
+#: (requests waiting for dispatch).
+CATEGORIES = ("compute", "batch", "noc", "link", "reconfiguration",
+              "queue")
+
+#: Trace schema version (bumped on incompatible span/meta layout
+#: changes; checked by :meth:`Trace.from_dict`).
+SCHEMA_VERSION = 1
+
+
+def _freeze(value: Any) -> Any:
+    """Canonicalize an arg value: sequences become tuples, scalars pass
+    through; anything else is rejected so traces stay serializable."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"unsupported span arg value: {value!r}")
+
+
+def freeze_args(args: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonical (sorted, tuple-frozen) form of a span's arg mapping."""
+    return tuple(sorted((k, _freeze(v)) for k, v in args.items()))
+
+
+class Span(NamedTuple):
+    """One timed interval on a track.
+
+    ``args`` is a sorted tuple of ``(key, value)`` pairs — the exact
+    magnitudes this interval was priced from, which is what makes a
+    recorded trace re-priceable without re-simulation.
+    """
+
+    name: str
+    cat: str
+    track: str
+    begin: float
+    dur: float
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def end(self) -> float:
+        """The interval's end timestamp (``begin + dur``)."""
+        return self.begin + self.dur
+
+    def arg(self, key: str, default: Any = None) -> Any:
+        """Look up one arg value by key."""
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+
+def span_sort_key(span: Span) -> Tuple:
+    """Deterministic total order for spans (time, track, identity).
+
+    The recorder sorts with this before building a :class:`Trace`, so
+    capture order (a DES artifact) never leaks into the digest and a
+    replayer may emit spans in any order.
+    """
+    return (span.begin, span.track, span.name, span.cat, span.dur,
+            repr(span.args))
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable recorded timeline: spans + scenario metadata.
+
+    ``kind`` names the producing subsystem (``sim`` / ``shard`` /
+    ``serve`` / ``fleet``); ``meta`` carries the scenario parameters a
+    replayer needs (policy timeout, link pricing, totals) — never
+    values derivable only from wall clock or capture order.
+    """
+
+    kind: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    spans: Tuple[Span, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @property
+    def begin(self) -> float:
+        """Earliest span begin (0.0 for an empty trace)."""
+        return min((s.begin for s in self.spans), default=0.0)
+
+    @property
+    def end(self) -> float:
+        """Latest span end (0.0 for an empty trace)."""
+        return max((s.end for s in self.spans), default=0.0)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock extent of the recording (``end - begin``)."""
+        return self.end - self.begin
+
+    def tracks(self) -> Tuple[str, ...]:
+        """Track names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.track, None)
+        return tuple(seen)
+
+    def by_category(self) -> Dict[str, float]:
+        """Total span cycles per category (busy time, not wall time)."""
+        totals: Dict[str, float] = {}
+        for s in self.spans:
+            totals[s.cat] = totals.get(s.cat, 0.0) + s.dur
+        return totals
+
+    def filter(self, cat: str = None, track: str = None) -> Tuple[Span, ...]:
+        """Spans matching a category and/or exact track name."""
+        return tuple(s for s in self.spans
+                     if (cat is None or s.cat == cat)
+                     and (track is None or s.track == track))
+
+    # -- compact internal format ---------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The compact internal form (digest substrate)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "meta": self.meta,
+            "spans": [[s.name, s.cat, s.track, s.begin, s.dur,
+                       [[k, v] for k, v in s.args]]
+                      for s in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Trace":
+        """Rebuild a trace from :meth:`to_dict` output (or its JSON)."""
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"trace schema {payload.get('schema')!r} != "
+                f"{SCHEMA_VERSION}")
+        spans = tuple(
+            Span(name, cat, track, begin, dur,
+                 tuple((k, _freeze(v)) for k, v in args))
+            for name, cat, track, begin, dur, args in payload["spans"])
+        return cls(kind=payload["kind"], meta=dict(payload["meta"]),
+                   spans=spans)
+
+    def to_json(self) -> str:
+        """Canonical JSON of the compact form (what the digest hashes)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Inverse of :meth:`to_json` (floats round-trip exactly)."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the compact form to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Read a trace saved by :meth:`save`."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON — the recording's identity.
+
+        Replay under the identity mutation reproduces this digest
+        bit-for-bit (pinned by ``tests/test_trace.py``).
+        """
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    # -- Chrome trace format -------------------------------------------
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """Chrome trace format (Perfetto / ``chrome://tracing``).
+
+        One complete event (``ph: "X"``) per span; tracks map to
+        thread ids with thread-name metadata.  Timestamps are emitted
+        in the simulator's cycle units (load as microseconds).
+        """
+        tids = {track: i for i, track in enumerate(self.tracks())}
+        events: List[Dict[str, Any]] = [{
+            "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+            "args": {"name": f"repro:{self.kind}"},
+        }]
+        for track, tid in tids.items():
+            events.append({"ph": "M", "pid": 0, "tid": tid,
+                           "name": "thread_name",
+                           "args": {"name": track}})
+        for s in self.spans:
+            events.append({
+                "ph": "X", "pid": 0, "tid": tids[s.track],
+                "name": s.name, "cat": s.cat,
+                "ts": s.begin, "dur": s.dur,
+                "args": dict(s.args),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": dict(self.meta)}
+
+    def save_chrome(self, path: str) -> None:
+        """Write the Chrome-trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh)
+
+
+def merge(traces: Iterable[Trace], kind: str = "merged") -> Trace:
+    """Concatenate several traces onto one timeline (tracks prefixed by
+    each trace's kind when they collide)."""
+    spans: List[Span] = []
+    seen_tracks: Dict[str, str] = {}
+    meta: Dict[str, Any] = {}
+    for i, t in enumerate(traces):
+        for s in t.spans:
+            track = s.track
+            owner = seen_tracks.setdefault(track, t.kind)
+            if owner != t.kind:
+                track = f"{t.kind}:{track}"
+            spans.append(s._replace(track=track))
+        meta[f"part{i}"] = t.kind
+    spans.sort(key=span_sort_key)
+    return Trace(kind=kind, meta=meta, spans=tuple(spans))

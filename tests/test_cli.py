@@ -275,3 +275,68 @@ class TestServe:
             main(["serve", "--arch", "functional-testbed",
                   "--tenants", "lenet", "--mode", "sharded",
                   "--rates", "100,200"])
+
+
+class TestTrace:
+    def test_record_analyze_whatif_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.json")
+        chrome = str(tmp_path / "chrome.json")
+        main(["trace", "record", "--kind", "shard", "--model", "vgg7",
+              "--chips", "3", "--out", path, "--chrome", chrome])
+        out = capsys.readouterr().out
+        assert "recorded shard trace" in out
+
+        main(["trace", "analyze", path])
+        out = capsys.readouterr().out
+        assert "critical path" in out and "dominant" in out
+
+        main(["trace", "whatif", path, "--mutate", "link_bw=0.25",
+              "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mutation"] == "link_bw=0.25"
+        assert doc["replayed"]["total_cycles"] > \
+            doc["recorded"]["total_cycles"]
+
+        with open(chrome) as fh:
+            assert json.load(fh)["traceEvents"]
+
+    def test_identity_whatif_reports_digest_match(self, tmp_path, capsys):
+        path = str(tmp_path / "sim.json")
+        main(["trace", "record", "--kind", "sim", "--model", "lenet",
+              "--arch", "functional-testbed", "--out", path])
+        capsys.readouterr()
+        main(["trace", "whatif", path])
+        assert "identity replay digest match: True" in \
+            capsys.readouterr().out
+
+    def test_serve_record_json(self, capsys):
+        main(["trace", "record", "--kind", "serve", "--arch",
+              "functional-testbed", "--tenants", "lenet:2,mlp",
+              "--requests", "30", "--rate", "500",
+              "--batch", "timeout:4:2000", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "serve"
+        assert doc["meta"]["completed"] == 30
+        assert doc["spans"] > 0
+
+    def test_bad_mutation_exits(self, tmp_path, capsys):
+        path = str(tmp_path / "sim.json")
+        main(["trace", "record", "--kind", "sim", "--model", "lenet",
+              "--arch", "functional-testbed", "--out", path])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="unknown mutation key"):
+            main(["trace", "whatif", path, "--mutate", "warp=9"])
+
+    def test_missing_trace_file_exits(self):
+        with pytest.raises(SystemExit, match="cannot load trace"):
+            main(["trace", "analyze", "/nonexistent/trace.json"])
+
+    def test_sweep_prefilter_replay(self, capsys):
+        main(["sweep", "--model", "lenet", "--preset", "isaac-baseline",
+              "--vary", "chips=2,3", "--vary", "link_bw=16,256",
+              "--levels", "CG", "--no-cache", "--prefilter", "replay",
+              "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["total_points"] == 4
+        assert doc["stats"]["full_evaluations"] < 4
+        assert doc["frontier"]

@@ -62,3 +62,12 @@ def test_quickstart_runs(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "CIM-MLC" in out
     assert "speedup" in out
+
+
+def test_trace_whatif_example_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/trace_whatif.py"])
+    runpy.run_path("examples/trace_whatif.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "identity replay == recording: True" in out
+    assert "replay matches exactly" in out
+    assert "what-if timeout=" in out

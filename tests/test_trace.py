@@ -1,0 +1,366 @@
+"""repro.trace: capture fidelity, critical paths, what-if replay.
+
+The contract under test (docs/TRACE.md):
+
+* recording off changes nothing — engine reports are bit-identical
+  with and without the capture code paths compiled in;
+* identity replay reproduces a recording bit-for-bit (same digest) for
+  every trace kind;
+* critical-path spans sum to the end-to-end metric exactly for
+  sim/shard pipelines and to the request latency for serving traces;
+* link-bandwidth/latency replay of shard traces is *exact* versus
+  ground-truth re-simulation (which is what the sweep prefilter rides);
+* batching-timeout replay is <5% on the pinned scenario; ±chips replay
+  is a monotone screening signal;
+* ``repro sweep --prefilter replay`` returns the full sweep's Pareto
+  frontier with >= 10x fewer full simulations.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.arch import ChipLink, MultiChipSystem, isaac_baseline
+from repro.models import lenet, vgg7
+from repro.scale import shard
+from repro.sched import CIMMLC
+from repro.serve import TenantSpec, make_plan, make_trace
+from repro.serve.engine import FixedBatch, TimeoutBatch, simulate
+from repro.trace import (
+    Mutation,
+    Trace,
+    attribute,
+    critical_path,
+    parse_mutation,
+    record_fleet,
+    record_performance,
+    record_serve,
+    record_shard,
+    replay,
+    replica_rollup,
+    request_latencies,
+    request_path,
+    tenant_rollup,
+    trace_from_summary,
+)
+
+ARCH = isaac_baseline()
+
+
+# ---------------------------------------------------------------------------
+# Pinned scenarios (module-scoped: each simulates once)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sim_recording():
+    schedule = CIMMLC(ARCH).compile(lenet()).schedule
+    return record_performance(ARCH, schedule)
+
+
+@pytest.fixture(scope="module")
+def shard_plan():
+    return shard(vgg7(), MultiChipSystem(ARCH, 3))
+
+
+@pytest.fixture(scope="module")
+def shard_trace(shard_plan):
+    return record_shard(shard_plan)
+
+
+@pytest.fixture(scope="module")
+def serve_scenario():
+    specs = [TenantSpec("lenet", "lenet", 1.0),
+             TenantSpec("vgg7", "vgg7", 1.0)]
+    plan = make_plan("temporal", ARCH, specs)
+    requests = make_trace("poisson", specs, 1 / 150_000.0, 40, seed=2)
+    policy = TimeoutBatch(4, 25_000.0)
+    report, trace = record_serve(plan, requests, policy=policy)
+    return plan, requests, policy, report, trace
+
+
+@pytest.fixture(scope="module")
+def fleet_scenario():
+    from repro.fleet import Autoscaler, build_fleet, simulate_fleet
+
+    specs = [TenantSpec("lenet", "lenet", 2.0),
+             TenantSpec("vgg7", "vgg7", 1.0)]
+    plan = build_fleet(ARCH, specs, replicas=3)
+    requests = make_trace("bursty", specs, 1 / 500.0, 400, seed=11)
+    autoscaler = Autoscaler(tick_cycles=200_000.0, min_replicas=1,
+                            max_replicas=3, up_threshold=2.0,
+                            down_threshold=0.5, hold_ticks=1)
+    report, trace = record_fleet(plan, requests, autoscaler=autoscaler)
+    baseline = simulate_fleet(plan, requests, autoscaler=autoscaler)
+    return plan, requests, autoscaler, report, trace, baseline
+
+
+# ---------------------------------------------------------------------------
+# Recording off: bit-identical goldens
+# ---------------------------------------------------------------------------
+
+
+def test_serve_recording_off_report_unchanged(serve_scenario):
+    plan, requests, policy, recorded_report, trace = serve_scenario
+    plain = simulate(plan, requests, policy=policy)
+    assert plain.trace_digest is None
+    assert "trace_digest" not in plain.to_dict()
+    recorded = dict(recorded_report.to_dict())
+    assert recorded.pop("trace_digest") == trace.digest()
+    assert recorded == plain.to_dict()
+
+
+def test_fleet_recording_off_report_unchanged(fleet_scenario):
+    _, _, _, recorded_report, trace, baseline = fleet_scenario
+    assert baseline.trace_digest is None
+    assert "trace_digest" not in baseline.to_dict()
+    recorded = dict(recorded_report.to_dict())
+    assert recorded.pop("trace_digest") == trace.digest()
+    assert recorded == baseline.to_dict()
+
+
+def test_report_digest_incorporates_trace_digest(serve_scenario):
+    plan, requests, policy, recorded_report, _ = serve_scenario
+    plain = simulate(plan, requests, policy=policy)
+    assert recorded_report.digest() != plain.digest()
+
+
+# ---------------------------------------------------------------------------
+# Identity replay is bit-identical, per kind
+# ---------------------------------------------------------------------------
+
+
+def test_sim_identity_replay_bit_identical(sim_recording):
+    _, trace = sim_recording
+    assert replay(trace).trace.digest() == trace.digest()
+
+
+def test_shard_identity_replay_bit_identical(shard_trace):
+    assert replay(shard_trace).trace.digest() == shard_trace.digest()
+
+
+def test_serve_identity_replay_bit_identical(serve_scenario):
+    *_, trace = serve_scenario
+    result = replay(trace)
+    assert result.trace.digest() == trace.digest()
+    assert result.mutation.is_identity()
+
+
+def test_fleet_identity_replay_bit_identical(fleet_scenario):
+    _, _, _, report, trace, _ = fleet_scenario
+    assert any(s.track.endswith("/deploy") for s in trace.spans), \
+        "pinned scenario must exercise autoscaler deployments"
+    assert replay(trace).trace.digest() == trace.digest()
+
+
+def test_fixed_batch_identity_replay(serve_scenario):
+    plan, requests, _, _, _ = serve_scenario
+    _, trace = record_serve(plan, requests, policy=FixedBatch(4))
+    assert replay(trace).trace.digest() == trace.digest()
+
+
+# ---------------------------------------------------------------------------
+# Critical paths sum to the end-to-end metric
+# ---------------------------------------------------------------------------
+
+
+def test_sim_critical_path_sums_exactly(sim_recording):
+    report, trace = sim_recording
+    cp = critical_path(trace)
+    assert cp.total == report.total_cycles
+    assert sum(cp.by_category.values()) == cp.total
+
+
+def test_shard_critical_path_sums_exactly(shard_plan, shard_trace):
+    cp = critical_path(shard_trace)
+    assert cp.total == shard_plan.report.total_cycles
+    assert set(cp.by_category) <= {"compute", "link"}
+
+
+def test_serve_request_path_sums_to_latency(serve_scenario):
+    *_, report, trace = serve_scenario
+    lats = request_latencies(trace)
+    assert len(lats) == trace.meta["completed"]
+    slowest = max(lats, key=lats.get)
+    cp = request_path(trace, slowest)
+    assert math.isclose(cp.total, lats[slowest], rel_tol=1e-9)
+    assert replay(trace).metrics["p99"] == report.p99
+
+
+def test_fleet_request_path_sums_to_latency(fleet_scenario):
+    _, _, _, report, trace, _ = fleet_scenario
+    lats = request_latencies(trace)
+    slowest = max(lats, key=lats.get)
+    cp = critical_path(trace)   # default: the slowest request
+    assert math.isclose(cp.total, lats[slowest], rel_tol=1e-9)
+    assert "link" in cp.by_category   # fleet paths include the hops
+    assert replay(trace).metrics["p99"] == report.p99
+
+
+# ---------------------------------------------------------------------------
+# What-if replay fidelity
+# ---------------------------------------------------------------------------
+
+
+def test_shard_link_mutation_exact_vs_resim(shard_trace):
+    mutated = ChipLink(bandwidth_bits=32.0, latency_cycles=40.0)
+    result = replay(shard_trace,
+                    Mutation(link_bandwidth=mutated.bandwidth_bits,
+                             link_latency=mutated.latency_cycles))
+    truth_plan = shard(vgg7(), MultiChipSystem(ARCH, 3, link=mutated))
+    truth = truth_plan.report
+    assert result.metrics["total_cycles"] == truth.total_cycles
+    assert result.metrics["steady_state_interval"] == \
+        truth.steady_state_interval
+    assert result.trace.digest() == record_shard(truth_plan).digest()
+
+
+def test_serving_timeout_mutation_within_5pct(serve_scenario):
+    plan, requests, _, _, trace = serve_scenario
+    result = replay(trace, Mutation(batch_timeout=40_000.0))
+    truth = simulate(plan, requests, policy=TimeoutBatch(4, 40_000.0))
+    for key, want in (("p50", truth.p50), ("p99", truth.p99)):
+        assert result.metrics[key] == pytest.approx(want, rel=5e-2)
+    assert result.trace.meta["batch_timeout"] == 40_000.0
+
+
+def test_compute_scale_halves_sim_total(sim_recording):
+    report, trace = sim_recording
+    result = replay(trace, Mutation(compute_scale=2.0,
+                                    reconfiguration_scale=2.0))
+    assert result.metrics["total_cycles"] == \
+        pytest.approx(report.total_cycles / 2.0, rel=1e-12)
+
+
+def test_chips_mutation_is_screening_signal(shard_trace):
+    est = replay(shard_trace, Mutation(chips_delta=1))
+    truth = shard(vgg7(), MultiChipSystem(ARCH, 4)).report
+    assert est.metrics["total_cycles"] == \
+        pytest.approx(truth.total_cycles, rel=5e-2)
+    # Scale-out must estimate a better (or equal) steady-state pace.
+    assert est.metrics["steady_state_interval"] <= \
+        shard_trace.meta["steady_state_interval"]
+
+
+def test_chips_mutation_rejected_for_serving(serve_scenario):
+    from repro.errors import ScheduleError
+
+    *_, trace = serve_scenario
+    with pytest.raises(ScheduleError):
+        replay(trace, Mutation(chips_delta=1))
+
+
+# ---------------------------------------------------------------------------
+# Sweep prefilter: same frontier, >= 10x fewer simulations
+# ---------------------------------------------------------------------------
+
+
+def test_prefilter_frontier_matches_full_sweep():
+    from repro.explore import (
+        SweepRunner,
+        SweepSpace,
+        level_series,
+        pareto_frontier,
+        replay_prefilter,
+    )
+
+    space = SweepSpace.grid(
+        ARCH, lenet(),
+        {"chips": ["2", "3"],
+         "link_bw": ["4", "16", "64", "128", "256", "512"],
+         "link_latency": ["5", "20", "80"]},
+        series=level_series(["CG"]))
+    pre = replay_prefilter(space, SweepRunner())
+    full = SweepRunner().run(space)
+
+    want = [(r.label, r.series) for r in pareto_frontier(list(full))]
+    got = [(r.label, r.series) for r in pre.frontier]
+    assert got == want
+    assert pre.stats.total_points == len(space) == 36
+    assert pre.stats.total_points >= 10 * pre.stats.full_evaluations
+    assert pre.stats.savings >= 10.0
+
+    # Screening summaries are exact, not merely close.
+    by_key = {(r.label, r.series): r for r in full}
+    for r in pre.screened:
+        truth = by_key[(r.label, r.series)]
+        assert r.summary["total_cycles"] == \
+            truth.summary["total_cycles"]
+        assert r.summary["steady_state_interval"] == \
+            truth.summary["steady_state_interval"]
+
+
+def test_trace_from_summary_matches_plan(shard_plan):
+    from repro.explore import summarize_multichip
+
+    summary = summarize_multichip(shard_plan.report, shard_plan)
+    trace = trace_from_summary(summary, system=shard_plan.system)
+    assert trace.meta["total_cycles"] == shard_plan.report.total_cycles
+    assert trace.meta["steady_state_interval"] == \
+        shard_plan.report.steady_state_interval
+    assert trace.digest() == record_shard(shard_plan).digest()
+
+
+# ---------------------------------------------------------------------------
+# Serialization, analysis helpers, mutation parsing
+# ---------------------------------------------------------------------------
+
+
+def test_trace_roundtrip_preserves_digest(tmp_path, shard_trace):
+    path = tmp_path / "trace.json"
+    shard_trace.save(str(path))
+    assert Trace.load(str(path)).digest() == shard_trace.digest()
+
+
+def test_chrome_export_shape(serve_scenario):
+    *_, trace = serve_scenario
+    doc = trace.to_chrome()
+    events = doc["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert len(spans) == len(trace)
+    assert len(metas) == 1 + len(trace.tracks())
+    json.dumps(doc)   # must be serializable as-is
+
+
+def test_attribution_covers_categories(fleet_scenario):
+    *_, trace, _ = fleet_scenario
+    att = attribute(trace)
+    assert att["dominant"] in att["shares"]
+    assert set(att["shares"]) == {"queue", "compute",
+                                  "reconfiguration", "link"}
+    assert att["total"] == pytest.approx(sum(att["magnitudes"].values()))
+
+
+def test_tenant_rollup_counts_requests(serve_scenario):
+    *_, trace = serve_scenario
+    rollup = tenant_rollup(trace)
+    assert sum(r["requests"] for r in rollup.values()) == \
+        trace.meta["completed"]
+    assert all(r["max_latency"] >= r["mean_latency"]
+               for r in rollup.values())
+
+
+def test_replica_rollup_accounts_all_replicas(fleet_scenario):
+    _, _, _, report, trace, _ = fleet_scenario
+    rollup = replica_rollup(trace)
+    assert sum(r["completed"] for r in rollup.values()) == \
+        trace.meta["completed"]
+    assert all(r["busy_cycles"] > 0 for r in rollup.values())
+
+
+def test_parse_mutation_roundtrip():
+    m = parse_mutation("compute=2,link_bw=0.5,timeout=80000,chips=+1")
+    assert m == Mutation(compute_scale=2.0, link_bandwidth_scale=0.5,
+                         batch_timeout=80_000.0, chips_delta=1)
+    assert parse_mutation("").is_identity()
+    assert "compute=2" in m.describe()
+
+
+def test_parse_mutation_rejects_bad_specs():
+    from repro.errors import ScheduleError
+
+    for bad in ("speed=2", "compute", "compute=zero", "compute=-1"):
+        with pytest.raises(ScheduleError):
+            parse_mutation(bad)
