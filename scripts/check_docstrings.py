@@ -31,6 +31,7 @@ SCOPED = [
     "repro/scale",
     "repro/perf",
     "repro/trace",
+    "repro/faults",
 ]
 
 

@@ -26,6 +26,8 @@ Packages
                       links, pipelined multi-chip estimation.
 ``repro.trace``       Trace capture across every engine, critical-path
                       attribution, what-if replay without re-simulation.
+``repro.faults``      Fault injection: dead cores/crossbars, drift
+                      rewrites, chip death, degraded-hardware planning.
 ``repro.experiments`` One driver per paper table/figure.
 """
 
@@ -74,8 +76,9 @@ from .sim import MultiChipReport, PerformanceReport, PerformanceSimulator
 from .explore import SweepPoint, SweepResult, SweepRunner, SweepSpace
 from .perf import CompileCache, fastpath, fastpath_enabled
 from .scale import ShardPlan, shard
+from .faults import FaultModel, plan_degraded, spread_mask
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CIMArchitecture",
@@ -89,6 +92,7 @@ __all__ = [
     "ComputingMode",
     "CoreTier",
     "CrossbarTier",
+    "FaultModel",
     "Graph",
     "GraphBuilder",
     "MultiChipReport",
@@ -113,6 +117,7 @@ __all__ = [
     "lenet",
     "mlp",
     "no_optimization",
+    "plan_degraded",
     "poly_schedule",
     "puma",
     "resnet",
@@ -121,6 +126,7 @@ __all__ = [
     "resnet34",
     "resnet50",
     "shard",
+    "spread_mask",
     "table2_example",
     "tiny_conv",
     "vgg",

@@ -19,6 +19,9 @@ Commands
 ``trace``     Record an execution trace (sim/shard/serve/fleet), extract
               its critical path and bottleneck attribution, or what-if
               replay it under mutated parameters without re-simulating.
+``faults``    Inject hardware faults (dead cores/crossbars, drift, link
+              derating, mid-trace chip death) into a fleet run, or sweep
+              serving quality against dead-core count.
 ``power``     Per-model energy/power breakdown table (Section 4.2
               components plus weight-write costs).
 ``describe``  Print the Abs-arch abstraction of a preset (Figs. 17-19 style).
@@ -539,6 +542,107 @@ def cmd_fleet(args) -> None:
           f"(same seed => same digest)")
 
 
+def _parse_fault(args, die: int):
+    """Build the :class:`~repro.faults.FaultModel` the flags describe."""
+    from .faults import FaultModel, spread_mask
+
+    dead = []
+    if args.kill:
+        dead.extend(spread_mask(die, args.kill))
+    if args.dead_cores:
+        try:
+            dead.extend(int(c) for c in args.dead_cores.split(","))
+        except ValueError:
+            raise SystemExit(f"--dead-cores expects comma-separated core "
+                             f"ids, got {args.dead_cores!r}")
+    xbs = []
+    if args.dead_xbs:
+        try:
+            xbs = [tuple(int(v) for v in pair.split(":"))
+                   for pair in args.dead_xbs.split(",")]
+            if any(len(p) != 2 for p in xbs):
+                raise ValueError
+        except ValueError:
+            raise SystemExit(f"--dead-xbs expects CORE:XB,CORE:XB,..., "
+                             f"got {args.dead_xbs!r}")
+    return FaultModel(dead_cores=tuple(dead), dead_crossbars=tuple(xbs),
+                      drift_interval=args.drift_interval,
+                      link_derate=args.link_derate,
+                      chip_death_time=args.chip_death,
+                      chip_death_rid=args.death_rid)
+
+
+def cmd_faults(args) -> None:
+    from .arch import ChipLink
+    from .errors import CIMError
+    from .explore import SweepRunner, default_cache_dir
+    from .faults import degradation_sweep, sweep_digest, sweep_rows, \
+        sweep_table
+    from .fleet import build_fleet, parse_router, simulate_fleet
+    from .serve import make_trace, parse_policy
+
+    arch = _preset(args.arch)
+    try:
+        specs = _tenant_specs(args.tenants)
+        policy = parse_policy(args.batch)
+        fault = _parse_fault(args, arch.chip.core_number)
+
+        if args.sweep_dead:
+            try:
+                counts = [int(c) for c in args.sweep_dead.split(",")]
+            except ValueError:
+                raise SystemExit(
+                    f"--sweep-dead expects comma-separated dead-core "
+                    f"counts, got {args.sweep_dead!r}")
+            cache_dir = None if args.no_cache else \
+                (args.cache_dir or default_cache_dir())
+            runner = SweepRunner(workers=args.workers,
+                                 cache_dir=cache_dir)
+            points = degradation_sweep(
+                arch, specs, counts, args.rate * 1e-6, mode=args.mode,
+                num_requests=args.requests, seed=args.seed,
+                trace_kind=args.trace, policy=policy,
+                slo_factor=args.slo_factor, max_queue=args.max_queue,
+                runner=runner)
+            if args.format == "json":
+                print(json.dumps(sweep_rows(points), indent=1))
+            else:
+                print(f"degradation sweep on {arch.name} "
+                      f"({arch.chip.core_number} cores, {args.trace} "
+                      f"trace, seed {args.seed}):")
+                print(sweep_table(points))
+                print(f"sweep digest: {sweep_digest(points)[:16]} "
+                      f"(same seed => same digest)")
+            return
+
+        link = ChipLink(bandwidth_bits=args.link_bw,
+                        latency_cycles=args.link_latency)
+        if fault.masks_cores():
+            plan = build_fleet(
+                fault.degrade_arch(arch), specs, replicas=args.replicas,
+                mode=args.mode, link=link,
+                core_pool=fault.surviving_cores(arch),
+                die_cores=arch.chip.core_number)
+        else:
+            plan = build_fleet(arch, specs, replicas=args.replicas,
+                               mode=args.mode, link=link)
+        trace = make_trace(args.trace, specs, args.rate * 1e-6,
+                           args.requests, seed=args.seed)
+        report = simulate_fleet(
+            plan, trace, policy=policy, router=parse_router(args.router),
+            max_queue=args.max_queue, slo_factor=args.slo_factor,
+            fault=fault)
+    except CIMError as exc:
+        raise SystemExit(str(exc))
+    if args.format == "json":
+        print(report.to_json())
+        return
+    print(f"injected: {fault.describe()}")
+    print(report.table())
+    print(f"report digest: {report.digest()[:16]} "
+          f"(same seed => same digest)")
+
+
 def _load_trace(path: str):
     from .trace import Trace
 
@@ -966,6 +1070,85 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the result cache")
     p.add_argument("--format", choices=("table", "json"), default="table")
     p.set_defaults(fn=cmd_fleet)
+
+    p = sub.add_parser(
+        "faults",
+        help="inject hardware faults into a fleet run, or sweep serving "
+             "quality against dead-core count",
+        description="Inject a fault model — dead cores (--kill / "
+                    "--dead-cores), dead crossbar regions, conductance "
+                    "drift forcing periodic weight rewrites, link "
+                    "derating, and a mid-trace chip death — then run a "
+                    "replicated fleet on the surviving hardware and "
+                    "report availability, recovery time, and the fault "
+                    "energy ledger.  Plans route around masked "
+                    "resources at compile time; drift and death are "
+                    "injected at run time.  With --sweep-dead, sweep a "
+                    "single-chip serving plan over dead-core counts "
+                    "(compiles ride the explore cache) instead.  Zero "
+                    "injected faults reproduce the fault-free run bit "
+                    "for bit.")
+    p.add_argument("--arch", "--preset", dest="arch", default="isaac-flash",
+                   help="architecture preset (unique prefixes accepted)")
+    p.add_argument("--tenants", default="resnet18:4,mobilenet:1",
+                   metavar="MODEL[:WEIGHT],...",
+                   help="co-resident models with traffic weights")
+    p.add_argument("--mode", choices=("spatial", "temporal"),
+                   default="spatial",
+                   help="hardware sharing plan inside each replica")
+    p.add_argument("--replicas", type=int, default=4,
+                   help="fleet size for the injection run")
+    p.add_argument("--router", default="least-loaded",
+                   help="routing policy: rr, least-loaded, "
+                        "affinity[:SESSIONS], power[:HEADROOM]")
+    p.add_argument("--kill", type=int, default=0, metavar="N",
+                   help="kill N cores, spread evenly across the die")
+    p.add_argument("--dead-cores", default=None, metavar="ID,ID,...",
+                   help="explicit dead core ids (combines with --kill)")
+    p.add_argument("--dead-xbs", default=None, metavar="CORE:XB,...",
+                   help="dead crossbar regions as core:crossbar pairs")
+    p.add_argument("--drift-interval", type=float, default=None,
+                   metavar="CYCLES",
+                   help="force a full weight rewrite every CYCLES "
+                        "(priced by the write-energy model)")
+    p.add_argument("--link-derate", type=float, default=1.0,
+                   metavar="FACTOR",
+                   help="multiply link bandwidth by FACTOR in (0, 1]")
+    p.add_argument("--chip-death", type=float, default=None,
+                   metavar="CYCLE",
+                   help="kill one replica at this cycle mid-trace")
+    p.add_argument("--death-rid", type=int, default=0,
+                   help="which replica --chip-death kills")
+    p.add_argument("--sweep-dead", default=None, metavar="N1,N2,...",
+                   help="degradation sweep over these dead-core counts "
+                        "(single-chip serve, not the fleet)")
+    p.add_argument("--trace",
+                   choices=("poisson", "bursty", "diurnal",
+                            "diurnal-bursty"),
+                   default="diurnal-bursty", help="arrival process")
+    p.add_argument("--rate", type=float, default=80.0,
+                   help="arrival rate in requests per mega-cycle")
+    p.add_argument("--requests", type=int, default=20_000,
+                   help="trace length in requests")
+    p.add_argument("--seed", type=int, default=0, help="trace seed")
+    p.add_argument("--batch", default="timeout:8:50000",
+                   help="batching policy: fixed:N or timeout:N:CYCLES")
+    p.add_argument("--slo-factor", type=float, default=10.0,
+                   help="per-tenant SLO = factor x isolated latency")
+    p.add_argument("--max-queue", type=int, default=None,
+                   help="replica-local per-tenant queue bound")
+    p.add_argument("--link-bw", type=float, default=512.0,
+                   help="front-end link bandwidth (bits/cycle)")
+    p.add_argument("--link-latency", type=float, default=100.0,
+                   help="front-end link per-hop latency (cycles)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="compile workers for --sweep-dead")
+    p.add_argument("--cache-dir", default=None,
+                   help="explore result-cache root (--sweep-dead)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache (--sweep-dead)")
+    p.add_argument("--format", choices=("table", "json"), default="table")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser(
         "trace",

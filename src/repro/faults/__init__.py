@@ -1,0 +1,50 @@
+"""Fault injection and degraded-hardware planning for CIM systems.
+
+Real analog CIM silicon fails in characteristic ways: whole cores and
+crossbar regions arrive dead or die in the field, conductance drift
+slowly corrupts programmed weights until they are rewritten, inter-chip
+links degrade, and an entire accelerator can drop out of a serving
+fleet mid-trace.  This package makes every one of those failure modes a
+first-class, *deterministic* input to the stack:
+
+* :class:`~repro.faults.model.FaultModel` — the frozen, canonical fault
+  description; :func:`~repro.faults.model.spread_mask` builds the
+  standard evenly-spread kill masks.
+* :func:`~repro.faults.degrade.plan_degraded` — serving plans compiled
+  on the degraded architecture and placed onto the physical surviving
+  cores (multi-chip pipelines degrade through
+  :func:`repro.scale.shard`'s ``faults=`` parameter).
+* :func:`~repro.faults.sweep.degradation_sweep` — throughput/SLO versus
+  dead-core count on a shared seeded trace, compilations riding the
+  explore cache.
+* Run-time injection lives in :class:`repro.fleet.engine.FleetEngine`
+  (``fault=``): drift-forced weight rewrites priced by the write-energy
+  model, and a mid-trace chip death with re-routing, recovery, and an
+  availability ledger on the :class:`~repro.fleet.report.FleetReport`.
+
+The house invariant extends to faults: a zero
+:class:`~repro.faults.model.FaultModel` leaves every path bit-identical
+to the fault-free build, and every degraded run is seed-deterministic
+(``tests/test_faults.py`` fuzzes random masks against both properties).
+"""
+
+from .degrade import plan_degraded
+from .model import FaultModel, spread_mask
+from .sweep import (
+    DegradationPoint,
+    degradation_sweep,
+    sweep_digest,
+    sweep_rows,
+    sweep_table,
+)
+
+__all__ = [
+    "FaultModel",
+    "spread_mask",
+    "plan_degraded",
+    "DegradationPoint",
+    "degradation_sweep",
+    "sweep_digest",
+    "sweep_rows",
+    "sweep_table",
+]

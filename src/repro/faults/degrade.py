@@ -1,0 +1,61 @@
+"""Degraded-hardware planning: route serving plans around dead silicon.
+
+:func:`plan_degraded` is the fault-aware twin of
+:func:`repro.serve.partition.make_plan`.  It compiles against the
+*degraded* architecture (surviving core count, reduced uniform crossbar
+budget) and places the result onto the *physical* surviving core ids, so
+no operation ever lands on a masked resource.  A zero fault model falls
+through to ``make_plan`` verbatim — the resulting plan is bit-identical
+to the fault-free build.
+
+Multi-chip pipelines degrade through :func:`repro.scale.shard`'s
+``faults=`` parameter instead (per-chip masks, link derating); this
+module covers the single-chip serving modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..arch import CIMArchitecture
+from ..errors import CapacityError, ScheduleError
+from ..sched import CompilerOptions
+from ..serve.partition import ServingPlan, make_plan
+from ..serve.workload import TenantSpec
+from .model import FaultModel
+
+
+def plan_degraded(arch: CIMArchitecture, specs: Sequence[TenantSpec],
+                  fault: Optional[FaultModel],
+                  mode: str = "spatial",
+                  options: Optional[CompilerOptions] = None,
+                  **kwargs) -> ServingPlan:
+    """A serving plan that routes around ``fault``'s resource mask.
+
+    Compiles on ``fault.degrade_arch(arch)`` and hands the planner the
+    physical survivor ids (``core_pool``) plus the true die size
+    (``die_cores``), so placements stay on live silicon while NoC
+    distances reflect real die coordinates.  ``kwargs`` reach the
+    underlying planner (e.g. ``blocks=`` / ``power_budget=``).
+
+    With ``fault`` ``None`` or zero this *is* ``make_plan`` — same
+    arguments, bit-identical plan.  A :class:`~repro.errors.CapacityError`
+    raised by degraded planning is re-raised with the offending resource
+    mask appended, so infeasibility names the faults that caused it.
+    """
+    if fault is None or fault.is_zero():
+        return make_plan(mode, arch, specs, options, **kwargs)
+    if mode == "sharded":
+        raise ScheduleError(
+            "mode 'sharded' degrades through repro.scale.shard(faults=...) "
+            "with per-chip fault masks; plan_degraded covers the "
+            "single-chip serving modes")
+    degraded = fault.degrade_arch(arch)
+    pool = fault.surviving_cores(arch)
+    try:
+        return make_plan(mode, degraded, specs, options,
+                         core_pool=pool,
+                         die_cores=arch.chip.core_number, **kwargs)
+    except CapacityError as exc:
+        raise CapacityError(
+            f"{exc} [{fault.mask_note(arch)}]") from exc

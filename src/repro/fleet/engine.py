@@ -55,8 +55,11 @@ from .plan import FleetPlan
 from .report import FleetReport, ReplicaStats
 from .router import LeastLoaded, Router, parse_router
 
-#: Fleet-level event kinds (replica-level kinds are 0..2).
+#: Fleet-level event kinds (replica-level kinds are 0..2).  ``_READY``
+#: wakes one executor after a fault-injected stall; ``_FAIL`` kills a
+#: replica mid-trace; ``_DRIFT`` fires a drift-forced weight rewrite.
 _ROUTE, _TICK, _READY = 3, 4, 5
+_FAIL, _DRIFT = 6, 7
 
 
 class FleetEngine:
@@ -68,7 +71,8 @@ class FleetEngine:
                  admission: Optional[AdmissionControl] = None,
                  autoscaler: Optional[Autoscaler] = None,
                  max_queue: Optional[int] = None,
-                 slo_factor: float = 10.0) -> None:
+                 slo_factor: float = 10.0,
+                 fault=None) -> None:
         self.plan = plan
         self.policy = policy or TimeoutBatch(max_size=8, timeout=50_000.0)
         self.router = router or LeastLoaded()
@@ -76,6 +80,14 @@ class FleetEngine:
         self.autoscaler = autoscaler
         self.max_queue = max_queue
         self.slo_factor = slo_factor
+        # A zero fault model is the fault-free engine, bit for bit.
+        self.fault = None if fault is not None and fault.is_zero() else fault
+        if self.fault is not None \
+                and self.fault.chip_death_time is not None \
+                and self.fault.chip_death_rid >= plan.size:
+            raise ScheduleError(
+                f"chip death targets replica {self.fault.chip_death_rid}; "
+                f"the fleet has replicas 0..{plan.size - 1}")
         if autoscaler is not None and autoscaler.min_replicas > plan.size:
             raise ScheduleError(
                 f"autoscaler floor {autoscaler.min_replicas} exceeds the "
@@ -112,6 +124,12 @@ class FleetEngine:
         trace digest.
         """
         plan = self.plan
+        fault = self.fault
+        if fault is not None and fault.link_derate != 1.0:
+            # A degraded front-end link stretches both hops and raises
+            # per-bit cycles; energy per bit is unchanged.
+            plan = dataclasses.replace(plan,
+                                       link=fault.degrade_link(plan.link))
         # Fresh stateful collaborators per run: a router's rotation
         # pointer or the autoscaler's hold counter must not leak between
         # runs (determinism contract).  Custom routers that do not
@@ -169,6 +187,24 @@ class FleetEngine:
                 loop.push(k * autoscaler.tick_cycles, _TICK, None)
                 k += 1
 
+        # -- fault injection state (all dormant when fault is None) ----
+        dead: set = set()
+        drift_rewrites = 0
+        drift_stall = 0.0
+        fault_energy = 0.0
+        lost = 0
+        rerouted = 0
+        rerouted_hops: List[Tuple[int, str, float]] = []
+        death_info: Optional[Dict] = None
+        last_arrival = trace[-1].arrival if trace else 0.0
+        if fault is not None:
+            if fault.drift_interval is not None \
+                    and fault.drift_interval <= last_arrival:
+                loop.push(fault.drift_interval, _DRIFT, 1)
+            if fault.chip_death_time is not None:
+                loop.push(fault.chip_death_time, _FAIL,
+                          fault.chip_death_rid)
+
         def est(rid: int, tenant: str) -> float:
             key = (rid, tenant)
             if key not in backlog_est:
@@ -201,7 +237,17 @@ class FleetEngine:
             elif kind == _ARRIVAL:
                 rid, req = payload
                 core = cores[rid]
-                if not core.on_arrival(req, now, loop):
+                if rid in dead:
+                    # Landed on a chip that died while the request was in
+                    # flight: unwind the routing bookkeeping and re-route
+                    # (the request re-pays the inbound hop).
+                    core.pending[req.tenant] -= 1
+                    core.outstanding -= 1
+                    core.backlog_cycles -= est(rid, req.tenant)
+                    tenant_outstanding[req.tenant] -= 1
+                    rerouted += 1
+                    loop.push(now, _ROUTE, req)
+                elif not core.on_arrival(req, now, loop):
                     # Bounced off the replica-local queue bound after
                     # admission let it through (the front end's load
                     # signals are estimates, not reservations).
@@ -220,10 +266,24 @@ class FleetEngine:
                                   tenant=req.tenant, rid=rid)
             elif kind == _TIMER:
                 rid, tenant = payload
-                cores[rid].on_timer(tenant, now, loop)
+                if rid not in dead:
+                    cores[rid].on_timer(tenant, now, loop)
             elif kind == _COMPLETE:
                 rid, ex_name, batch, dispatched = payload
                 core = cores[rid]
+                if rid in dead:
+                    # The chip died with this batch in flight: the work
+                    # is lost, the requests count as rejected (they
+                    # arrived and were never answered).
+                    for req in batch:
+                        core.outstanding -= 1
+                        core.backlog_cycles -= est(rid, req.tenant)
+                        tenant_outstanding[req.tenant] -= 1
+                        front_rejected[req.tenant] += 1
+                        lost += 1
+                    reasons["chip_death"] = \
+                        reasons.get("chip_death", 0) + len(batch)
+                    continue
                 core.on_complete(ex_name, batch, now, loop,
                                  latency_at=now + hop_out,
                                  dispatched=dispatched)
@@ -239,35 +299,159 @@ class FleetEngine:
                                       f"replica:{rid}/link",
                                       index=req.index, tenant=req.tenant,
                                       rid=rid)
-            else:  # _TICK
+            elif kind == _TICK:
                 outstanding = sum(cores[rid].outstanding for rid in active)
                 action = autoscaler.decide(outstanding, len(active),
                                            plan.size)
                 if action == "up":
-                    rid = min(r for r in range(plan.size)
-                              if r not in active)
-                    cycles, energy = plan.deploy_cost(rid)
-                    active.append(rid)
-                    active.sort()
-                    ready_at[rid] = now + cycles
-                    deploy_energy += energy
-                    deployments[rid] += 1
-                    scale_events.append((now, "up", rid))
-                    if recorder is not None:
-                        # Initial actives were deployed before t=0 and
-                        # get no spans; only in-window spin-ups do.
-                        recorder.span(f"deploy:{rid}", "reconfiguration",
-                                      now, cycles,
-                                      f"replica:{rid}/deploy",
-                                      rid=rid, energy=energy)
+                    spares = [r for r in range(plan.size)
+                              if r not in active and r not in dead]
+                    if spares:
+                        rid = spares[0]
+                        cycles, energy = plan.deploy_cost(rid)
+                        active.append(rid)
+                        active.sort()
+                        ready_at[rid] = now + cycles
+                        deploy_energy += energy
+                        deployments[rid] += 1
+                        scale_events.append((now, "up", rid))
+                        if recorder is not None:
+                            # Initial actives were deployed before t=0
+                            # and get no spans; only in-window ones do.
+                            recorder.span(f"deploy:{rid}",
+                                          "reconfiguration",
+                                          now, cycles,
+                                          f"replica:{rid}/deploy",
+                                          rid=rid, energy=energy)
                 elif action == "down":
                     rid = active.pop()   # highest id drains
                     scale_events.append((now, "down", rid))
+            elif kind == _READY:
+                # An executor finished a fault-injected stall: re-check
+                # its queues (nothing else wakes it if no traffic lands).
+                rid, ex_name = payload
+                if rid not in dead:
+                    cores[rid].wake(ex_name, now, loop)
+            elif kind == _DRIFT:
+                round_no = payload
+                for rid in active:
+                    if ready_at[rid] > now:
+                        continue   # still programming: weights are fresh
+                    core = cores[rid]
+                    for ex in core.executors:
+                        tenant = ex.resident or ex.tenants[0].spec.name
+                        service = ex.plan(tenant).service
+                        cycles = service.deploy_cycles
+                        energy = service.deploy_energy
+                        if cycles <= 0 and energy <= 0:
+                            continue
+                        start = max(now, ex.busy_until)
+                        ex.busy_until = start + cycles
+                        ex.busy_cycles += cycles
+                        drift_rewrites += 1
+                        drift_stall += cycles
+                        fault_energy += energy
+                        if recorder is not None:
+                            recorder.span(
+                                f"drift:{round_no}:{ex.name}", "fault",
+                                start, cycles,
+                                f"replica:{rid}/ex:{ex.name}",
+                                rid=rid, executor=ex.name, tenant=tenant,
+                                deadline=now, cycles=cycles,
+                                energy=energy, round=round_no)
+                        loop.push(ex.busy_until, _READY, (rid, ex.name))
+                nxt = (round_no + 1) * fault.drift_interval
+                if nxt <= last_arrival:
+                    loop.push(nxt, _DRIFT, round_no + 1)
+            else:  # _FAIL
+                rid = payload
+                was_active = rid in active
+                n_active = len(active)
+                dead.add(rid)
+                recovery = None
+                spare = None
+                if was_active:
+                    active.remove(rid)
+                    scale_events.append((now, "fail", rid))
+                    core = cores[rid]
+                    # Flush undispatched queues back through the front
+                    # end: the requests re-route (and re-pay the hop).
+                    for tenant, q in core.queues.items():
+                        for req in q:
+                            core.outstanding -= 1
+                            core.backlog_cycles -= est(rid, tenant)
+                            tenant_outstanding[tenant] -= 1
+                            rerouted += 1
+                            rerouted_hops.append(
+                                (req.index, tenant, req.arrival))
+                            loop.push(now, _ROUTE, req)
+                        q.clear()
+                    spares = [r for r in range(plan.size)
+                              if r not in active and r not in dead]
+                    if spares:
+                        spare = spares[0]
+                        cycles, energy = plan.deploy_cost(spare)
+                        active.append(spare)
+                        active.sort()
+                        ready_at[spare] = now + cycles
+                        deploy_energy += energy
+                        deployments[spare] += 1
+                        scale_events.append((now, "up", spare))
+                        recovery = cycles
+                        if recorder is not None:
+                            recorder.span(f"deploy:{spare}",
+                                          "reconfiguration",
+                                          now, cycles,
+                                          f"replica:{spare}/deploy",
+                                          rid=spare, energy=energy)
+                    if recorder is not None:
+                        recorder.span(f"chip_death:{rid}", "fault", now,
+                                      recovery if recovery is not None
+                                      else 0.0,
+                                      f"replica:{rid}/fault", rid=rid,
+                                      recovered=spare is not None,
+                                      replacement=spare)
+                death_info = {
+                    "time": now, "rid": rid, "was_active": was_active,
+                    "replicas_at_death": n_active,
+                    "replacement": spare, "recovery_cycles": recovery,
+                }
 
         for core in cores:
             core.assert_drained()
+
+        fault_ledger = None
+        if fault is not None:
+            availability = 1.0
+            if death_info is not None and death_info["was_active"] \
+                    and horizon > 0:
+                t0 = death_info["time"]
+                down = (death_info["recovery_cycles"]
+                        if death_info["recovery_cycles"] is not None
+                        else max(0.0, horizon - t0))
+                down = min(down, max(0.0, horizon - t0))
+                denom = horizon * death_info["replicas_at_death"]
+                availability = 1.0 - (down / denom if denom > 0 else 0.0)
+            fault_ledger = {
+                "model": fault.to_dict(),
+                "drift_rewrites": drift_rewrites,
+                "drift_stall_cycles": drift_stall,
+                "fault_energy": fault_energy,
+                "availability": availability,
+                "chip_death": death_info,
+                "lost_requests": lost,
+                "rerouted_requests": rerouted,
+            }
+
         trace_digest = None
         if recorder is not None:
+            if fault is not None:
+                recorder.configure(fault={
+                    "chip_death_time": fault.chip_death_time,
+                    "chip_death_rid": fault.chip_death_rid,
+                    "drift_interval": fault.drift_interval,
+                    "rerouted_hops": [list(h) for h in rerouted_hops],
+                })
             link = plan.link
             recorder.configure(
                 kind="fleet", policy=self.policy.describe(),
@@ -293,14 +477,15 @@ class FleetEngine:
         return self._build_report(cores, slo_cycles, horizon,
                                   front_rejected, reasons, scale_events,
                                   deployments, deploy_energy, link_energy,
-                                  initial, autoscaler, trace_digest)
+                                  initial, autoscaler, trace_digest,
+                                  fault_ledger)
 
     # ------------------------------------------------------------------
 
     def _build_report(self, cores, slo_cycles, horizon, front_rejected,
                       reasons, scale_events, deployments, deploy_energy,
                       link_energy, initial, autoscaler,
-                      trace_digest=None) -> FleetReport:
+                      trace_digest=None, fault_ledger=None) -> FleetReport:
         """Merge per-core tallies into one :class:`FleetReport`."""
         plan = self.plan
         tenant_stats: List[TenantStats] = []
@@ -375,6 +560,7 @@ class FleetEngine:
             link_energy=link_energy,
             initial_active=initial,
             trace_digest=trace_digest,
+            fault=fault_ledger,
         )
 
 
@@ -385,15 +571,18 @@ def simulate_fleet(plan: FleetPlan, trace: Sequence[Request],
                    autoscaler: Optional[Autoscaler] = None,
                    max_queue: Optional[int] = None,
                    slo_factor: float = 10.0,
-                   recorder=None) -> FleetReport:
+                   recorder=None, fault=None) -> FleetReport:
     """One-call facade: run ``trace`` through the fleet.
 
     Defaults: timeout batching (as single-system serving), least-loaded
     routing, open admission, no autoscaling (the whole fleet active).
     ``recorder`` optionally captures the run as a span timeline (see
-    :mod:`repro.trace`).
+    :mod:`repro.trace`); ``fault`` (a :class:`~repro.faults.FaultModel`)
+    injects run-time faults — drift-forced weight rewrites, a mid-trace
+    chip death with re-routing and recovery, a derated front-end link.
+    A ``None`` or zero fault is the fault-free engine, bit for bit.
     """
     return FleetEngine(plan, policy=policy, router=router,
                        admission=admission, autoscaler=autoscaler,
-                       max_queue=max_queue,
-                       slo_factor=slo_factor).run(trace, recorder=recorder)
+                       max_queue=max_queue, slo_factor=slo_factor,
+                       fault=fault).run(trace, recorder=recorder)

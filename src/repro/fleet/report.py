@@ -91,6 +91,11 @@ class FleetReport:
     #: when recording was off — the export, and therefore the report
     #: digest, is then bit-identical to pre-trace builds).
     trace_digest: Optional[str] = None
+    #: Fault-injection ledger (:mod:`repro.faults`): the fault model,
+    #: drift rewrite count/stall/energy, the chip-death record, and
+    #: availability.  ``None`` on fault-free runs — the export, and
+    #: therefore the digest, is then bit-identical to pre-fault builds.
+    fault: Optional[Dict] = None
 
     # -- aggregates ----------------------------------------------------
 
@@ -144,9 +149,37 @@ class FleetReport:
         return met / arrived
 
     @property
+    def fault_energy(self) -> float:
+        """Energy charged to injected faults (drift weight rewrites)."""
+        return self.fault.get("fault_energy", 0.0) if self.fault else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Capacity-weighted availability through the scenario: 1 minus
+        the share of fleet capacity-cycles lost to a chip death (1.0 on
+        fault-free runs)."""
+        if self.fault is None:
+            return 1.0
+        return self.fault.get("availability", 1.0)
+
+    @property
+    def recovery_cycles(self) -> Optional[float]:
+        """Cycles from chip death to the replacement replica being
+        ready (``None``: no death, or no spare was left)."""
+        death = self.fault.get("chip_death") if self.fault else None
+        return death.get("recovery_cycles") if death else None
+
+    @property
+    def drift_rewrites(self) -> int:
+        """Drift-forced weight rewrites the fault injection performed."""
+        return self.fault.get("drift_rewrites", 0) if self.fault else 0
+
+    @property
     def total_energy(self) -> float:
-        """The full ledger: replicas + deployments + link hops."""
-        return self.replica_energy + self.deploy_energy + self.link_energy
+        """The full ledger: replicas + deployments + link hops (+ drift
+        rewrites when faults were injected)."""
+        return (self.replica_energy + self.deploy_energy
+                + self.link_energy + self.fault_energy)
 
     @property
     def energy_per_request(self) -> float:
@@ -207,6 +240,8 @@ class FleetReport:
         }
         if self.trace_digest is not None:
             out["trace_digest"] = self.trace_digest
+        if self.fault is not None:
+            out["fault"] = self.fault
         return out
 
     def to_json(self, indent: Optional[int] = 1) -> str:
@@ -241,6 +276,19 @@ class FleetReport:
                               sorted(self.rejections.items()) if v)
             if parts:
                 lines.append(f"rejections: {parts}")
+        if self.fault is not None:
+            death = self.fault.get("chip_death")
+            line = (f"faults: availability {self.availability:.4%} | "
+                    f"drift rewrites {self.drift_rewrites} "
+                    f"(stall {self.fault.get('drift_stall_cycles', 0.0):,.0f} "
+                    f"cyc, energy {self.fault_energy:,.0f})")
+            if death is not None:
+                rec = death.get("recovery_cycles")
+                line += (f" | replica {death['rid']} died at "
+                         f"{death['time']:,.0f}, "
+                         + (f"recovered in {rec:,.0f} cyc"
+                            if rec is not None else "no spare left"))
+            lines.append(line)
         header = (f"  {'replica':>7} {'mode':<9} {'done':>8} {'util':>7} "
                   f"{'switches':>8} {'deploys':>7} {'energy':>14}")
         lines.append(header)

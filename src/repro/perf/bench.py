@@ -319,6 +319,53 @@ def _bench_trace(quick: bool) -> Tuple[Callable, int]:
     return workload, len(bandwidths) + 1
 
 
+@_bench("faults")
+def _bench_faults(quick: bool) -> Tuple[Callable, int]:
+    """Degraded planning plus fault-injected fleet serving.
+
+    Builds a serving plan around a spread of dead cores, then runs a
+    fleet with drift rewrites and a mid-trace chip death.  The digest
+    covers the degraded serve report, the fault-injected fleet report
+    (availability ledger included), and a zero-fault fleet report that
+    must equal the fault-free run — so a reference/fastpath divergence
+    in masking, re-routing, or the bit-identity gate itself fails the
+    equality check in :func:`run_bench`.
+    """
+    from ..arch import isaac_baseline
+    from ..faults import FaultModel, plan_degraded, spread_mask
+    from ..fleet import build_fleet, simulate_fleet
+    from ..serve import TenantSpec, make_trace, simulate
+
+    arch = isaac_baseline()
+    specs = [TenantSpec("resnet18", "resnet18", 4.0),
+             TenantSpec("mobilenet", "mobilenet", 1.0)]
+    requests = 600 if quick else 6_000
+    kill = 32 if quick else 96
+
+    def workload():
+        mask = FaultModel(
+            dead_cores=spread_mask(arch.chip.core_number, kill))
+        degraded = plan_degraded(arch, specs, mask)
+        trace = make_trace("poisson", specs, rate=50e-6,
+                           num_requests=requests, seed=0)
+        serve_report = simulate(degraded, trace)
+        fleet = build_fleet(arch, specs, replicas=4)
+        horizon = trace[-1].arrival
+        injected = FaultModel(drift_interval=horizon / 6,
+                              chip_death_time=horizon / 2,
+                              chip_death_rid=1)
+        faulty = simulate_fleet(fleet, trace, fault=injected)
+        clean = simulate_fleet(fleet, trace)
+        zero = simulate_fleet(fleet, trace, fault=FaultModel())
+        if zero.digest() != clean.digest():
+            raise RuntimeError(
+                "zero-fault run diverged from the fault-free run")
+        return [serve_report.to_dict(), faulty.to_dict(),
+                clean.to_dict()]
+
+    return workload, requests
+
+
 # ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------

@@ -165,7 +165,8 @@ def min_chips(graph: Graph, arch: CIMArchitecture,
 
 
 def partition_layers(graph: Graph, num_chips: int, arch: CIMArchitecture,
-                     cost_model: Optional[CostModel] = None
+                     cost_model: Optional[CostModel] = None,
+                     chip_archs: Optional[Sequence[CIMArchitecture]] = None
                      ) -> List[List[str]]:
     """Split ``graph`` into ``num_chips`` contiguous resident stages.
 
@@ -180,6 +181,13 @@ def partition_layers(graph: Graph, num_chips: int, arch: CIMArchitecture,
     :class:`~repro.errors.CapacityError` when even ``num_chips`` stages
     cannot hold the model resident.
 
+    ``chip_archs`` (degraded hardware) gives each chip its *own*
+    architecture: stage ``k`` must fit ``chip_archs[k-1]`` and is
+    interval-balanced against that chip's surviving core budget, so the
+    DP shifts work off weakened chips.  Stage→chip identity mapping is
+    kept (stage ``k`` runs on chip ``k-1``).  ``None`` (the default) is
+    the uniform, fault-free path, bit-identical to before.
+
     Example
     -------
     >>> from repro.arch import isaac_baseline
@@ -190,38 +198,63 @@ def partition_layers(graph: Graph, num_chips: int, arch: CIMArchitecture,
     """
     if num_chips < 1:
         raise CapacityError(f"num_chips must be >= 1, got {num_chips}")
-    profiles = (cost_model or CostModel(arch)).profiles(graph)
+    if chip_archs is not None:
+        chip_archs = list(chip_archs)
+        if len(chip_archs) != num_chips:
+            raise CapacityError(
+                f"chip_archs supplies {len(chip_archs)} architectures "
+                f"for {num_chips} chips")
     order = [n.name for n in graph.topological()]
     n = len(order)
     if not order:
         raise CapacityError("cannot partition an empty graph")
     stages_wanted = min(num_chips, n)
-    needed = min_chips(graph, arch, cost_model)
-    if needed > num_chips:
-        raise CapacityError(
-            f"{graph.name} needs at least {needed} {arch.name} chips to "
-            f"stay resident ({graph.total_weight_bits():,} weight bits, "
-            f"chip capacity {arch.chip_capacity_bits:,}); got {num_chips}")
+    if chip_archs is None:
+        needed = min_chips(graph, arch, cost_model)
+        if needed > num_chips:
+            raise CapacityError(
+                f"{graph.name} needs at least {needed} {arch.name} chips "
+                f"to stay resident ({graph.total_weight_bits():,} weight "
+                f"bits, chip capacity {arch.chip_capacity_bits:,}); got "
+                f"{num_chips}")
 
-    _, cores, weights = _prefix_sums(order, profiles)
-    floors = [_floor(profiles[name]) for name in order]
     cuts = [0] + [boundary_cut_bits(graph, order, p) for p in range(1, n)] \
         + [0]
-    budget = max(1, arch.chip.core_number)
 
-    # interval[j][i]: predicted optimized interval of stage order[j:i]
-    # (inf where the stage does not fit).  Computed once, reused by every
-    # DP layer.
-    interval = [[math.inf] * (n + 1) for _ in range(n)]
-    for i in range(1, n + 1):
-        floor = 0.0
-        for j in range(i - 1, -1, -1):
-            floor = max(floor, floors[j])
-            if not _stage_fits(cores[i] - cores[j],
-                               weights[i] - weights[j], arch):
-                break  # larger stages only get heavier
-            interval[j][i] = _predict_interval(
-                [profiles[name] for name in order[j:i]], floor, budget)
+    def _interval_matrix(stage_arch: CIMArchitecture,
+                         cm: Optional[CostModel]) -> List[List[float]]:
+        """interval[j][i]: predicted optimized interval of stage
+        order[j:i] on ``stage_arch`` (inf where it does not fit)."""
+        profiles = (cm or CostModel(stage_arch)).profiles(graph)
+        _, cores, weights = _prefix_sums(order, profiles)
+        floors = [_floor(profiles[name]) for name in order]
+        budget = max(1, stage_arch.chip.core_number)
+        mat = [[math.inf] * (n + 1) for _ in range(n)]
+        for i in range(1, n + 1):
+            floor = 0.0
+            for j in range(i - 1, -1, -1):
+                floor = max(floor, floors[j])
+                if not _stage_fits(cores[i] - cores[j],
+                                   weights[i] - weights[j], stage_arch):
+                    break  # larger stages only get heavier
+                mat[j][i] = _predict_interval(
+                    [profiles[name] for name in order[j:i]], floor, budget)
+        return mat
+
+    if chip_archs is None:
+        shared = _interval_matrix(arch, cost_model)
+        mats = [shared] * stages_wanted
+    else:
+        # One matrix per *distinct* degraded shape — chips sharing a
+        # shape share the tables.
+        by_sig: Dict[Tuple, List[List[float]]] = {}
+        mats = []
+        for a in chip_archs[:stages_wanted]:
+            sig = (a.chip.core_number, a.core.xb_number,
+                   a.chip_capacity_bits)
+            if sig not in by_sig:
+                by_sig[sig] = _interval_matrix(a, None)
+            mats.append(by_sig[sig])
 
     inf = (math.inf, math.inf)
     # best[k][i]: minimal (max predicted interval, cut_bits) splitting
@@ -230,6 +263,7 @@ def partition_layers(graph: Graph, num_chips: int, arch: CIMArchitecture,
     choice = [[-1] * (n + 1) for _ in range(stages_wanted + 1)]
     best[0][0] = (0.0, 0.0)
     for k in range(1, stages_wanted + 1):
+        interval = mats[k - 1]
         for i in range(k, n + 1):
             for j in range(k - 1, i):
                 prev = best[k - 1][j]
@@ -241,6 +275,13 @@ def partition_layers(graph: Graph, num_chips: int, arch: CIMArchitecture,
                     best[k][i] = cand
                     choice[k][i] = j
     if best[stages_wanted][n] == inf:
+        if chip_archs is not None:
+            raise CapacityError(
+                f"no feasible {stages_wanted}-stage partition of "
+                f"{graph.name} on the degraded system (surviving cores "
+                f"per chip: {[a.chip.core_number for a in chip_archs]}, "
+                f"capacity bits per chip: "
+                f"{[a.chip_capacity_bits for a in chip_archs]})")
         # Feasible with `needed` stages but not with exactly stages_wanted
         # non-empty ones (can happen only when stages_wanted < needed —
         # already raised — so this is defensive).

@@ -11,12 +11,15 @@ traffic with the system's :class:`~repro.arch.ChipLink`, and assemble a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import (TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 from ..arch import MultiChipSystem
+from ..errors import CapacityError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.model import FaultModel
     from ..perf import CompileCache
 from ..graph import Graph
 from ..sched import CIMMLC, CompilerOptions, no_optimization
@@ -163,20 +166,50 @@ class ShardPlan:
         }
 
 
-def _compile_stage(graph: Graph, system: MultiChipSystem,
+def _compile_stage(graph: Graph, arch,
                    options: Optional[CompilerOptions],
                    optimize: bool,
                    cache: Optional["CompileCache"] = None):
     if not optimize:
-        return no_optimization(graph, system.chip, cache=cache)
-    return CIMMLC(system.chip, options, cache=cache).compile(graph)
+        return no_optimization(graph, arch, cache=cache)
+    return CIMMLC(arch, options, cache=cache).compile(graph)
+
+
+def _effective_faults(faults, num_chips: int):
+    """Normalise ``faults`` to ``(core-masking map, link derate)``.
+
+    ``faults`` may be ``None``, one :class:`~repro.faults.FaultModel`
+    (applied to every chip), or a ``{chip: FaultModel}`` mapping.  The
+    returned map keeps only chips whose model actually masks cores; the
+    derate is the worst ``link_derate`` across all entries.
+    """
+    if faults is None:
+        return {}, 1.0
+    from ..faults.model import FaultModel
+
+    if isinstance(faults, FaultModel):
+        mapping = {k: faults for k in range(num_chips)}
+    else:
+        mapping = dict(faults)
+    derate = 1.0
+    for k in sorted(mapping):
+        if not 0 <= k < num_chips:
+            raise CapacityError(
+                f"fault injected on chip {k}; system has chips "
+                f"0..{num_chips - 1}")
+        derate = min(derate, mapping[k].link_derate)
+    masked = {k: f for k, f in mapping.items() if f.masks_cores()}
+    return masked, derate
 
 
 def shard(graph: Graph, system: MultiChipSystem,
           options: Optional[CompilerOptions] = None,
           optimize: bool = True,
           place: bool = True,
-          cache: Optional["CompileCache"] = None) -> ShardPlan:
+          cache: Optional["CompileCache"] = None,
+          faults: Optional[Union["FaultModel",
+                                 Mapping[int, "FaultModel"]]] = None
+          ) -> ShardPlan:
     """Partition, compile, place, and price ``graph`` on ``system``.
 
     ``options`` feed every stage's :class:`~repro.sched.CIMMLC`
@@ -189,6 +222,14 @@ def shard(graph: Graph, system: MultiChipSystem,
     Raises :class:`~repro.errors.CapacityError` when the model cannot
     stay resident on ``system.num_chips`` chips.
 
+    ``faults`` injects degraded hardware: one
+    :class:`~repro.faults.FaultModel` (every chip equally) or a
+    ``{chip: FaultModel}`` mapping.  Stages are rebalanced against each
+    chip's surviving capacity, compiled for the degraded die, placed
+    onto the surviving physical cores (link port still the anchor), and
+    the link is derated by the worst ``link_derate``.  A zero fault
+    model takes the fault-free path verbatim.
+
     Example
     -------
     >>> from repro.arch import MultiChipSystem, isaac_baseline
@@ -199,16 +240,39 @@ def shard(graph: Graph, system: MultiChipSystem,
     True
     """
     graph.infer_shapes()
-    stages = partition_layers(graph, system.num_chips, system.chip)
+    masked, derate = _effective_faults(faults, system.num_chips)
+    if derate != 1.0:
+        system = replace(system, link=replace(
+            system.link,
+            bandwidth_bits=system.link.bandwidth_bits * derate))
+    if masked:
+        die = system.chip
+        chip_archs = [masked[k].degrade_arch(die) if k in masked else die
+                      for k in range(system.num_chips)]
+        pools = {k: masked[k].surviving_cores(die) for k in masked}
+        stages = partition_layers(graph, system.num_chips, die,
+                                  chip_archs=chip_archs)
+    else:
+        chip_archs = [system.chip] * max(1, system.num_chips)
+        pools = {}
+        stages = partition_layers(graph, system.num_chips, system.chip)
     schedules: List[Schedule] = []
     reports: List[PerformanceReport] = []
     for idx, names in enumerate(stages):
         sub = stage_subgraph(graph, names, idx)
-        result = _compile_stage(sub, system, options, optimize, cache)
+        result = _compile_stage(sub, chip_archs[idx], options, optimize,
+                                cache)
         if place:
+            pool = pools.get(idx)
             for seg in range(len(result.schedule.segments)):
-                annotate_placement(result.schedule, segment=seg,
-                                   io_anchor=LINK_PORT_CORE)
+                if pool is None:
+                    annotate_placement(result.schedule, segment=seg,
+                                       io_anchor=LINK_PORT_CORE)
+                else:
+                    annotate_placement(
+                        result.schedule, segment=seg, region=pool,
+                        die_cores=system.chip.chip.core_number,
+                        io_anchor=LINK_PORT_CORE)
         schedules.append(result.schedule)
         reports.append(result.report)
     transfers = [

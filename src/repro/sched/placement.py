@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..arch import CIMArchitecture
-from ..errors import ScheduleError
+from ..errors import CapacityError, ScheduleError
 from ..graph import Graph
 from ..perf import fastpath_enabled
 from .schedule import Schedule
@@ -55,9 +55,9 @@ def _resolve_region(schedule: Schedule,
     if any(c < 0 for c in cores):
         raise ScheduleError(f"region has negative core ids: {cores}")
     if len(cores) < n:
-        raise ScheduleError(
+        raise CapacityError(
             f"region supplies {len(cores)} cores; schedule was compiled "
-            f"for a {n}-core chip")
+            f"for a {n}-core chip (region mask: {cores})")
     return cores
 
 

@@ -395,6 +395,14 @@ class ReplicaCore:
         """A batching-timeout timer fired for ``tenant``'s queue."""
         self.try_dispatch(self._by_tenant[tenant], now, loop)
 
+    def wake(self, ex_name: str, now: float, loop: EventLoop) -> None:
+        """Re-check dispatch on one executor by name.
+
+        Used by fault injection: a drift-forced weight rewrite occupies
+        an executor outside any batch, so nothing else would re-examine
+        its queues when the stall ends."""
+        self.try_dispatch(self._by_name[ex_name], now, loop)
+
     def on_complete(self, ex_name: str, batch: Sequence[Request],
                     now: float, loop: EventLoop,
                     latency_at: Optional[float] = None,

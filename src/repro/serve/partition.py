@@ -288,14 +288,29 @@ def fit_power_budget(specs: Sequence[TenantSpec],
 
 
 def _regions(specs: Sequence[TenantSpec],
-             alloc: Dict[str, int]) -> Dict[str, Tuple[int, ...]]:
+             alloc: Dict[str, int],
+             pool: Optional[Sequence[int]] = None
+             ) -> Dict[str, Tuple[int, ...]]:
     """Contiguous physical-core blocks in tenant order (adjacent ids are
-    adjacent on the mesh/H-tree generators, keeping regions compact)."""
+    adjacent on the mesh/H-tree generators, keeping regions compact).
+
+    With ``pool`` the blocks are sliced from that explicit id list
+    instead of ``range(...)`` — the degraded-hardware path hands in the
+    surviving physical cores so dead ids are routed around."""
     regions: Dict[str, Tuple[int, ...]] = {}
     cursor = 0
     for spec in specs:
         n = alloc[spec.name]
-        regions[spec.name] = tuple(range(cursor, cursor + n))
+        if pool is None:
+            regions[spec.name] = tuple(range(cursor, cursor + n))
+        else:
+            block = tuple(pool[cursor:cursor + n])
+            if len(block) < n:
+                raise CapacityError(
+                    f"tenant {spec.name!r} needs {n} cores but the "
+                    f"surviving pool has only {len(block)} left "
+                    f"(pool mask: {list(pool)})")
+            regions[spec.name] = block
         cursor += n
     return regions
 
@@ -306,8 +321,16 @@ def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                  alloc: Optional[Dict[str, int]] = None,
                  blocks: int = 8,
                  cache: Optional[CompileCache] = None,
-                 power_budget: Optional[float] = None) -> ServingPlan:
+                 power_budget: Optional[float] = None,
+                 core_pool: Optional[Sequence[int]] = None,
+                 die_cores: Optional[int] = None) -> ServingPlan:
     """Compile every tenant onto its own region of the chip.
+
+    ``core_pool`` / ``die_cores`` serve the degraded-hardware path
+    (:func:`repro.faults.plan_degraded`): regions are carved from the
+    explicit surviving-core id list instead of ``range(core_number)``
+    and placement hop costs use the *physical* die size, so plans route
+    around dead cores.  Both default to the healthy behaviour.
 
     Region sizes come from :func:`partition_cores` (min-max water-filling
     on measured service intervals) unless ``alloc`` pins them explicitly;
@@ -359,7 +382,8 @@ def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
             lambda spec, cores: compiled(spec, cores).report.power.peak_power,
             block=max(1, surplus // max(1, blocks)),
             power_budget=power_budget)
-    regions = _regions(specs, alloc)
+    regions = _regions(specs, alloc, pool=core_pool)
+    die = arch.chip.core_number if die_cores is None else die_cores
     tenants: List[TenantPlan] = []
     for spec in specs:
         result = compiled(spec, alloc[spec.name])
@@ -367,7 +391,7 @@ def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
             for seg in range(len(result.schedule.segments)):
                 annotate_placement(result.schedule, segment=seg,
                                    region=regions[spec.name],
-                                   die_cores=arch.chip.core_number)
+                                   die_cores=die)
         tenants.append(TenantPlan(
             spec=spec,
             cores=regions[spec.name],
@@ -382,9 +406,16 @@ def plan_spatial(arch: CIMArchitecture, specs: Sequence[TenantSpec],
 def plan_temporal(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                   options: Optional[CompilerOptions] = None,
                   cache: Optional[CompileCache] = None,
-                  power_budget: Optional[float] = None) -> ServingPlan:
+                  power_budget: Optional[float] = None,
+                  core_pool: Optional[Sequence[int]] = None,
+                  die_cores: Optional[int] = None) -> ServingPlan:
     """The time-multiplexed baseline: full chip per tenant, a complete
     weight reprogram (``weight_load_cycles``) on every tenant switch.
+
+    ``core_pool`` / ``die_cores`` support degraded hardware exactly as
+    in :func:`plan_spatial`: the shared executor occupies the surviving
+    physical ids and schedules are placed onto them against the
+    physical die size.
 
     A temporal chip runs one tenant at a time, so a ``power_budget``
     binds on the single hungriest tenant; a full-chip compilation cannot
@@ -395,7 +426,16 @@ def plan_temporal(arch: CIMArchitecture, specs: Sequence[TenantSpec],
     cache = cache or _implicit_cache()
     graphs = resolve_graphs(specs)
     tenants: List[TenantPlan] = []
-    all_cores = tuple(range(arch.chip.core_number))
+    if core_pool is not None:
+        if len(core_pool) < arch.chip.core_number:
+            raise CapacityError(
+                f"core pool supplies {len(core_pool)} cores; {arch.name} "
+                f"schedules need {arch.chip.core_number} "
+                f"(pool mask: {list(core_pool)})")
+        all_cores = tuple(core_pool)
+    else:
+        all_cores = tuple(range(arch.chip.core_number))
+    die = arch.chip.core_number if die_cores is None else die_cores
     for spec in specs:
         result = CIMMLC(arch, options, cache=cache).compile(graphs[spec.name])
         peak = result.report.power.peak_power
@@ -405,6 +445,10 @@ def plan_temporal(arch: CIMArchitecture, specs: Sequence[TenantSpec],
                 f"chip, over the {power_budget:,.1f} budget; use spatial "
                 f"partitioning (it can down-duplicate) or reject the "
                 f"tenant")
+        if core_pool is not None:
+            for seg in range(len(result.schedule.segments)):
+                annotate_placement(result.schedule, segment=seg,
+                                   region=all_cores, die_cores=die)
         tenants.append(TenantPlan(
             spec=spec,
             cores=all_cores,
@@ -506,7 +550,9 @@ def make_plan(mode: str, arch: CIMArchitecture, specs: Sequence[TenantSpec],
         # (alloc=/blocks=) stay ignored here, as they always were.
         return plan_temporal(arch, specs, options,
                              cache=kwargs.get("cache"),
-                             power_budget=kwargs.get("power_budget"))
+                             power_budget=kwargs.get("power_budget"),
+                             core_pool=kwargs.get("core_pool"),
+                             die_cores=kwargs.get("die_cores"))
     if mode == "sharded":
         if kwargs.pop("power_budget", None) is not None:
             raise ScheduleError(

@@ -170,7 +170,12 @@ def attribute(trace: Trace) -> Dict[str, Any]:
                       "reconfiguration": 0.0, "link": 0.0}
         for s in trace.spans:
             cat = "compute" if s.cat == "batch" else s.cat
-            if cat in magnitudes:
+            if cat == "fault":
+                # Injected-fault stalls appear as an axis only on
+                # degraded recordings (fault-free attributions are
+                # unchanged, bit for bit).
+                magnitudes["fault"] = magnitudes.get("fault", 0.0) + s.dur
+            elif cat in magnitudes:
                 magnitudes[cat] += s.dur
         total = sum(magnitudes.values())
         caps = None

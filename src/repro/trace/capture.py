@@ -424,13 +424,17 @@ def record_serve(plan, requests, policy=None, max_queue=None,
 
 def record_fleet(plan, requests, policy=None, router=None,
                  admission=None, autoscaler=None, max_queue=None,
-                 slo_factor: float = 10.0) -> Tuple[Any, Trace]:
-    """Run the fleet engine with recording on → ``(FleetReport, Trace)``."""
+                 slo_factor: float = 10.0, fault=None) -> Tuple[Any, Trace]:
+    """Run the fleet engine with recording on → ``(FleetReport, Trace)``.
+
+    ``fault`` (a :class:`~repro.faults.FaultModel`) records a degraded
+    run: drift rewrites and chip-death outages appear as ``fault``
+    spans and the fault metadata rides the trace for exact replay."""
     from ..fleet.engine import FleetEngine
 
     rec = TraceRecorder()
     report = FleetEngine(plan, policy=policy, router=router,
                          admission=admission, autoscaler=autoscaler,
-                         max_queue=max_queue,
-                         slo_factor=slo_factor).run(requests, recorder=rec)
+                         max_queue=max_queue, slo_factor=slo_factor,
+                         fault=fault).run(requests, recorder=rec)
     return report, rec.finish()

@@ -351,26 +351,57 @@ def _replay_serving(trace: Trace, m: Mutation) -> ReplayResult:
             max_size = meta["policy"].split(":")[1]
             meta["policy"] = f"timeout:{max_size}:{m.batch_timeout:g}"
 
-    # Recorded batches per executor track, in dispatch order.
+    # Recorded batches per executor track, in dispatch order.  Fault
+    # spans on executor tracks (drift-forced weight rewrites) join the
+    # per-track chain; fault spans elsewhere (chip-death markers) pass
+    # through verbatim like deployments.
     tracks: Dict[str, List] = {}
+    exec_faults: Dict[str, List] = {}
     deploys = []
+    passthrough_faults = []
     for s in trace.spans:
         if s.cat == "batch":
             tracks.setdefault(s.track, []).append(s)
         elif s.cat == "reconfiguration" and s.track.endswith("/deploy"):
             deploys.append(s)
+        elif s.cat == "fault":
+            if "ex:" in s.track:
+                exec_faults.setdefault(s.track, []).append(s)
+            else:
+                passthrough_faults.append(s)
     for batch_spans in tracks.values():
         batch_spans.sort(key=lambda s: s.arg("dispatch"))
+    for fault_spans in exec_faults.values():
+        fault_spans.sort(key=lambda s: s.begin)
+
+    fmeta = meta.get("fault") if fleet else None
+    death_time = fmeta.get("chip_death_time") if fmeta else None
+    death_rid = fmeta.get("chip_death_rid") if fmeta else None
 
     rec = TraceRecorder()
     latencies: Dict[str, List[Tuple[int, float]]] = {}
     horizon = 0.0
-    for track, batch_spans in tracks.items():
+    for track in set(tracks) | set(exec_faults):
+        batch_spans = tracks.get(track, [])
         prefix = track[:track.rindex("ex:")]
         rid = (int(prefix.split(":", 1)[1].split("/", 1)[0])
                if prefix.startswith("replica:") else 0)
+        # Merge the batch chain with the track's fault stalls by
+        # recorded time (a stall beginning exactly at a dispatch time
+        # happened first — it is what delayed the dispatch).
+        items = [("batch", s, s.arg("dispatch")) for s in batch_spans]
+        items += [("fault", s, s.begin) for s in exec_faults.get(track, [])]
+        items.sort(key=lambda it: (it[2], 0 if it[0] == "fault" else 1))
         exec_free = 0.0
-        for s in batch_spans:
+        for what, s, _ in items:
+            if what == "fault":
+                start = max(exec_free, s.arg("deadline"))
+                dur = _scaled(s.dur, rs)
+                rec.span(s.name, "fault", start, dur, track,
+                         **dict(s.args))
+                exec_free = start + dur
+                horizon = max(horizon, exec_free)
+                continue
             members = s.arg("members")
             arrivals = s.arg("arrivals")
             tenant = s.arg("tenant")
@@ -391,19 +422,38 @@ def _replay_serving(trace: Trace, m: Mutation) -> ReplayResult:
             complete = dispatch + switch + service
             exec_free = complete
             horizon = max(horizon, complete + hop_out)
+            # A batch completing at/after the chip-death instant on the
+            # dead replica was lost in flight: its requests landed (the
+            # inbound hop happened) but never finished.
+            lost = (death_time is not None and rid == death_rid
+                    and complete >= death_time)
             rows = latencies.setdefault(tenant, [])
             for idx, arrival in zip(members, arrivals):
                 if fleet:
                     rec.span(f"hop_in:{idx}", "link", arrival, hop_in,
                              f"replica:{rid}/link", index=idx,
                              tenant=tenant, rid=rid)
+                    if lost:
+                        continue
                     rec.span(f"hop_out:{idx}", "link", complete, hop_out,
                              f"replica:{rid}/link", index=idx,
                              tenant=tenant, rid=rid)
-                rows.append((idx, complete + hop_out - arrival))
+                if not lost:
+                    rows.append((idx, complete + hop_out - arrival))
     for s in deploys:
         rec.span(s.name, s.cat, s.begin, _scaled(s.dur, rs), s.track,
                  **dict(s.args))
+    for s in passthrough_faults:
+        rec.span(s.name, s.cat, s.begin, _scaled(s.dur, rs), s.track,
+                 **dict(s.args))
+    if fmeta:
+        # Requests flushed off the dead replica's queues re-routed and
+        # (maybe) completed elsewhere — their *first* landing's inbound
+        # hop is not derivable from any batch, so it rides the meta.
+        for idx, tenant, arrival in fmeta.get("rerouted_hops", []):
+            rec.span(f"hop_in:{idx}", "link", arrival, hop_in,
+                     f"replica:{death_rid}/link", index=idx,
+                     tenant=tenant, rid=death_rid)
     rec.configure(kind=trace.kind, **meta)
     return ReplayResult(trace=rec.finish(),
                         metrics=_serving_metrics(latencies, horizon),

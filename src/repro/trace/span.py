@@ -31,10 +31,11 @@ from typing import Any, Dict, Iterable, List, Mapping, NamedTuple, Tuple
 #: serving batch's service time), ``noc`` (on-chip network transfers
 #: overlapping compute), ``link`` (inter-chip and front-end↔replica
 #: hops), ``reconfiguration`` (crossbar weight (re)programs: segment
-#: swaps, tenant switches, replica deployments), and ``queue``
-#: (requests waiting for dispatch).
+#: swaps, tenant switches, replica deployments), ``queue``
+#: (requests waiting for dispatch), and ``fault`` (injected-fault
+#: effects: drift-forced weight rewrites, chip-death outages).
 CATEGORIES = ("compute", "batch", "noc", "link", "reconfiguration",
-              "queue")
+              "queue", "fault")
 
 #: Trace schema version (bumped on incompatible span/meta layout
 #: changes; checked by :meth:`Trace.from_dict`).

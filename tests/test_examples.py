@@ -71,3 +71,15 @@ def test_trace_whatif_example_runs(capsys, monkeypatch):
     assert "identity replay == recording: True" in out
     assert "replay matches exactly" in out
     assert "what-if timeout=" in out
+
+
+def test_fault_degradation_example_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/fault_degradation.py",
+                                      "--requests", "200",
+                                      "--kill", "16"])
+    runpy.run_path("examples/fault_degradation.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "bit-identical to fault-free: True" in out
+    assert "avoid every one: True" in out
+    assert "availability" in out
+    assert "drift rewrites" in out
