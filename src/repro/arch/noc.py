@@ -195,6 +195,22 @@ def _max_cost_fast(spec: NocSpec, n: int) -> float:
     return float(spec.cost_array(n).max())
 
 
+@lru_cache(maxsize=None)
+def hop_cost_array(spec: NocSpec, n: int) -> np.ndarray:
+    """Memoized, *read-only* :meth:`NocSpec.cost_array`.
+
+    The greedy placer asks for the same n x n hop geometry once per
+    segment; rebuilding it from Python lists dominated the placement
+    wall-clock.  The array is marked read-only because it is shared
+    across callers (consumers that need to mutate — like
+    :func:`_average_cost_fast`'s diagonal fill — must keep calling
+    :meth:`~NocSpec.cost_array` for a private copy).
+    """
+    costs = spec.cost_array(n)
+    costs.setflags(write=False)
+    return costs
+
+
 #: Convenience instances.
 IDEAL_NOC = NocSpec("ideal")
 

@@ -1,0 +1,271 @@
+"""Persistent cross-process extension of :class:`CompileCache`.
+
+The in-process compile cache dies with its process; a fleet of workers,
+a CI matrix, or repeated CLI invocations each pay the same cold
+compiles.  :class:`DiskCompileCache` backs every memo family (per-op
+profiles keyed on ``(arch value, bit binding, Graph.signature())``,
+duplication searches, useful-duplication curves, segmentations) with a
+content-addressed on-disk store so *any* process that has ever compiled
+a model warms all the others.
+
+Design rules:
+
+* **Content addressing.**  File names are the SHA-256 of the key's
+  ``repr`` — keys are tuples of frozen dataclasses, enums, and
+  primitives, whose reprs are deterministic and reflect every field.
+  The stored payload carries the key repr and is verified on read, so a
+  hash collision or foreign file degrades to a miss, never a wrong
+  value.  Equal keys ⇒ equal values (the memoized functions are pure),
+  so cross-process sharing is bit-exact by construction.
+* **Atomic writes.**  Entries are written to a temp file and
+  ``os.replace``d into place (the same pattern as the explore result
+  cache), so concurrent writers race benignly — last writer wins with a
+  value equal to every loser's.
+* **Versioning.**  Entries live under ``v{SCHEMA_VERSION}/``; bumping
+  :data:`SCHEMA_VERSION` (on any change to key shape, profile fields,
+  or scheduler semantics) orphans stale entries wholesale.
+* **Corruption tolerance.**  Truncated, unpicklable, or
+  wrong-schema files are treated as misses and the value is recomputed
+  (and rewritten) — integrity failures cost time, never correctness.
+
+The store is enabled by ``REPRO_DISK_CACHE=1`` (see
+:func:`disk_cache_enabled`) and located by ``REPRO_COMPILE_CACHE_DIR``
+(default ``~/.cache/repro-compile``).  ``repro cache stats|clear``
+inspects and resets it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from .cache import CompileCache
+
+#: Bump when cached values would no longer be valid (key shape, profile
+#: fields, or search semantics changed); old entries are then orphaned
+#: under their version directory and ignored.
+SCHEMA_VERSION = 1
+
+#: Environment variable switching the disk-backed compile memo on.
+ENV_ENABLE = "REPRO_DISK_CACHE"
+
+#: Environment variable overriding the store location.
+ENV_DIR = "REPRO_COMPILE_CACHE_DIR"
+
+
+def disk_cache_enabled() -> bool:
+    """True when the process opted into the persistent compile memo."""
+    return os.environ.get(ENV_ENABLE, "").strip().lower() in (
+        "1", "true", "on", "yes")
+
+
+def default_disk_cache_dir() -> str:
+    """Store root: ``$REPRO_COMPILE_CACHE_DIR`` or
+    ``~/.cache/repro-compile``."""
+    configured = os.environ.get(ENV_DIR)
+    if configured:
+        return os.path.expanduser(configured)
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-compile")
+
+
+def default_compile_cache() -> CompileCache:
+    """A fresh implicit compile cache honouring the disk-memo opt-in.
+
+    Call sites that used to build a bare :class:`CompileCache` for
+    implicit caching use this instead; separate instances share the
+    on-disk store, so a fresh object per call still warm-starts.
+    """
+    return DiskCompileCache() if disk_cache_enabled() else CompileCache()
+
+
+class DiskCompileCache(CompileCache):
+    """A :class:`CompileCache` whose misses consult an on-disk store.
+
+    Memory-first: reads hit the in-process dictionaries, then the disk
+    store (promoting to memory), then report a true miss; writes go to
+    both layers.  The base-class hit/miss counters therefore keep their
+    meaning — ``*_misses`` count *fresh computations* — and
+    ``disk_hits`` / ``disk_misses`` / ``disk_writes`` expose the disk
+    layer separately.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        super().__init__()
+        base = root if root is not None else default_disk_cache_dir()
+        self.root = os.path.join(os.path.expanduser(base),
+                                 f"v{SCHEMA_VERSION}")
+        os.makedirs(self.root, exist_ok=True)
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.disk_writes = 0
+
+    # -- disk layer --------------------------------------------------
+
+    def _path(self, kind: str, key: Tuple) -> str:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return os.path.join(self.root, f"{kind}-{digest}.pkl")
+
+    def _read(self, kind: str, key: Tuple):
+        """The stored value, or None on miss/corruption/collision."""
+        try:
+            with open(self._path(kind, key), "rb") as handle:
+                stored_key, value = pickle.load(handle)
+            if stored_key != repr(key):
+                raise ValueError("key mismatch (hash collision?)")
+        except FileNotFoundError:
+            self.disk_misses += 1
+            return None
+        except Exception:  # noqa: BLE001 - a corrupted/truncated/foreign
+            # pickle can raise nearly anything; every failure mode must
+            # degrade to a recompute, never propagate.
+            self.disk_misses += 1
+            return None
+        self.disk_hits += 1
+        return value
+
+    def _write(self, kind: str, key: Tuple, value) -> None:
+        """Atomically persist one entry (best-effort: I/O errors leave
+        only the in-memory layer populated)."""
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump((repr(key), value), handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(kind, key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self.disk_writes += 1
+
+    # -- memo families -----------------------------------------------
+
+    def get_profiles(self, key: Tuple):
+        """Memory-first profile lookup; a disk hit is promoted to memory."""
+        hit = self._profiles.get(key)
+        if hit is not None:
+            self.profile_hits += 1
+            return dict(hit)
+        value = self._read("profiles", key)
+        if value is not None:
+            self._profiles[key] = dict(value)
+            self.profile_hits += 1
+            return dict(value)
+        self.profile_misses += 1
+        return None
+
+    def put_profiles(self, key: Tuple, profiles) -> None:
+        """Store a profile table in memory and write it through to disk."""
+        super().put_profiles(key, profiles)
+        self._write("profiles", key, dict(profiles))
+
+    def get_dups(self, key: Tuple):
+        """Memory-first duplication lookup; a disk hit is promoted to memory."""
+        hit = self._dups.get(key)
+        if hit is not None:
+            self.dup_hits += 1
+            return dict(hit)
+        value = self._read("dups", key)
+        if value is not None:
+            self._dups[key] = dict(value)
+            self.dup_hits += 1
+            return dict(value)
+        self.dup_misses += 1
+        return None
+
+    def put_dups(self, key: Tuple, dups) -> None:
+        """Store a duplication table in memory and write it through to disk."""
+        super().put_dups(key, dups)
+        self._write("dups", key, dict(dups))
+
+    def get_useful_dups(self, key: Tuple):
+        """Memory-first useful-duplication lookup (no hit/miss counters)."""
+        hit = self._useful.get(key)
+        if hit is not None:
+            return list(hit)
+        value = self._read("useful", key)
+        if value is not None:
+            self._useful[key] = list(value)
+            return list(value)
+        return None
+
+    def put_useful_dups(self, key: Tuple, dups) -> None:
+        """Store a useful-duplication list in memory and on disk."""
+        super().put_useful_dups(key, dups)
+        self._write("useful", key, list(dups))
+
+    def get_segments(self, key: Tuple):
+        """Memory-first segmentation lookup; a disk hit is promoted to memory."""
+        hit = self._segments.get(key)
+        if hit is not None:
+            self.segment_hits += 1
+            return [list(seg) for seg in hit]
+        value = self._read("segments", key)
+        if value is not None:
+            self._segments[key] = [list(seg) for seg in value]
+            self.segment_hits += 1
+            return [list(seg) for seg in value]
+        self.segment_misses += 1
+        return None
+
+    def put_segments(self, key: Tuple, segments) -> None:
+        """Store a segmentation in memory and write it through to disk."""
+        super().put_segments(key, segments)
+        self._write("segments", key, [list(seg) for seg in segments])
+
+    # -- maintenance -------------------------------------------------
+
+    def entries(self) -> Dict[str, int]:
+        """On-disk entry count per memo family."""
+        counts: Dict[str, int] = {}
+        for name in self._files():
+            kind = name.split("-", 1)[0]
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def size_bytes(self) -> int:
+        """Total bytes of the on-disk store (this schema version)."""
+        total = 0
+        for name in self._files():
+            try:
+                total += os.path.getsize(os.path.join(self.root, name))
+            except OSError:
+                continue
+        return total
+
+    def _files(self) -> List[str]:
+        try:
+            return [n for n in os.listdir(self.root) if n.endswith(".pkl")]
+        except OSError:
+            return []
+
+    def stats(self) -> Dict[str, int]:
+        """Counters from :class:`CompileCache` plus the disk-layer trio."""
+        stats = super().stats()
+        stats.update({
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "disk_writes": self.disk_writes,
+        })
+        return stats
+
+    def clear(self) -> None:
+        """Drop the in-memory layer, counters, *and* the on-disk store
+        for this schema version."""
+        super().clear()
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.disk_writes = 0
+        for name in self._files():
+            try:
+                os.unlink(os.path.join(self.root, name))
+            except OSError:
+                continue

@@ -23,27 +23,48 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..arch import CIMArchitecture
 from ..errors import CapacityError, ScheduleError
 from ..graph import Graph
-from ..perf import fastpath_enabled
+from ..perf import CompileCache, fastpath_enabled
 from ..perf.kernels import (
     BottleneckSearch,
+    DupLatencyColumns,
+    RefineExchange,
+    level_latency_table,
     segment_cycles,
     useful_dup_options,
 )
 from .costs import CostModel, OpProfile
 from .schedule import OpDecision, Schedule
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..perf import CompileCache
-
 
 # ---------------------------------------------------------------------------
 # Duplication search
 # ---------------------------------------------------------------------------
+
+
+#: Process-wide memo backing the duplication searches when the caller
+#: supplies no explicit cache while the fast path is on.  The searches
+#: are pure functions of ``(profile tuple, budget)`` (frozen dataclasses
+#: carrying every quantity they read), so content-addressed sharing
+#: across otherwise-uncached compilations is value-exact.  ``repro
+#: bench`` clears it between runs; an explicit ``cache=`` argument
+#: always wins.
+_IMPLICIT_SEARCH_CACHE = CompileCache()
+
+
+def _search_cache(cache: Optional["CompileCache"]
+                  ) -> Optional["CompileCache"]:
+    """The cache a duplication search should use: the caller's, else
+    the process-wide implicit memo on the fast path, else none."""
+    if cache is not None:
+        return cache
+    return _IMPLICIT_SEARCH_CACHE if fastpath_enabled() else None
 
 
 #: Budgets up to this size use the exact dynamic program (the paper's
@@ -135,7 +156,10 @@ def duplicate_min_total(profiles: Sequence[OpProfile], budget: int,
     memoized on ``(profile tuple, budget)`` — profiles are frozen
     dataclasses carrying every quantity the search reads, so equal keys
     guarantee equal answers across segments, series, and sweep points.
+    Without an explicit cache the fast path falls back to the
+    process-wide implicit search memo.
     """
+    cache = _search_cache(cache)
     key = None
     if cache is not None:
         key = ("min_total", budget, tuple(profiles))
@@ -168,6 +192,45 @@ def _duplicate_min_total(profiles: Sequence[OpProfile], budget: int,
     remaining = budget - need
     by_name = {p.name: p for p in cim}
 
+    if fastpath_enabled():
+        # Precompute the four constants OpProfile.latency reads at
+        # default arguments; the inlined formula applies the same IEEE
+        # operations (ceil of the same float division, integer-valued
+        # products exact in float64, max/add), so every latency the
+        # greedy compares is bit-identical to the method call.
+        consts = {p.name: (p.num_mvms, p.max_useful_dup,
+                           p.mvm_cycles(1) * p.seq_passes,
+                           p.seq_passes * p.reload_cycles,
+                           p.mov_cycles, p.alu_cycles)
+                  for p in cim}
+
+        def _lat(p: OpProfile, d: int) -> float:
+            num, max_dup, per_window, base, mov, alu = consts[p.name]
+            eff = d if d < max_dup else max_dup
+            compute = math.ceil(num / eff) * per_window + base
+            return (compute if compute > mov else mov) + alu
+
+        # next_jump from a useful level always lands on the *next* useful
+        # level (the smallest duplication shrinking the window count by
+        # one, clamped to max_useful_dup), so the whole jump chain and
+        # its latencies can be tabulated vectorized up front — capped at
+        # max_useful_dup, not the budget, exactly like next_jump.  Only
+        # partial jumps leave the chain and fall back to the formula.
+        chain_lists = [_useful_dups(p, p.max_useful_dup
+                                    * p.cores_per_replica, cache)
+                       for p in cim]
+        _, chain_lat = level_latency_table(DupLatencyColumns(cim),
+                                           chain_lists)
+        chain_info = {
+            p.name: (chain, chain_lat[i, :len(chain)].tolist(),
+                     {d: j for j, d in enumerate(chain)})
+            for i, (p, chain) in enumerate(zip(cim, chain_lists))}
+    else:
+        def _lat(p: OpProfile, d: int) -> float:
+            return p.latency(d)
+
+        chain_info = {}
+
     def next_jump(p: OpProfile, d: int) -> Optional[int]:
         """Smallest d' > d with strictly lower latency, or None."""
         if d >= p.max_useful_dup:
@@ -177,7 +240,7 @@ def _duplicate_min_total(profiles: Sequence[OpProfile], budget: int,
             return None
         d2 = min(max(math.ceil(p.num_mvms / (windows - 1)), d + 1),
                  p.max_useful_dup)
-        if p.latency(d2) >= p.latency(d) - 1e-12:
+        if _lat(p, d2) >= _lat(p, d) - 1e-12:
             return None  # movement/ALU bound: no jump will ever gain
         return d2
 
@@ -185,11 +248,29 @@ def _duplicate_min_total(profiles: Sequence[OpProfile], budget: int,
 
     def push(p: OpProfile) -> None:
         d = dups[p.name]
+        info = chain_info.get(p.name)
+        if info is not None:
+            chain, lats, index = info
+            j = index.get(d)
+            if j is not None:
+                # On-chain state: the tabulated next level / latencies
+                # are the exact floats next_jump would compute (the
+                # window<=1 and max-dup terminations both surface as a
+                # non-improving tabulated latency).
+                if j + 1 >= len(chain):
+                    return
+                d2, lat_d, lat_d2 = chain[j + 1], lats[j], lats[j + 1]
+                if lat_d2 >= lat_d - 1e-12:
+                    return
+                cost = (d2 - d) * p.cores_per_replica
+                heapq.heappush(
+                    heap, (-((lat_d - lat_d2) / cost), p.name, d, d2, cost))
+                return
         d2 = next_jump(p, d)
         if d2 is None:
             return
         cost = (d2 - d) * p.cores_per_replica
-        gain = (p.latency(d) - p.latency(d2)) / cost
+        gain = (_lat(p, d) - _lat(p, d2)) / cost
         heapq.heappush(heap, (-gain, p.name, d, d2, cost))
 
     for p in cim:
@@ -203,7 +284,7 @@ def _duplicate_min_total(profiles: Sequence[OpProfile], budget: int,
             # Take the largest affordable partial jump, if it helps, and
             # keep the operator in play (smaller later jumps may still fit).
             d_mid = d_from + remaining // p.cores_per_replica
-            if d_mid > d_from and p.latency(d_mid) < p.latency(d_from):
+            if d_mid > d_from and _lat(p, d_mid) < _lat(p, d_from):
                 remaining -= (d_mid - d_from) * p.cores_per_replica
                 dups[name] = d_mid
                 push(p)
@@ -228,8 +309,16 @@ def _refine_exchange(cim: List[OpProfile], budget: int,
     to its next useful duplication, funding the cores from slack budget
     plus (when needed) lowering a single donor operator, accepting the
     best strictly-improving move until none remains.
+
+    On the fast path each iteration evaluates the whole candidate
+    frontier as array expressions
+    (:class:`~repro.perf.kernels.RefineExchange`), reproducing the
+    reference's move sequence — including first-wins tie-breaking on the
+    sort tuples — exactly.
     """
     levels = {p.name: _useful_dups(p, budget, cache) for p in cim}
+    if cim and fastpath_enabled():
+        return _refine_exchange_fast(cim, budget, dups, levels)
     free = budget - sum(p.cores_per_replica * dups[p.name] for p in cim)
     # Each accepted move strictly lowers total latency; the cap only
     # guards against float-epsilon cycling.
@@ -277,6 +366,31 @@ def _refine_exchange(cim: List[OpProfile], budget: int,
     return dups
 
 
+def _refine_exchange_fast(cim: List[OpProfile], budget: int,
+                          dups: Dict[str, int],
+                          levels: Dict[str, List[int]]) -> Dict[str, int]:
+    """Vectorized body of :func:`_refine_exchange` (same moves, same
+    iteration cap, same accounting — see
+    :class:`~repro.perf.kernels.RefineExchange`)."""
+    rex = RefineExchange(cim, [levels[p.name] for p in cim])
+    cores = rex.table.cores
+    dvec = np.asarray([dups[p.name] for p in cim], dtype=np.int64)
+    free = budget - int(np.add.reduce(cores * dvec))
+    for _ in range(8 * max(1, sum(len(v) for v in levels.values()))):
+        move = rex.best_move(dvec, free)
+        if move is None:
+            break
+        p, d_up, q, d_down = move
+        free -= (d_up - int(dvec[p])) * int(cores[p])
+        dvec[p] = d_up
+        if q is not None:
+            free += (int(dvec[q]) - d_down) * int(cores[q])
+            dvec[q] = d_down
+    for i, p in enumerate(cim):
+        dups[p.name] = int(dvec[i])
+    return dups
+
+
 def duplicate_min_bottleneck(profiles: Sequence[OpProfile],
                              budget: int,
                              cache: Optional["CompileCache"] = None
@@ -289,8 +403,10 @@ def duplicate_min_bottleneck(profiles: Sequence[OpProfile],
     evaluate the per-operator feasibility test as array expressions
     (:class:`~repro.perf.kernels.BottleneckSearch`) instead of a Python
     loop, and the whole result is memoized on ``(profile tuple, budget)``
-    when a :class:`~repro.perf.CompileCache` is attached.
+    when a :class:`~repro.perf.CompileCache` is attached (the implicit
+    process-wide memo when the caller passes none).
     """
+    cache = _search_cache(cache)
     key = None
     if cache is not None:
         key = ("min_bottleneck", budget, tuple(profiles))
@@ -347,11 +463,39 @@ def _duplicate_min_bottleneck(profiles: Sequence[OpProfile],
             hi = mid
         else:
             lo = mid
-    for p in cim:
-        dups[p.name] = max(1, dup_for_target(p, hi))
+    if fastpath_enabled():
+        # Same rounding as dup_for_target (pinned by the kernel-equality
+        # suite), evaluated for all operators at once.
+        final = search.dup_for_target(hi)
+        for i, p in enumerate(cim):
+            dups[p.name] = max(1, int(final[i]))
+    else:
+        for p in cim:
+            dups[p.name] = max(1, dup_for_target(p, hi))
     # Spend leftover cores on the current bottleneck greedily.
     used = sum(p.cores_per_replica * dups[p.name] for p in cim)
     remaining = budget - used
+    if fastpath_enabled():
+        # Array form of the loop below: latencies are maintained
+        # incrementally with the same scalar formula, and np.argmax
+        # keeps max()'s first-wins bottleneck tie-breaking.
+        table = DupLatencyColumns(cim)
+        dvec = np.asarray([dups[p.name] for p in cim], dtype=np.int64)
+        lats = table.latency(dvec)
+        while remaining > 0:
+            b = int(lats.argmax())
+            p = cim[b]
+            if (int(dvec[b]) >= p.max_useful_dup
+                    or p.cores_per_replica > remaining
+                    or table.latency_at(b, int(dvec[b]) + 1)
+                    >= float(lats[b])):
+                break
+            dvec[b] += 1
+            lats[b] = table.latency_at(b, int(dvec[b]))
+            remaining -= p.cores_per_replica
+        for i, p in enumerate(cim):
+            dups[p.name] = int(dvec[i])
+        return dups
     while remaining > 0:
         bottleneck = max(cim, key=lambda p: p.latency(dups[p.name]))
         if (dups[bottleneck.name] >= bottleneck.max_useful_dup

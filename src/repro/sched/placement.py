@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..arch import CIMArchitecture
+from ..arch.noc import hop_cost_array
 from ..errors import CapacityError, ScheduleError
 from ..graph import Graph
 from ..perf import fastpath_enabled
@@ -35,6 +36,32 @@ from .schedule import Schedule
 
 #: core assignment: node name -> list of physical core ids (all replicas).
 Placement = Dict[str, List[int]]
+
+#: Process-wide content-addressed memo of greedy placements, keyed on
+#: every input the algorithm reads (graph signature, architecture value,
+#: the segment's per-op core counts, region, die geometry, I/O anchor).
+#: Fast-path only; ``repro bench`` clears it between runs.
+_GREEDY_MEMO: Dict[Tuple, Placement] = {}
+
+
+def _greedy_memo_key(schedule: Schedule, segment: int,
+                     region: Optional[Sequence[int]],
+                     die_cores: Optional[int],
+                     io_anchor: Optional[int]) -> Tuple:
+    """Content key of a greedy placement.
+
+    The placer reads graph topology/tensors (edges and traffic — covered
+    by ``Graph.signature()``), the NoC geometry (the frozen architecture
+    value), each segment operator's core count and CIM-ness, and the
+    region/die/anchor arguments.  Equal keys therefore guarantee equal
+    placements.
+    """
+    decisions = tuple(
+        (name, schedule.decision(name).cores,
+         schedule.decision(name).profile.is_cim)
+        for name in schedule.segments[segment])
+    return (schedule.graph.signature(), schedule.arch, decisions,
+            None if region is None else tuple(region), die_cores, io_anchor)
 
 
 def _resolve_region(schedule: Schedule,
@@ -217,11 +244,24 @@ def place_greedy(schedule: Schedule, segment: int = 0,
     (the inter-chip link port under :mod:`repro.scale` sharding):
     operators whose tensors cross the graph boundary are additionally
     attracted to it, weighted by their boundary traffic.
+
+    The fast path fetches the hop geometry from the process-wide
+    :func:`~repro.arch.noc.hop_cost_array` memo, scores candidates as
+    array expressions, and memoizes whole placements content-addressed
+    (:data:`_GREEDY_MEMO`) — all bit-identical to the scalar walk below.
     """
     cores = _resolve_region(schedule, region)
+    if fastpath_enabled():
+        key = _greedy_memo_key(schedule, segment, region, die_cores,
+                               io_anchor)
+        hit = _GREEDY_MEMO.get(key)
+        if hit is None:
+            hit = _place_greedy_fast(schedule, segment, cores, die_cores,
+                                     io_anchor)
+            _GREEDY_MEMO[key] = hit
+        return {name: list(chosen) for name, chosen in hit.items()}
     hop = _hop_matrix(schedule, cores if io_anchor is None
                       else [*cores, io_anchor], die_cores)
-    hop_arr: Optional[np.ndarray] = None   # built lazily on the fast path
     free = set(cores)
     placement: Placement = {}
     inbound: Dict[str, List[Tuple[str, int]]] = {}
@@ -242,21 +282,7 @@ def place_greedy(schedule: Schedule, segment: int = 0,
             io_bits = _io_traffic_bits(schedule, name)
             if io_bits > 0:
                 anchors.append((io_anchor, io_bits))
-        if anchors and fastpath_enabled():
-            # Vectorized candidate scoring, bit-identical to the scalar
-            # `attraction` below: the accumulate applies the same
-            # anchor-order additions, and lexsort reproduces the
-            # (cost, core) tie-breaking of the tuple sort.
-            if hop_arr is None:
-                hop_arr = np.asarray(hop, dtype=np.float64)
-            candidates = sorted(free)
-            a_idx = [a for a, _ in anchors]
-            weights = np.asarray([float(w) for _, w in anchors])
-            weighted = weights[:, None] * hop_arr[a_idx][:, candidates]
-            costs = np.add.accumulate(weighted, axis=0)[-1]
-            order = np.lexsort((np.asarray(candidates), costs))
-            chosen = [candidates[i] for i in order[:need]]
-        elif anchors:
+        if anchors:
             def attraction(core: int) -> Tuple[float, int]:
                 return (sum(w * hop[a][core] for a, w in anchors), core)
 
@@ -265,6 +291,58 @@ def place_greedy(schedule: Schedule, segment: int = 0,
             chosen = sorted(free)[:need]
         placement[name] = sorted(chosen)
         free.difference_update(chosen)
+    return placement
+
+
+def _place_greedy_fast(schedule: Schedule, segment: int,
+                       cores: Sequence[int],
+                       die_cores: Optional[int],
+                       io_anchor: Optional[int]) -> Placement:
+    """Vectorized body of :func:`place_greedy`.
+
+    Bit-identical to the scalar walk: the hop geometry is sized by the
+    same rule (so mesh grids never change shape), candidate scoring
+    applies the same anchor-order additions via ``np.add.accumulate``,
+    and ``np.lexsort`` reproduces the scalar ``(cost, core)`` tuple
+    sort's tie-breaking.
+    """
+    n = max(schedule.arch.chip.core_number, max(cores, default=0) + 1,
+            die_cores or 0)
+    if io_anchor is not None:
+        n = max(n, io_anchor + 1)
+    hop = hop_cost_array(schedule.arch.chip.core_noc, n)
+    base = np.sort(np.asarray(list(cores), dtype=np.int64))
+    free_mask = np.ones(base.size, dtype=bool)
+    placement: Placement = {}
+    inbound: Dict[str, List[Tuple[str, int]]] = {}
+    for producer, consumer, bits in _edges(schedule, segment):
+        inbound.setdefault(consumer, []).append((producer, bits))
+
+    for name in _segment_cim_nodes(schedule, segment):
+        need = _cores_needed(schedule, name)
+        candidates = base[free_mask]   # ascending == sorted(free)
+        if need > candidates.size:
+            raise ScheduleError(
+                f"segment {segment}: not enough free cores for {name!r}"
+            )
+        anchors: List[Tuple[int, int]] = []   # (core, weight)
+        for producer, bits in inbound.get(name, []):
+            for core in placement.get(producer, []):
+                anchors.append((core, bits))
+        if io_anchor is not None:
+            io_bits = _io_traffic_bits(schedule, name)
+            if io_bits > 0:
+                anchors.append((io_anchor, io_bits))
+        if anchors:
+            a_idx = np.asarray([a for a, _ in anchors], dtype=np.int64)
+            weights = np.asarray([float(w) for _, w in anchors])
+            weighted = weights[:, None] * hop[a_idx][:, candidates]
+            costs = np.add.accumulate(weighted, axis=0)[-1]
+            pick = np.lexsort((candidates, costs))[:need]
+        else:
+            pick = np.arange(need)
+        placement[name] = sorted(int(c) for c in candidates[pick])
+        free_mask[np.flatnonzero(free_mask)[pick]] = False
     return placement
 
 
