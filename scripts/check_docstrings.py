@@ -32,6 +32,7 @@ SCOPED = [
     "repro/perf",
     "repro/trace",
     "repro/faults",
+    "repro/reproduce",
 ]
 
 

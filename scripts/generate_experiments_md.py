@@ -1,9 +1,17 @@
 #!/usr/bin/env python
-"""Regenerate EXPERIMENTS.md by running every experiment driver.
+"""Regenerate EXPERIMENTS.md from the reproduction registry.
 
-The sweep-shaped drivers (Table 1, the four Fig. 22 panels) run through a
-shared ``repro.explore.SweepRunner``: points fan out over worker processes
-and land in a disk cache, so regenerating the file after an unrelated edit
+A thin wrapper over ``repro reproduce --bless``: every section of the
+document is rendered by a :data:`repro.reproduce.REGISTRY` entry — the
+same entries ``repro reproduce`` validates against the committed
+goldens — so the published document and the validator cannot drift.
+Regenerating therefore also re-blesses the goldens (the document and
+the goldens are two renderings of the same payloads and must move
+together).
+
+The sweep-shaped drivers run through a shared
+``repro.explore.SweepRunner``: points fan out over worker processes and
+land in a disk cache, so regenerating the file after an unrelated edit
 only recompiles what changed.
 
 Run:  python scripts/generate_experiments_md.py [--workers N]
@@ -11,274 +19,9 @@ Run:  python scripts/generate_experiments_md.py [--workers N]
 """
 
 import argparse
-import io
 import sys
-import time
 
-from repro.explore import SweepRunner, default_cache_dir
-from repro.experiments import (
-    fig16_stats,
-    fig20a_jia,
-    fig20b_puma,
-    fig20c_jain,
-    fig20d_poly,
-    fig21,
-    fig22a_cores,
-    fig22b_xb_number,
-    fig22c_xb_size,
-    fig22d_parallel_row,
-    table1,
-)
-
-HEADER = """\
-# EXPERIMENTS — paper-reported vs. measured
-
-Generated by `scripts/generate_experiments_md.py`.  Every table/figure of
-the paper's evaluation (Section 4) has a driver in `repro.experiments` and a
-benchmark target in `benchmarks/`.  "paper" columns are the values the paper
-reports (blank where the paper gives only a plot); "measured" columns come
-from this reproduction's performance simulator.
-
-Absolute cycle counts are not expected to match the authors' simulator —
-the substrate differs (see DESIGN.md substitutions).  The claims checked
-are the *shapes*: who wins, in what direction, by roughly what factor.
-
-## Summary of shape agreement
-
-| Claim (paper) | Reproduced? |
-|---|---|
-| CG pipeline speedup grows with ResNet depth (2.3x -> 4.7x) | yes (measured below) |
-| CG duplication speedup shrinks with depth (25.4x -> 3.1x) | yes |
-| P&D reaches order-100x on ResNet | yes (paper: up to 123x) |
-| MVM staggered pipeline cuts peak power >= 75% | yes |
-| CIM-MLC beats Poly-Schedule ~3.2x | yes (factor differs, direction and magnitude class hold) |
-| VVM remap recovers losses at small parallel-row counts | yes |
-| One compiler covers CM / XBM / WLM chips and SRAM / ReRAM / FLASH cells | yes (Table 1 driver executes every cell) |
-
-Known deviations:
-* Fig. 20(c) (Jain et al.): the paper reports 2.3x end-to-end; our measured
-  stack win is smaller.  VGG7 exceeds the 8-crossbar macro's capacity by
-  ~800x, so our model is reload/time-multiplex dominated; the paper does not
-  specify its capacity assumptions for this comparison.
-* Fig. 21(b): our MVM duplication refinement gains are smaller than the
-  paper's 1.8x/1.4x because ResNet VXBs divide the 16-crossbar cores with
-  little rounding waste under our dimension binding.
-
-"""
-
-
-def serve_headline(runner) -> str:
-    """The PR-2 serving headline: spatial vs temporal p99 on isaac-flash.
-
-    Mixed resnet18 (4x traffic) + mobilenet tenants under a seeded
-    Poisson trace; compilations ride ``runner``'s result cache.  The
-    shape claim (pinned by ``tests/test_serve.py``): spatial partitioning
-    beats time multiplexing on p99 because resident weights never pay the
-    FLASH reprogram cost.
-    """
-    from repro.arch import isaac_flash
-    from repro.serve import TenantSpec, build_plans, make_trace, simulate
-
-    arch = isaac_flash()
-    specs = [TenantSpec("resnet18", "resnet18", weight=4.0),
-             TenantSpec("mobilenet", "mobilenet", weight=1.0)]
-    plans = build_plans(arch, specs, runner=runner)
-    trace = make_trace("poisson", specs, 22e-6, 400, seed=0)
-    lines = []
-    reports = {}
-    for mode in ("spatial", "temporal"):
-        report = simulate(plans[mode], trace)
-        reports[mode] = report
-        lines.append(f"{mode:<9} p50={report.p50:>12,.0f}  "
-                     f"p99={report.p99:>12,.0f}  "
-                     f"SLO={report.slo_attainment:6.1%}  "
-                     f"switch={report.switch_cycles:>14,.0f}")
-    ratio = reports["temporal"].p99 / max(reports["spatial"].p99, 1e-9)
-    lines.append(f"p99 speedup of spatial partitioning: {ratio:.2f}x")
-    return "\n".join(lines)
-
-
-def shard_headline(runner) -> str:
-    """The PR-3 sharding headline: resnet18 across 1..4 chips.
-
-    A capacity-constrained 200-core ISAAC-like chip; ring links of
-    512 bits/cycle.  Evaluated as a chips-axis sweep through ``runner``
-    so regeneration rides the explore result cache.  The shape claim
-    (pinned by ``tests/test_scale.py``): 2 chips beat 1 by ~2x and the
-    pipeline saturates at the first conv's data-movement floor.
-    """
-    from repro.arch import isaac_baseline
-    from repro.explore import SweepSpace
-    from repro.models import resnet18
-    from repro.sched import CompilerOptions
-
-    chip = isaac_baseline().with_cores(200)
-    space = SweepSpace.grid(
-        chip, resnet18(),
-        {"chips": [1, 2, 3, 4], "link_bw": [512], "link_latency": [100]},
-        series=[("CIM-MLC", CompilerOptions())])
-    sweep = runner.run(space)
-    base = sweep.results[0].summary["steady_state_interval"]
-    lines = []
-    for result in sweep:
-        s = result.summary
-        chips = s.get("scale", {}).get("num_chips", 1)
-        lines.append(
-            f"chips={chips}: interval={s['steady_state_interval']:>9,.0f}"
-            f"  latency={s['total_cycles']:>9,.0f}"
-            f"  throughput={base / s['steady_state_interval']:5.2f}x "
-            f"vs 1 chip")
-    return "\n".join(lines)
-
-
-def energy_headline(runner) -> str:
-    """The PR-5 energy headline: resnet18's latency x energy x area
-    frontier across presets and core counts.
-
-    Swept through ``runner`` (energy metrics ride the same result
-    cache); the frontier uses
-    :data:`repro.explore.ENERGY_OBJECTIVES` — single-inference
-    latency, energy per inference, resident crossbar area, all
-    minimized.  The shape claim (pinned by ``tests/test_energy.py``):
-    no point wins all three objectives, so energy-constrained
-    deployment picks from a genuine frontier.
-    """
-    from repro.arch import isaac_baseline, isaac_flash, puma
-    from repro.explore import ENERGY_OBJECTIVES, SweepSpace, pareto_frontier
-    from repro.models import resnet18
-    from repro.sched import CompilerOptions
-
-    graph = resnet18()
-    space = SweepSpace.grid(
-        isaac_baseline(), graph, {"cores": [256, 512, 1024]},
-        series=[("CIM-MLC", CompilerOptions())])
-    for label, arch in (("isaac-flash", isaac_flash()), ("puma", puma())):
-        space.add_point(label, arch, graph)
-    sweep = runner.run(space)
-    frontier = {id(r) for r in pareto_frontier(list(sweep),
-                                               ENERGY_OBJECTIVES)}
-    lines = [f"{'point':<24} {'cycles':>12} {'energy/inf':>14} "
-             f"{'crossbars':>10} {'pareto':>7}"]
-    for r in sweep:
-        s = r.summary
-        lines.append(
-            f"{r.label:<24} {s['total_cycles']:>12,.0f} "
-            f"{s['energy_per_inference']:>14,.0f} "
-            f"{s['area_crossbars']:>10,} "
-            f"{'*' if id(r) in frontier else '':>7}")
-    return "\n".join(lines)
-
-
-def power_capped_serve_headline(runner) -> str:
-    """Power-capped vs. uncapped spatial serving of the PR-2 mix.
-
-    The uncapped plan's peak power sets the scale; capping at 60% of it
-    forces the planner to down-duplicate the hungriest tenant
-    (``fit_power_budget``), trading tail latency for feasibility.
-    Pinned by ``tests/test_serve.py`` (``TestPowerBudget``).
-    """
-    from repro.arch import isaac_flash
-    from repro.serve import TenantSpec, build_plans, make_trace, simulate
-
-    arch = isaac_flash()
-    specs = [TenantSpec("resnet18", "resnet18", weight=4.0),
-             TenantSpec("mobilenet", "mobilenet", weight=1.0)]
-    trace = make_trace("poisson", specs, 22e-6, 400, seed=0)
-    uncapped = build_plans(arch, specs, modes=("spatial",),
-                           runner=runner)["spatial"]
-    budget = 0.6 * uncapped.peak_power
-    capped = build_plans(arch, specs, modes=("spatial",), runner=runner,
-                         power_budget=budget)["spatial"]
-    lines = []
-    for title, plan in (("uncapped", uncapped), ("capped", capped)):
-        report = simulate(plan, trace)
-        alloc = " ".join(f"{t.spec.name}={len(t.cores)}c"
-                         for t in plan.tenants)
-        lines.append(
-            f"{title:<9} peak={plan.peak_power:>9,.1f}  [{alloc}]  "
-            f"p99={report.p99:>12,.0f}  SLO={report.slo_attainment:6.1%}  "
-            f"energy={report.total_energy:>16,.0f}")
-    lines.append(f"budget: {budget:,.1f} (60% of the uncapped peak); the "
-                 f"planner down-duplicated the hungriest tenant to fit")
-    return "\n".join(lines)
-
-
-def fleet_headline(runner) -> str:
-    """The PR-6 fleet headline: SLO attainment and energy-per-request
-    vs. replica count for two routing policies under bursty load.
-
-    The PR-2 tenant mix behind a front end, replicated 2/4/8 times and
-    driven by a 50k-request diurnal+bursty trace (vectorized generation;
-    the per-replica plan compiles once through ``runner``'s result
-    cache, so the whole grid costs one compile).  The shape claim
-    (pinned by ``tests/test_fleet.py::TestFleetPipeline``): backlog-
-    aware least-loaded routing beats blind round-robin on p99 under
-    bursty traffic — bursts land on whichever replica is drained
-    instead of whichever is next — and adding replicas buys tail
-    latency at roughly flat energy-per-request (the ledger charges
-    inference, deployment, and link hops, not idleness).
-    """
-    from repro.arch import isaac_flash
-    from repro.fleet import AdmissionControl, build_fleet_cached, \
-        fleet_sweep, fleet_table
-    from repro.serve import TenantSpec, make_trace
-
-    arch = isaac_flash()
-    specs = [TenantSpec("resnet18", "resnet18", weight=4.0),
-             TenantSpec("mobilenet", "mobilenet", weight=1.0)]
-    plan = build_fleet_cached(arch, specs, replicas=8, runner=runner)
-    trace = make_trace("diurnal-bursty", specs, 200e-6, 50_000, seed=0)
-    points = fleet_sweep(plan, trace, replica_counts=[2, 4, 8],
-                         routers=("rr", "least-loaded"),
-                         admission=AdmissionControl(max_outstanding=64))
-    cell = {(p.replicas, p.router): p.report for p in points}
-    ratio = cell[(8, "rr")].p99 / max(cell[(8, "least-loaded")].p99, 1e-9)
-    lines = [fleet_table(points),
-             f"p99 advantage of least-loaded over round-robin at 8 "
-             f"replicas: {ratio:.2f}x"]
-    return "\n".join(lines)
-
-
-def trace_headline(runner) -> str:
-    """The PR-7 trace headline: replay prefilter vs. the full sweep on
-    a link-dominated resnet18 grid.
-
-    288 points (chips x link_bw x link_latency), of which only three
-    differ in anything but link parameters: the prefilter fully
-    evaluates one anchor per group, re-prices the rest from the
-    anchor's recorded timeline (exact for link axes — pinned by
-    ``tests/test_trace.py``), and fully simulates only the frontier.
-    The generated check below asserts the frontier equals the full
-    sweep's; the wall-clock claim (51.4x, cold cache, single worker:
-    0.61 s vs 31.50 s) is measured offline because regeneration rides
-    the result cache.
-    """
-    from repro.arch import isaac_baseline
-    from repro.explore import SweepSpace, pareto_frontier, replay_prefilter
-    from repro.models import resnet18
-    from repro.sched import CompilerOptions
-
-    chip = isaac_baseline()
-    grid = {"chips": [2, 3, 4],
-            "link_bw": [4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 512],
-            "link_latency": [5, 10, 20, 30, 40, 60, 80, 120]}
-    space = SweepSpace.grid(chip, resnet18(), grid,
-                            series=[("CIM-MLC", CompilerOptions())])
-    pre = replay_prefilter(space, runner)
-    full = runner.run(space)
-    frontier_full = pareto_frontier(list(full))
-    key = lambda r: (r.label, r.series)  # noqa: E731
-    identical = [key(r) for r in pre.frontier] == \
-        [key(r) for r in frontier_full]
-    lines = [pre.stats.describe(),
-             "frontier (min total_cycles, steady_state_interval):"]
-    for r in pre.frontier:
-        s = r.summary
-        lines.append(f"  {r.label}: total={s['total_cycles']:,.0f}  "
-                     f"interval={s['steady_state_interval']:,.0f}")
-    lines.append(f"frontier identical to the full {len(full.results)}-"
-                 f"point sweep: {identical}")
-    return "\n".join(lines)
+from repro.reproduce import REGISTRY, run_profile
 
 
 def main() -> None:
@@ -289,104 +32,22 @@ def main() -> None:
                         help="sweep result cache (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro-explore)")
     parser.add_argument("--no-cache", action="store_true",
-                        help="disable the sweep result cache")
+                        help="disable the sweep result cache (runs the "
+                             "cold `full` profile instead of `quick`)")
     args = parser.parse_args()
-    cache_dir = None if args.no_cache else \
-        (args.cache_dir or default_cache_dir())
-    runner = SweepRunner(workers=args.workers, cache_dir=cache_dir)
-
-    def with_runner(fn):
-        return lambda: fn(runner=runner)
-
-    out = io.StringIO()
-    out.write(HEADER)
-    t0 = time.time()
-    sections = [
-        ("Table 1 — generality", with_runner(table1)),
-        ("Fig. 16 — generated code sizes", fig16_stats),
-        ("Fig. 20(a) — vs Jia et al. [29]", fig20a_jia),
-        ("Fig. 20(b) — vs PUMA [4]", fig20b_puma),
-        ("Fig. 20(c) — vs Jain et al. [27]", fig20c_jain),
-        ("Fig. 20(d) — vs Poly-Schedule [22]", fig20d_poly),
-    ]
-    for title, fn in sections:
-        print(f"running {title} ...", file=sys.stderr)
-        result = fn()
-        out.write(f"## {title}\n\n```\n{result.table()}\n```\n\n")
-
-    print("running Fig. 21 panels ...", file=sys.stderr)
-    panels = fig21()
-    for key in ("a", "b", "c", "d"):
-        out.write(f"## Fig. 21({key})\n\n```\n{panels[key].table()}\n```\n\n")
-
-    for title, fn in [
-        ("Fig. 22(a) — core-number sweep", with_runner(fig22a_cores)),
-        ("Fig. 22(b) — crossbar-number sweep", with_runner(fig22b_xb_number)),
-        ("Fig. 22(c) — crossbar-size sweep", with_runner(fig22c_xb_size)),
-        ("Fig. 22(d) — parallel-row sweep", with_runner(fig22d_parallel_row)),
-    ]:
-        print(f"running {title} ...", file=sys.stderr)
-        result = fn()
-        out.write(f"## {title}\n\n```\n{result.table()}\n```\n\n")
-
-    print("running serving headline ...", file=sys.stderr)
-    out.write("## Serving — spatial partitioning vs time multiplexing\n\n"
-              "resnet18:4 + mobilenet:1 on isaac-flash, Poisson 22 "
-              "req/Mcycle, 400 requests, timeout:8:50000 batching "
-              "(`repro serve` defaults; pinned by `tests/test_serve.py`)."
-              "\n\n```\n" + serve_headline(runner) + "\n```\n\n")
-
-    print("running sharding headline ...", file=sys.stderr)
-    out.write("## Sharding — resnet18 across a multi-chip ring\n\n"
-              "200-core isaac-baseline chips, 512 b/cycle links "
-              "(`repro shard`; pinned by `tests/test_scale.py`).  The "
-              "first conv's data-movement floor paces the pipeline past "
-              "3 chips.\n\n```\n" + shard_headline(runner) + "\n```\n\n")
-
-    print("running energy headline ...", file=sys.stderr)
-    out.write("## Energy — resnet18 latency x energy x area frontier\n\n"
-              "Presets and core counts swept with `repro sweep --pareto "
-              "--objectives latency,energy,area` (energy model: "
-              "docs/ENERGY.md; pinned by `tests/test_energy.py`).  More "
-              "cores buy duplication (latency) but keep more crossbars "
-              "resident and active (area, energy) — a genuine three-way "
-              "frontier.\n\n```\n" + energy_headline(runner) + "\n```\n\n")
-
-    print("running power-capped serving headline ...", file=sys.stderr)
-    out.write("## Energy — power-capped vs. uncapped spatial serving\n\n"
-              "resnet18:4 + mobilenet:1 on isaac-flash, Poisson 22 "
-              "req/Mcycle, 400 requests (`repro serve --power-budget`; "
-              "pinned by `tests/test_serve.py::TestPowerBudget`)."
-              "\n\n```\n" + power_capped_serve_headline(runner)
-              + "\n```\n\n")
-
-    print("running fleet headline ...", file=sys.stderr)
-    out.write("## Fleet — SLO and energy-per-request vs. replica count "
-              "and router\n\n"
-              "resnet18:4 + mobilenet:1 on isaac-flash replicas, "
-              "diurnal+bursty 200 req/Mcycle, 50,000 requests, admission "
-              "max_outstanding=64 (`repro fleet --counts 2,4,8 --routers "
-              "rr,least-loaded`; pinned by `tests/test_fleet.py`).  "
-              "Least-loaded beats round-robin on p99 under bursty load; "
-              "energy-per-request stays roughly flat with fleet size."
-              "\n\n```\n" + fleet_headline(runner) + "\n```\n\n")
-
-    print("running trace-replay headline ...", file=sys.stderr)
-    out.write("## Trace — replay prefilter vs. full link sweep\n\n"
-              "resnet18 on isaac-baseline chips, a 288-point chips x "
-              "link_bw x link_latency grid (`repro sweep --prefilter "
-              "replay`; replay exactness pinned by `tests/test_trace.py`"
-              ").  Link re-pricing from one recorded anchor timeline "
-              "per chip count reproduces the full sweep's Pareto "
-              "frontier from ~50x fewer simulations; measured "
-              "wall-clock on a cold cache, single worker: **0.61 s vs "
-              "31.50 s (51.4x)**.  See docs/TRACE.md."
-              "\n\n```\n" + trace_headline(runner) + "\n```\n\n")
-
-    out.write(f"\n*Total generation time: {time.time() - t0:.0f}s*\n")
-    with open("EXPERIMENTS.md", "w") as fh:
-        fh.write(out.getvalue())
-    print("wrote EXPERIMENTS.md", file=sys.stderr)
+    report = run_profile(
+        profile="full" if args.no_cache else "quick",
+        only=[entry.name for entry in REGISTRY if entry.titles],
+        bless=True,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=lambda message: print(message, file=sys.stderr))
+    errors = [e for e in report.entries if e.status == "error"]
+    if errors:
+        for entry in errors:
+            print(f"ERROR in {entry.name}: {'; '.join(entry.failures)}",
+                  file=sys.stderr)
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -78,7 +78,7 @@ from .perf import CompileCache, fastpath, fastpath_enabled
 from .scale import ShardPlan, shard
 from .faults import FaultModel, plan_degraded, spread_mask
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "CIMArchitecture",

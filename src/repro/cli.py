@@ -24,6 +24,10 @@ Commands
 ``faults``    Inject hardware faults (dead cores/crossbars, drift, link
               derating, mid-trace chip death) into a fleet run, or sweep
               serving quality against dead-core count.
+``reproduce`` One-command artifact reproduction: run every registered
+              EXPERIMENTS.md figure/table and the BENCH suite, validate
+              fresh digests against the committed goldens, emit
+              ``reproduce_report.json`` (see docs/REPRODUCE.md).
 ``power``     Per-model energy/power breakdown table (Section 4.2
               components plus weight-write costs).
 ``describe``  Print the Abs-arch abstraction of a preset (Figs. 17-19 style).
@@ -125,6 +129,39 @@ def cmd_bench(args) -> None:
         with open(args.out, "w") as fh:
             fh.write(bench.to_json(results) + "\n")
         print(f"wrote {args.out}", file=sys.stderr)
+
+
+def cmd_reproduce(args) -> None:
+    from .reproduce import check_registry, run_profile
+
+    if args.check:
+        failures = check_registry(goldens_dir=args.goldens_dir)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            raise SystemExit(1)
+        print("registry, EXPERIMENTS.md, and goldens are consistent")
+        return
+    only = args.only.split(",") if args.only else None
+    try:
+        report = run_profile(
+            profile=args.profile, only=only, bless=args.bless,
+            workers=args.workers, cache_dir=args.cache_dir,
+            goldens_dir=args.goldens_dir,
+            progress=lambda message: print(message, file=sys.stderr))
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.table())
+    if not report.ok:
+        raise SystemExit(
+            f"reproduce FAILED: {', '.join(report.failures)}")
 
 
 def cmd_cache(args) -> None:
@@ -1273,6 +1310,48 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--format", choices=("table", "json"),
                    default="table")
     w.set_defaults(fn=cmd_trace_whatif)
+
+    p = sub.add_parser(
+        "reproduce",
+        help="one-command artifact reproduction against golden results",
+        description="Run every registered EXPERIMENTS.md figure/table "
+                    "and the BENCH suite, compare fresh result digests "
+                    "against the committed goldens under "
+                    "benchmarks/goldens/ (exact for experiments, "
+                    "regression bands for BENCH speedups), check the "
+                    "committed document against freshly rendered "
+                    "sections, and emit a machine-readable report plus "
+                    "a pass/fail table.  Profiles: quick (warm-cache "
+                    "friendly, ~5 min) and full (cold caches asserted "
+                    "empty, full BENCH workloads).  See "
+                    "docs/REPRODUCE.md.")
+    p.add_argument("--profile", choices=("quick", "full"),
+                   default="quick",
+                   help="quick = warm-cache subset sizing; full = "
+                        "cold-cache regeneration of everything")
+    p.add_argument("--only", default=None, metavar="NAME,...",
+                   help="run a subset of registry entries")
+    p.add_argument("--bless", action="store_true",
+                   help="rewrite the goldens from this run (and "
+                        "regenerate EXPERIMENTS.md when every entry ran) "
+                        "instead of validating")
+    p.add_argument("--check", action="store_true",
+                   help="cheap consistency check only: registry titles "
+                        "vs EXPERIMENTS.md headings and golden "
+                        "self-consistency; runs no generators")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the sweep-shaped entries")
+    p.add_argument("--cache-dir", default=None,
+                   help="explore result cache for the quick profile "
+                        "(default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro-explore); the full profile "
+                        "always uses a fresh temporary directory")
+    p.add_argument("--goldens-dir", default="benchmarks/goldens",
+                   help="committed goldens directory")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write reproduce_report.json to PATH")
+    p.add_argument("--format", choices=("table", "json"), default="table")
+    p.set_defaults(fn=cmd_reproduce)
 
     p = sub.add_parser(
         "bench",

@@ -1,0 +1,38 @@
+"""Canonical result digests: the currency of golden validation.
+
+Every registry entry reduces its run to a JSON-able *payload*;
+:func:`result_digest` hashes its canonical serialization.  Two rules
+make the digest a safe golden:
+
+* **Order independence.**  Keys are sorted, so semantically identical
+  payloads built in different dict orders digest identically.
+* **Value sensitivity.**  Serialization is ``repr``-exact for floats
+  (CPython's shortest round-trip repr), so *any* changed field — a
+  cycle count, a Pareto flag, an SLO percentage — changes the digest.
+  ``tests/test_reproduce.py`` fuzzes this property with hypothesis.
+
+NaN and infinity are rejected (``allow_nan=False``): a payload that
+produces them is a bug, not a result worth pinning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_json(payload) -> str:
+    """Serialize a payload deterministically (sorted keys, no spaces).
+
+    Raises ``ValueError`` on NaN/infinity and ``TypeError`` on
+    non-JSON-able objects — both mean the entry's payload builder is
+    broken and must not be silently pinned.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def result_digest(payload) -> str:
+    """SHA-256 hex digest of the canonical serialization."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")) \
+        .hexdigest()
